@@ -1,0 +1,293 @@
+//! The generic priority-backfill engine.
+
+use crate::priority::PriorityOrder;
+use sbs_sim::policy::{Policy, SchedContext};
+use sbs_workload::job::JobId;
+
+/// Priority backfill with `reservations` reservations (the paper's
+/// policies use one).
+///
+/// At each decision point, waiting jobs are walked in priority order
+/// against the availability profile:
+///
+/// * a job whose earliest start is *now* starts immediately (this is the
+///   backfill: any job, however low its priority, may use nodes that
+///   would otherwise idle);
+/// * the first `reservations` jobs that cannot start now have their
+///   earliest start time reserved in the profile, so no later (lower
+///   priority) job can delay them;
+/// * remaining blocked jobs are skipped.
+#[derive(Debug, Clone)]
+pub struct BackfillPolicy {
+    order: PriorityOrder,
+    reservations: usize,
+}
+
+impl BackfillPolicy {
+    /// Creates a backfill policy with the given priority order and
+    /// number of reservations (`>= 1`; 0 would allow unbounded starvation
+    /// of wide jobs and is rejected).
+    pub fn new(order: PriorityOrder, reservations: usize) -> Self {
+        assert!(reservations >= 1, "backfill needs at least one reservation");
+        BackfillPolicy {
+            order,
+            reservations,
+        }
+    }
+
+    /// The priority order in use.
+    pub fn order(&self) -> PriorityOrder {
+        self.order
+    }
+
+    /// Number of reservations granted per decision point.
+    pub fn reservations(&self) -> usize {
+        self.reservations
+    }
+}
+
+impl Policy for BackfillPolicy {
+    fn name(&self) -> String {
+        match self.reservations {
+            1 => format!("{}-backfill", self.order.label()),
+            usize::MAX => format!("{}-conservative-backfill", self.order.label()),
+            k => format!("{}-backfill/res{k}", self.order.label()),
+        }
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId> {
+        let mut profile = ctx.profile();
+        let mut starts = Vec::new();
+        let mut reserved = 0usize;
+        for idx in self.order.order(ctx.queue, ctx.now) {
+            let w = &ctx.queue[idx];
+            let start = profile.earliest_start(w.job.nodes, w.r_star, ctx.now);
+            if start == ctx.now {
+                profile.reserve(start, w.r_star, w.job.nodes);
+                starts.push(w.job.id);
+            } else if reserved < self.reservations {
+                profile.reserve(start, w.r_star, w.job.nodes);
+                reserved += 1;
+            }
+            // else: blocked and unreserved; may backfill at a later
+            // decision point.
+        }
+        starts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fcfs_backfill, lxf_backfill, sjf_backfill};
+    use sbs_sim::engine::{check_invariants, simulate, SimConfig};
+    use sbs_sim::policy::WaitingJob;
+    use sbs_sim::SchedContext;
+    use sbs_workload::generator::{random_workload, RandomWorkloadCfg, Workload};
+    use sbs_workload::job::Job;
+    use sbs_workload::time::{Time, HOUR};
+
+    fn waiting(id: u32, submit: Time, nodes: u32, r_star: Time) -> WaitingJob {
+        WaitingJob {
+            job: Job::new(JobId(id), submit, nodes, r_star, r_star),
+            r_star,
+        }
+    }
+
+    fn ctx<'a>(
+        now: Time,
+        capacity: u32,
+        free: u32,
+        queue: &'a [WaitingJob],
+        running: &'a [sbs_sim::RunningJob],
+    ) -> SchedContext<'a> {
+        SchedContext {
+            now,
+            capacity,
+            free_nodes: free,
+            queue,
+            running,
+        }
+    }
+
+    fn running(id: u32, nodes: u32, start: Time, pred_end: Time) -> sbs_sim::RunningJob {
+        sbs_sim::RunningJob {
+            job: Job::new(JobId(id), 0, nodes, pred_end - start, pred_end - start),
+            start,
+            pred_end,
+        }
+    }
+
+    #[test]
+    fn backfills_around_the_reservation() {
+        // 8-node machine; 6 busy until t=1000.  Queue: wide job (8 nodes,
+        // reserved at t=1000) and a short narrow job that fits both in
+        // nodes (2 free) and in time (ends before 1000): it backfills.
+        let run = [running(100, 6, 0, 1_000)];
+        let q = [waiting(0, 10, 8, HOUR), waiting(1, 20, 2, 900)];
+        let starts = fcfs_backfill().decide(&ctx(50, 8, 2, &q, &run));
+        assert_eq!(starts, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn backfill_must_not_delay_the_reservation() {
+        // Same setup, but the narrow job runs past t=1000, which would
+        // delay the reserved wide job: it must NOT start.
+        let run = [running(100, 6, 0, 1_000)];
+        let q = [waiting(0, 10, 8, HOUR), waiting(1, 20, 2, 2_000)];
+        let starts = fcfs_backfill().decide(&ctx(50, 8, 2, &q, &run));
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn backfill_that_leaves_reserved_nodes_free_is_allowed() {
+        // 6 busy until 1000; wide job needs only 7 => one node is spare
+        // even during the reservation, so a 1-node long job can backfill.
+        let run = [running(100, 6, 0, 1_000)];
+        let q = [waiting(0, 10, 7, HOUR), waiting(1, 20, 1, 50 * HOUR)];
+        let starts = fcfs_backfill().decide(&ctx(50, 8, 2, &q, &run));
+        assert_eq!(starts, vec![JobId(1)]);
+    }
+
+    #[test]
+    fn empty_machine_starts_in_priority_order_until_full() {
+        let q = [
+            waiting(0, 0, 5, HOUR),
+            waiting(1, 1, 5, HOUR), // does not fit after job 0
+            waiting(2, 2, 3, HOUR), // fits alongside job 0
+        ];
+        let starts = fcfs_backfill().decide(&ctx(10, 8, 8, &q, &[]));
+        assert_eq!(starts, vec![JobId(0), JobId(2)]);
+    }
+
+    #[test]
+    fn lxf_priority_reorders_the_reservation() {
+        // Two blocked jobs; under FCFS the earlier wide job gets the
+        // reservation, under LXF the short job (higher xfactor) does.
+        // At t=500: job0 xf = (490+4h)/4h ~ 1.03;
+        // job1 xf = (480+10m)/10m = 1.8.
+        let q = [waiting(0, 10, 8, 4 * HOUR), waiting(1, 20, 8, 600)];
+        // Probe through a simulation-free check: order() decides.
+        let fc = PriorityOrder::Fcfs.order(&q, 500);
+        let lx = PriorityOrder::Lxf.order(&q, 500);
+        assert_eq!(fc, vec![0, 1]);
+        assert_eq!(lx, vec![1, 0]);
+    }
+
+    #[test]
+    fn multiple_reservations_are_honored() {
+        // 8-node machine, full until 1000, then one 8-node job until
+        // 2000 would be reserved; with 2 reservations the second blocked
+        // job is also protected from a backfill that would delay it.
+        let run = [running(100, 8, 0, 1_000)];
+        let q = [
+            waiting(0, 10, 8, 1_000), // reserved at 1000..2000
+            waiting(1, 20, 4, 1_000), // reserved at 2000..3000 (res=2)
+            waiting(2, 30, 4, 5_000), // would delay job1 if started at 2000
+        ];
+        let mut two = BackfillPolicy::new(PriorityOrder::Fcfs, 2);
+        let starts = two.decide(&ctx(500, 8, 0, &q, &run));
+        assert!(starts.is_empty());
+    }
+
+    #[test]
+    fn names_reflect_configuration() {
+        assert_eq!(fcfs_backfill().name(), "FCFS-backfill");
+        assert_eq!(lxf_backfill().name(), "LXF-backfill");
+        assert_eq!(sjf_backfill().name(), "SJF-backfill");
+        assert_eq!(
+            BackfillPolicy::new(PriorityOrder::Lxf, 4).name(),
+            "LXF-backfill/res4"
+        );
+        assert_eq!(
+            crate::conservative_backfill().name(),
+            "FCFS-conservative-backfill"
+        );
+    }
+
+    #[test]
+    fn conservative_backfill_blocks_any_delaying_backfill() {
+        // 8-node machine, 6 busy until 1000.  Queue: a blocked 6-node
+        // job (leaves 2 nodes spare during its reservation), a blocked
+        // full-machine job, then a narrow long job.  Under EASY (1
+        // reservation) only job 0 is protected, so the narrow job
+        // backfills even though it delays job 1; under conservative
+        // backfill job 1 is protected too and it must wait.
+        let run = [running(100, 6, 0, 1_000)];
+        let q = [
+            waiting(0, 10, 6, 1_000), // reserved 1000..2000, 2 nodes spare
+            waiting(1, 20, 8, 1_000), // conservative: reserved 2000..3000
+            waiting(2, 30, 2, 2_500), // fits beside job 0 but pushes job 1
+        ];
+        let easy = fcfs_backfill().decide(&ctx(50, 8, 2, &q, &run));
+        assert_eq!(easy, vec![JobId(2)], "EASY backfills the narrow job");
+        let cons = crate::conservative_backfill().decide(&ctx(50, 8, 2, &q, &run));
+        assert!(cons.is_empty(), "conservative protects job 1 too");
+    }
+
+    #[test]
+    fn conservative_backfill_completes_random_workloads() {
+        for seed in 0..3 {
+            let (w, r) = full_sim(crate::conservative_backfill(), seed);
+            assert_eq!(r.records.len(), w.jobs.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reservation")]
+    fn zero_reservations_rejected() {
+        let _ = BackfillPolicy::new(PriorityOrder::Fcfs, 0);
+    }
+
+    fn full_sim(policy: BackfillPolicy, seed: u64) -> (Workload, sbs_sim::SimResult) {
+        let w = random_workload(RandomWorkloadCfg::default(), seed);
+        let r = simulate(&w, policy, SimConfig::default());
+        check_invariants(&r);
+        (w, r)
+    }
+
+    #[test]
+    fn all_variants_complete_random_workloads() {
+        for seed in 0..4 {
+            for policy in [
+                fcfs_backfill(),
+                lxf_backfill(),
+                sjf_backfill(),
+                BackfillPolicy::new(
+                    PriorityOrder::LxfW {
+                        weight: PriorityOrder::DEFAULT_LXFW_WEIGHT,
+                    },
+                    1,
+                ),
+                BackfillPolicy::new(PriorityOrder::Fcfs, 4),
+            ] {
+                let (w, r) = full_sim(policy, seed);
+                assert_eq!(r.records.len(), w.jobs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn lxf_improves_average_slowdown_over_fcfs_under_contention() {
+        // A loaded random workload: LXF-backfill should (as in the paper)
+        // lower the mean bounded slowdown relative to FCFS-backfill.
+        let cfg = RandomWorkloadCfg {
+            jobs: 400,
+            span: 2 * 86_400,
+            ..Default::default()
+        };
+        let w = random_workload(cfg, 9);
+        let fcfs = simulate(&w, fcfs_backfill(), SimConfig::default());
+        let lxf = simulate(&w, lxf_backfill(), SimConfig::default());
+        let mean = |r: &sbs_sim::SimResult| {
+            let v: Vec<f64> = r.in_window().map(|j| j.bounded_slowdown()).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&lxf) <= mean(&fcfs) * 1.05,
+            "LXF {:.2} should not exceed FCFS {:.2}",
+            mean(&lxf),
+            mean(&fcfs)
+        );
+    }
+}

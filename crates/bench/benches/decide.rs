@@ -1,0 +1,94 @@
+//! Per-decision scheduling latency — the measure behind the paper's
+//! "30-65 ms to visit 1K-8K nodes in a tree of 30 jobs" overhead report.
+//!
+//! One decision point is reproduced in isolation: 64 running jobs, a
+//! queue of N waiting jobs, and each policy asked what to start.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_backfill::{fcfs_backfill, lxf_backfill};
+use sbs_core::SearchPolicy;
+use sbs_sim::policy::{Policy, SchedContext, WaitingJob};
+use sbs_sim::RunningJob;
+use sbs_workload::job::{Job, JobId};
+use sbs_workload::time::HOUR;
+use std::hint::black_box;
+
+struct DecisionFixture {
+    queue: Vec<WaitingJob>,
+    running: Vec<RunningJob>,
+}
+
+fn fixture(waiting: usize) -> DecisionFixture {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let now = 100 * HOUR;
+    let running: Vec<RunningJob> = (0..64)
+        .map(|i| {
+            let nodes = rng.gen_range(1..=4);
+            let runtime = rng.gen_range(HOUR..=12 * HOUR);
+            let start = now - rng.gen_range(0..HOUR);
+            RunningJob {
+                job: Job::new(JobId(10_000 + i), start, nodes, runtime, runtime),
+                start,
+                pred_end: start + runtime,
+            }
+        })
+        .collect();
+    let queue: Vec<WaitingJob> = (0..waiting as u32)
+        .map(|i| {
+            let nodes = rng.gen_range(1..=64);
+            let runtime = rng.gen_range(10 * 60..=12 * HOUR);
+            let submit = now - rng.gen_range(0..20 * HOUR);
+            WaitingJob {
+                job: Job::new(JobId(i), submit, nodes, runtime, runtime),
+                r_star: runtime,
+            }
+        })
+        .collect();
+    DecisionFixture { queue, running }
+}
+
+fn decide_once(policy: &mut dyn Policy, f: &DecisionFixture) -> usize {
+    let busy: u32 = f.running.iter().map(|r| r.job.nodes).sum();
+    let ctx = SchedContext {
+        now: 100 * HOUR,
+        capacity: 128,
+        free_nodes: 128u32.saturating_sub(busy),
+        queue: &f.queue,
+        running: &f.running,
+    };
+    policy.decide(&ctx).len()
+}
+
+fn bench_backfill_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/backfill");
+    for waiting in [10usize, 30, 100] {
+        let f = fixture(waiting);
+        group.bench_with_input(BenchmarkId::new("fcfs", waiting), &f, |b, f| {
+            let mut p = fcfs_backfill();
+            b.iter(|| black_box(decide_once(&mut p, f)))
+        });
+        group.bench_with_input(BenchmarkId::new("lxf", waiting), &f, |b, f| {
+            let mut p = lxf_backfill();
+            b.iter(|| black_box(decide_once(&mut p, f)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_search_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decide/dds-lxf-dynB");
+    group.sample_size(20);
+    for (waiting, budget) in [(30usize, 1_000u64), (30, 8_000), (100, 1_000), (100, 8_000)] {
+        let f = fixture(waiting);
+        let id = format!("q{waiting}/L{budget}");
+        group.bench_with_input(BenchmarkId::from_parameter(id), &f, |b, f| {
+            let mut p = SearchPolicy::dds_lxf_dynb(budget);
+            b.iter(|| black_box(decide_once(&mut p, f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backfill_decision, bench_search_decision);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Search-algorithm throughput: nodes visited per unit time for LDS and
+//! DDS under the paper's node budgets.  (The paper reports 30-65 ms to
+//! visit 1K-8K nodes in a tree of 30 jobs on 2005 hardware; these
+//! benches measure our equivalent.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_dsearch::permutation::PermutationProblem;
+use sbs_dsearch::{beam, dds, greedy, hill_climb, lds, random_sampling, SearchConfig};
+use std::hint::black_box;
+
+fn permutation_cost(perm: &[usize]) -> f64 {
+    perm.iter()
+        .enumerate()
+        .map(|(i, &x)| ((i + 1) * (x + 1)) as f64)
+        .sum()
+}
+
+fn bench_search_budgets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsearch/30-jobs");
+    for budget in [1_000u64, 8_000] {
+        group.bench_with_input(BenchmarkId::new("lds", budget), &budget, |b, &l| {
+            b.iter(|| {
+                let mut p = PermutationProblem::from_fn(30, permutation_cost);
+                black_box(lds(&mut p, SearchConfig::with_limit(l)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dds", budget), &budget, |b, &l| {
+            b.iter(|| {
+                let mut p = PermutationProblem::from_fn(30, permutation_cost);
+                black_box(dds(&mut p, SearchConfig::with_limit(l)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustive_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsearch/exhaustive");
+    for n in [6usize, 8] {
+        group.bench_with_input(BenchmarkId::new("dds-full", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut p = PermutationProblem::from_fn(n, permutation_cost);
+                black_box(dds(&mut p, SearchConfig::default()))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incomplete_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsearch/baselines-30-jobs");
+    group.bench_function("random/1000", |b| {
+        b.iter(|| {
+            let mut p = PermutationProblem::from_fn(30, permutation_cost);
+            black_box(random_sampling(&mut p, SearchConfig::with_limit(1_000), 7))
+        })
+    });
+    group.bench_function("beam16/1000", |b| {
+        b.iter(|| {
+            let mut p = PermutationProblem::from_fn(30, permutation_cost).with_prefix_bound();
+            black_box(beam(&mut p, 16, SearchConfig::with_limit(1_000)))
+        })
+    });
+    group.bench_function("hill-climb/1000", |b| {
+        b.iter(|| {
+            let mut p = PermutationProblem::from_fn(30, permutation_cost);
+            let (cost, path) = greedy(&mut p, SearchConfig::default()).best.expect("leaf");
+            black_box(hill_climb(
+                &mut p,
+                path,
+                cost,
+                SearchConfig::with_limit(1_000),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_budgets,
+    bench_exhaustive_small,
+    bench_incomplete_baselines
+);
+criterion_main!(benches);

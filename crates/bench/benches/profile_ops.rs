@@ -1,0 +1,61 @@
+//! Availability-profile operations — the inner loop of both backfill and
+//! tree search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_sim::AvailabilityProfile;
+use std::hint::black_box;
+
+/// A profile shaped like `running` jobs ending at staggered times.
+fn profile_with_running(running: u32) -> AvailabilityProfile {
+    let capacity = 128;
+    AvailabilityProfile::from_running(
+        0,
+        capacity,
+        (0..running).map(|i| (3_600 + 600 * i as u64, 1 + (i % 16))),
+    )
+}
+
+fn bench_earliest_start(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile/earliest_start");
+    for running in [8u32, 32, 64] {
+        let p = profile_with_running(running);
+        group.bench_with_input(BenchmarkId::from_parameter(running), &p, |b, p| {
+            b.iter(|| black_box(p.earliest_start(black_box(32), black_box(7_200), 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_reserve_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile/reserve_release");
+    for running in [8u32, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(running),
+            &running,
+            |b, &running| {
+                let mut p = profile_with_running(running);
+                b.iter(|| {
+                    let start = p.earliest_start(16, 3_600, 0);
+                    p.reserve(start, 3_600, 16);
+                    p.release(start, 3_600, 16);
+                    black_box(start)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_build_from_running(c: &mut Criterion) {
+    c.bench_function("profile/from_running/64", |b| {
+        b.iter(|| black_box(profile_with_running(64)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_earliest_start,
+    bench_reserve_release,
+    bench_build_from_running
+);
+criterion_main!(benches);

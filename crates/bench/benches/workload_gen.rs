@@ -1,0 +1,35 @@
+//! Workload generation and end-to-end simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sbs_backfill::fcfs_backfill;
+use sbs_sim::engine::{simulate, SimConfig};
+use sbs_workload::generator::WorkloadBuilder;
+use sbs_workload::system::Month;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload/generate");
+    for month in [Month::Jul03, Month::Oct03] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(month.label()),
+            &month,
+            |b, &m| b.iter(|| black_box(WorkloadBuilder::month(m).build())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate/fcfs-backfill");
+    group.sample_size(10);
+    let w = WorkloadBuilder::month(Month::Oct03)
+        .span_scale(0.25)
+        .build();
+    group.bench_function("oct03-quarter", |b| {
+        b.iter(|| black_box(simulate(&w, fcfs_backfill(), SimConfig::default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Experiment reports: rendered text plus machine-readable data.
+
+use serde_json::Value;
+
+/// The output of one experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (`fig4`, `table3`, ...).
+    pub id: String,
+    /// Title line describing the artifact reproduced.
+    pub title: String,
+    /// Fixed-width text (tables) as printed to stdout.
+    pub text: String,
+    /// The same rows as JSON, for EXPERIMENTS.md regeneration diffs.
+    pub data: Value,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, text: String, data: Value) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            text,
+            data,
+        }
+    }
+
+    /// Renders the full printable form (title + text).
+    pub fn render(&self) -> String {
+        format!("== {} — {} ==\n\n{}", self.id, self.title, self.text)
+    }
+}

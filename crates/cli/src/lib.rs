@@ -1,0 +1,463 @@
+#![warn(missing_docs)]
+
+//! Implementation of the `sbs` command-line tool (kept in a library so
+//! the argument parser and runner are unit-testable).
+
+use sbs_backfill::PriorityOrder;
+use sbs_core::{Branching, PolicySpec, SearchAlgo, TargetBound};
+use sbs_metrics::table::{num, Table};
+use sbs_metrics::timeline::utilization_panel;
+use sbs_metrics::{percentile_wait, ExcessStats, WaitStats};
+use sbs_sim::engine::{simulate, SimConfig};
+use sbs_sim::prediction::PredictorSpec;
+use sbs_sim::JobRecord;
+use sbs_workload::generator::{Workload, WorkloadBuilder};
+use sbs_workload::job::RuntimeKnowledge;
+use sbs_workload::swf;
+use sbs_workload::system::Month;
+use sbs_workload::time::{to_hours, DAY};
+
+/// Usage text shown by `sbs` and on argument errors.
+pub const USAGE: &str = "\
+sbs — search-based job scheduling simulator
+
+USAGE:
+  sbs simulate (--month M | --trace FILE) [options]
+  sbs policies            list available policy names
+  sbs months              list the study months
+  sbs help                this text
+
+OPTIONS (simulate):
+  --month M           synthetic month (6/03 .. 3/04)
+  --trace FILE        replay a Standard Workload Format trace
+  --capacity N        machine size for --trace (default 128)
+  --policy NAME       scheduling policy (default dds-lxf-dynb)
+  --budget L          search node budget per decision (default 1000)
+  --load RHO          shrink inter-arrivals to offered load RHO
+  --scale F           simulate a fraction of the month's span
+  --knowledge K       actual | requested | predicted (default: actual
+                      for --month, requested for --trace)
+  --seed N            workload RNG seed
+  --timeline          print an ASCII utilization timeline
+  --json              machine-readable output
+";
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation and report.
+    Simulate(SimulateArgs),
+    /// List policy names.
+    Policies,
+    /// List study months.
+    Months,
+    /// Print usage.
+    Help,
+}
+
+/// Arguments of `sbs simulate`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateArgs {
+    /// Synthetic month, or `None` when replaying a trace.
+    pub month: Option<Month>,
+    /// SWF trace path, or `None` when generating a month.
+    pub trace: Option<String>,
+    /// Machine size for traces.
+    pub capacity: u32,
+    /// Policy name (see [`policy_by_name`]).
+    pub policy: String,
+    /// Search node budget.
+    pub budget: u64,
+    /// Optional target offered load.
+    pub load: Option<f64>,
+    /// Span fraction.
+    pub scale: f64,
+    /// `R*` source.
+    pub knowledge: Knowledge,
+    /// Workload seed.
+    pub seed: Option<u64>,
+    /// Print the utilization timeline.
+    pub timeline: bool,
+    /// Emit JSON instead of tables.
+    pub json: bool,
+}
+
+/// The `--knowledge` choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Knowledge {
+    /// `R* = T`.
+    Actual,
+    /// `R* = R`.
+    Requested,
+    /// `R*` from the recent-user-average predictor.
+    Predicted,
+    /// Pick a sensible default for the workload source.
+    Default,
+}
+
+/// The policy names `sbs` accepts, with descriptions.
+pub const POLICY_NAMES: [(&str, &str); 12] = [
+    (
+        "fcfs-bf",
+        "FCFS-backfill (1 reservation) — the max-wait envelope",
+    ),
+    ("lxf-bf", "LXF-backfill — the average-slowdown envelope"),
+    ("sjf-bf", "SJF-backfill (starves long jobs; for comparison)"),
+    ("lxfw-bf", "LXF&W-backfill (small wait weight)"),
+    (
+        "selective-bf",
+        "Selective backfill (starvation-threshold reservations)",
+    ),
+    (
+        "conservative-bf",
+        "Conservative backfill (reservations for all)",
+    ),
+    ("dds-lxf-dynb", "the paper's headline search policy"),
+    ("dds-fcfs-dynb", "DDS with fcfs branching"),
+    ("lds-lxf-dynb", "LDS with lxf branching"),
+    ("lds-fcfs-dynb", "LDS with fcfs branching"),
+    (
+        "dds-lxf-dynb-hc",
+        "DDS + hill-climbing hybrid (30% local budget)",
+    ),
+    ("beam-lxf-dynb", "beam search (width 16) baseline"),
+];
+
+/// Resolves a policy name to a buildable spec.
+pub fn policy_by_name(name: &str, budget: u64) -> Option<PolicySpec> {
+    let dynb = TargetBound::Dynamic;
+    Some(match name {
+        "fcfs-bf" => PolicySpec::FcfsBackfill,
+        "lxf-bf" => PolicySpec::LxfBackfill,
+        "sjf-bf" => PolicySpec::SjfBackfill,
+        "lxfw-bf" => PolicySpec::LxfwBackfill,
+        "selective-bf" => PolicySpec::SelectiveBackfill,
+        "conservative-bf" => PolicySpec::BackfillWithReservations {
+            order: PriorityOrder::Fcfs,
+            reservations: usize::MAX,
+        },
+        "dds-lxf-dynb" => PolicySpec::search_dynb(SearchAlgo::Dds, Branching::Lxf, budget),
+        "dds-fcfs-dynb" => PolicySpec::search_dynb(SearchAlgo::Dds, Branching::Fcfs, budget),
+        "lds-lxf-dynb" => PolicySpec::search_dynb(SearchAlgo::Lds, Branching::Lxf, budget),
+        "lds-fcfs-dynb" => PolicySpec::search_dynb(SearchAlgo::Lds, Branching::Fcfs, budget),
+        "dds-lxf-dynb-hc" => PolicySpec::HybridSearch {
+            algo: SearchAlgo::Dds,
+            branching: Branching::Lxf,
+            bound: dynb,
+            node_limit: budget,
+            local_frac: 0.3,
+        },
+        "beam-lxf-dynb" => PolicySpec::search_dynb(SearchAlgo::Beam(16), Branching::Lxf, budget),
+        _ => return None,
+    })
+}
+
+/// Parses a raw argument vector.
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let Some(sub) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "policies" => Ok(Command::Policies),
+        "months" => Ok(Command::Months),
+        "simulate" => {
+            let mut parsed = SimulateArgs {
+                month: None,
+                trace: None,
+                capacity: 128,
+                policy: "dds-lxf-dynb".to_string(),
+                budget: 1_000,
+                load: None,
+                scale: 1.0,
+                knowledge: Knowledge::Default,
+                seed: None,
+                timeline: false,
+                json: false,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--month" => {
+                        let v = value()?;
+                        parsed.month =
+                            Some(Month::parse(&v).ok_or_else(|| format!("unknown month {v:?}"))?);
+                    }
+                    "--trace" => parsed.trace = Some(value()?),
+                    "--capacity" => {
+                        parsed.capacity =
+                            value()?.parse().map_err(|_| "bad --capacity".to_string())?
+                    }
+                    "--policy" => parsed.policy = value()?,
+                    "--budget" => {
+                        parsed.budget = value()?.parse().map_err(|_| "bad --budget".to_string())?
+                    }
+                    "--load" => {
+                        parsed.load = Some(value()?.parse().map_err(|_| "bad --load".to_string())?)
+                    }
+                    "--scale" => {
+                        parsed.scale = value()?.parse().map_err(|_| "bad --scale".to_string())?
+                    }
+                    "--knowledge" => {
+                        parsed.knowledge = match value()?.as_str() {
+                            "actual" => Knowledge::Actual,
+                            "requested" => Knowledge::Requested,
+                            "predicted" => Knowledge::Predicted,
+                            other => return Err(format!("unknown knowledge {other:?}")),
+                        }
+                    }
+                    "--seed" => {
+                        parsed.seed = Some(value()?.parse().map_err(|_| "bad --seed".to_string())?)
+                    }
+                    "--timeline" => parsed.timeline = true,
+                    "--json" => parsed.json = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if parsed.month.is_none() && parsed.trace.is_none() {
+                return Err("simulate needs --month or --trace".to_string());
+            }
+            if parsed.month.is_some() && parsed.trace.is_some() {
+                return Err("--month and --trace are mutually exclusive".to_string());
+            }
+            if policy_by_name(&parsed.policy, parsed.budget).is_none() {
+                return Err(format!(
+                    "unknown policy {:?} (try `sbs policies`)",
+                    parsed.policy
+                ));
+            }
+            Ok(Command::Simulate(parsed))
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Executes a parsed command, returning its stdout text.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Policies => {
+            let mut t = Table::new(["name", "description"]);
+            for (name, desc) in POLICY_NAMES {
+                t.row([name, desc]);
+            }
+            Ok(t.render())
+        }
+        Command::Months => {
+            let mut t = Table::new(["month", "jobs", "load", "runtime limit"]);
+            for m in Month::ALL {
+                let p = sbs_workload::MonthProfile::of(m);
+                t.row([
+                    m.label().to_string(),
+                    p.total_jobs.to_string(),
+                    format!("{:.0}%", p.load * 100.0),
+                    format!("{}h", m.runtime_limit() / 3_600),
+                ]);
+            }
+            Ok(t.render())
+        }
+        Command::Simulate(args) => simulate_cmd(args),
+    }
+}
+
+fn load_workload(args: &SimulateArgs) -> Result<Workload, String> {
+    if let Some(path) = &args.trace {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut w = swf::parse(&text, args.capacity).map_err(|e| e.to_string())?;
+        // One-day warm-up for replays, when the trace is long enough.
+        if w.window.1 - w.window.0 > 2 * DAY {
+            w.window.0 += DAY;
+        }
+        Ok(w)
+    } else {
+        let month = args.month.expect("validated by parse_args");
+        let mut b = WorkloadBuilder::month(month);
+        if let Some(seed) = args.seed {
+            b = b.seed(seed);
+        }
+        if args.scale != 1.0 {
+            b = b.span_scale(args.scale);
+        }
+        if let Some(rho) = args.load {
+            b = b.target_load(rho);
+        }
+        Ok(b.build())
+    }
+}
+
+fn simulate_cmd(args: SimulateArgs) -> Result<String, String> {
+    let workload = load_workload(&args)?;
+    let spec = policy_by_name(&args.policy, args.budget).expect("validated");
+    let knowledge = match (args.knowledge, args.trace.is_some()) {
+        (Knowledge::Actual, _) => RuntimeKnowledge::Actual,
+        (Knowledge::Requested, _) => RuntimeKnowledge::Requested,
+        (Knowledge::Predicted, _) => RuntimeKnowledge::Requested,
+        (Knowledge::Default, true) => RuntimeKnowledge::Requested,
+        (Knowledge::Default, false) => RuntimeKnowledge::Actual,
+    };
+    let cfg = SimConfig {
+        knowledge,
+        predictor: (args.knowledge == Knowledge::Predicted)
+            .then(|| PredictorSpec::RecentUserAverage.build()),
+        ..Default::default()
+    };
+    let result = simulate(&workload, spec.build(), cfg);
+    let records: Vec<JobRecord> = result.in_window().copied().collect();
+    let stats = WaitStats::over(&records);
+    let p98 = percentile_wait(&records, 98.0);
+    let excess = ExcessStats::over(&records, p98);
+
+    if args.json {
+        let json = serde_json::json!({
+            "policy": result.policy,
+            "jobs": stats.jobs,
+            "offered_load": workload.offered_load(),
+            "utilization": result.utilization,
+            "avg_wait_h": stats.avg_wait_h,
+            "max_wait_h": stats.max_wait_h,
+            "avg_bounded_slowdown": stats.avg_bounded_slowdown,
+            "avg_queue_length": result.avg_queue_length,
+            "p98_wait_h": to_hours(p98),
+            "excess_vs_p98_total_h": excess.total_h,
+            "decisions": result.decisions,
+            "policy_ms_per_decision":
+                result.policy_nanos as f64 / 1e6 / result.decisions.max(1) as f64,
+        });
+        return Ok(format!(
+            "{}\n",
+            serde_json::to_string_pretty(&json).expect("serialize")
+        ));
+    }
+
+    let mut out = format!(
+        "{} on {} jobs (offered load {:.2})\n\n",
+        result.policy,
+        stats.jobs,
+        workload.offered_load()
+    );
+    let mut t = Table::new(["measure", "value"]);
+    t.row(["avg wait (h)", &num(stats.avg_wait_h, 2)]);
+    t.row(["max wait (h)", &num(stats.max_wait_h, 1)]);
+    t.row(["98th pct wait (h)", &num(to_hours(p98), 1)]);
+    t.row(["avg bounded slowdown", &num(stats.avg_bounded_slowdown, 2)]);
+    t.row(["avg queue length", &num(result.avg_queue_length, 1)]);
+    t.row([
+        "utilization",
+        &format!("{:.0}%", result.utilization * 100.0),
+    ]);
+    t.row(["decisions", &result.decisions.to_string()]);
+    t.row([
+        "sched overhead (ms/dec)",
+        &num(
+            result.policy_nanos as f64 / 1e6 / result.decisions.max(1) as f64,
+            3,
+        ),
+    ]);
+    out.push_str(&t.render());
+    if args.timeline {
+        out.push('\n');
+        out.push_str(&utilization_panel(
+            &result.policy,
+            &records,
+            workload.capacity,
+            workload.window,
+            64,
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Command, String> {
+        parse_args(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_month_simulation() {
+        let cmd =
+            parse("simulate --month 10/03 --policy lxf-bf --load 0.9 --scale 0.1").expect("parse");
+        let Command::Simulate(a) = cmd else {
+            panic!("not simulate")
+        };
+        assert_eq!(a.month, Some(Month::Oct03));
+        assert_eq!(a.policy, "lxf-bf");
+        assert_eq!(a.load, Some(0.9));
+        assert_eq!(a.scale, 0.1);
+    }
+
+    #[test]
+    fn rejects_missing_source_and_unknown_policy() {
+        assert!(parse("simulate").is_err());
+        assert!(parse("simulate --month 10/03 --policy nope").is_err());
+        assert!(parse("simulate --month 10/03 --trace x.swf").is_err());
+        assert!(parse("frobnicate").is_err());
+    }
+
+    #[test]
+    fn every_listed_policy_resolves() {
+        for (name, _) in POLICY_NAMES {
+            assert!(policy_by_name(name, 100).is_some(), "{name}");
+        }
+        assert!(policy_by_name("bogus", 100).is_none());
+    }
+
+    #[test]
+    fn subcommands_render() {
+        assert!(run(Command::Policies).expect("ok").contains("dds-lxf-dynb"));
+        assert!(run(Command::Months).expect("ok").contains("6/03"));
+        assert!(run(Command::Help).expect("ok").contains("USAGE"));
+    }
+
+    #[test]
+    fn simulate_runs_end_to_end() {
+        let cmd =
+            parse("simulate --month 9/03 --scale 0.03 --budget 200 --timeline").expect("parse");
+        let out = run(cmd).expect("simulate");
+        assert!(out.contains("DDS/lxf/dynB"));
+        assert!(out.contains("avg wait (h)"));
+        assert!(out.contains("% busy"));
+    }
+
+    #[test]
+    fn simulate_json_output_is_valid() {
+        let cmd = parse("simulate --month 9/03 --scale 0.03 --budget 200 --json").expect("parse");
+        let out = run(cmd).expect("simulate");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v["avg_wait_h"].is_number());
+        assert_eq!(v["policy"], "DDS/lxf/dynB");
+    }
+
+    #[test]
+    fn simulate_predicted_knowledge() {
+        let cmd =
+            parse("simulate --month 9/03 --scale 0.03 --budget 200 --knowledge predicted --json")
+                .expect("parse");
+        let out = run(cmd).expect("simulate");
+        assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
+    }
+
+    #[test]
+    fn trace_replay_round_trip() {
+        let w = WorkloadBuilder::month(Month::Sep03)
+            .span_scale(0.03)
+            .build();
+        let path = std::env::temp_dir().join("sbs_cli_test_trace.swf");
+        std::fs::write(&path, swf::write(&w)).expect("write");
+        let cmd = parse(&format!(
+            "simulate --trace {} --policy fcfs-bf --json",
+            path.display()
+        ))
+        .expect("parse");
+        let out = run(cmd).expect("simulate");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(v["policy"], "FCFS-backfill");
+    }
+}

@@ -1,0 +1,30 @@
+//! `sbs` — simulate scheduling policies on real or synthetic workloads.
+//!
+//! ```text
+//! sbs simulate --month 10/03 [--policy dds-lxf-dynb] [--load 0.9]
+//!              [--scale 0.25] [--budget 1000] [--knowledge actual|requested|predicted]
+//!              [--seed N] [--timeline] [--json]
+//! sbs simulate --trace path/to/trace.swf --capacity 128 [...]
+//! sbs policies                    # list available policies
+//! sbs months                      # list study months
+//! ```
+
+use sbs_cli::{parse_args, run, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => print!("{}", sbs_cli::USAGE),
+        Ok(cmd) => match run(cmd) {
+            Ok(output) => print!("{output}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", sbs_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! A reference [`SearchProblem`] over permutations of `0..n`.
+//!
+//! This is the exact tree shape of the paper's Figure 1 (job orderings
+//! with a static branching heuristic), with an arbitrary leaf cost
+//! function.  It backs the crate's unit and property tests and the
+//! Figure 1 experiment harness; the production scheduling problem in
+//! `sbs-core` has the same shape but evaluates schedules incrementally.
+
+use crate::problem::SearchProblem;
+use std::sync::Arc;
+
+/// Cost function over a complete (or, for pruning, partial) permutation.
+pub type CostFn = Arc<dyn Fn(&[usize]) -> f64 + Send + Sync>;
+
+/// Permutations of `0..n` with the identity branching heuristic
+/// (ascending item index = heuristic order).
+#[derive(Clone)]
+pub struct PermutationProblem {
+    remaining: Vec<usize>,
+    prefix: Vec<usize>,
+    cost: CostFn,
+    prefix_bound: bool,
+}
+
+impl PermutationProblem {
+    /// All leaves cost zero — used when only the visit *order* matters.
+    pub fn constant(n: usize) -> Self {
+        Self::from_fn(n, |_| 0.0)
+    }
+
+    /// Leaf cost given by `f` over the chosen item sequence.
+    pub fn from_fn(n: usize, f: impl Fn(&[usize]) -> f64 + Send + Sync + 'static) -> Self {
+        PermutationProblem {
+            remaining: (0..n).collect(),
+            prefix: Vec::with_capacity(n),
+            cost: Arc::new(f),
+            prefix_bound: false,
+        }
+    }
+
+    /// Enables [`SearchProblem::prune_bound`] = the cost function applied
+    /// to the current prefix.  Only sound when the cost is monotone
+    /// non-decreasing under prefix extension.
+    pub fn with_prefix_bound(mut self) -> Self {
+        self.prefix_bound = true;
+        self
+    }
+
+    /// The items chosen so far, root to cursor.
+    pub fn prefix(&self) -> &[usize] {
+        &self.prefix
+    }
+}
+
+impl SearchProblem for PermutationProblem {
+    type Branch = usize;
+    type Cost = f64;
+
+    fn branches(&self, out: &mut Vec<usize>) {
+        out.extend_from_slice(&self.remaining);
+    }
+
+    fn descend(&mut self, branch: usize) {
+        let pos = self
+            .remaining
+            .binary_search(&branch)
+            .unwrap_or_else(|_| panic!("branch {branch} not available"));
+        self.remaining.remove(pos);
+        self.prefix.push(branch);
+    }
+
+    fn ascend(&mut self) {
+        let item = self.prefix.pop().expect("ascend above root");
+        let pos = self
+            .remaining
+            .binary_search(&item)
+            .expect_err("item was removed");
+        self.remaining.insert(pos, item);
+    }
+
+    fn leaf_cost(&self) -> f64 {
+        (self.cost)(&self.prefix)
+    }
+
+    fn prune_bound(&self) -> Option<f64> {
+        self.prefix_bound.then(|| (self.cost)(&self.prefix))
+    }
+
+    fn branch_count(&self) -> usize {
+        self.remaining.len()
+    }
+
+    fn heuristic_branch(&self) -> Option<usize> {
+        self.remaining.first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dds, dfs, lds, SearchConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn descend_ascend_round_trips() {
+        let mut p = PermutationProblem::constant(4);
+        p.descend(2);
+        p.descend(0);
+        assert_eq!(p.prefix(), &[2, 0]);
+        let mut out = Vec::new();
+        p.branches(&mut out);
+        assert_eq!(out, vec![1, 3]);
+        p.ascend();
+        p.ascend();
+        let mut out = Vec::new();
+        p.branches(&mut out);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    proptest! {
+        /// LDS and DDS visit exactly the same leaf set as exhaustive DFS
+        /// (all n! permutations), each exactly once, for any size and any
+        /// cost landscape.
+        #[test]
+        fn discrepancy_searches_are_complete_and_duplicate_free(
+            n in 0usize..6,
+            salt in 0u64..1000,
+        ) {
+            let mk = || PermutationProblem::from_fn(n, move |perm| {
+                perm.iter().enumerate()
+                    .map(|(i, &x)| ((x as u64 + 1) * (i as u64 + salt + 1)) as f64)
+                    .sum()
+            });
+            let cfg = SearchConfig { record_leaves: true, ..Default::default() };
+            let d = dfs(&mut mk(), cfg);
+            let l = lds(&mut mk(), cfg);
+            let w = dds(&mut mk(), cfg);
+
+            let canonical = |mut v: Vec<Vec<usize>>| { v.sort(); v };
+            let base = canonical(d.leaves.clone());
+            prop_assert_eq!(base.len(), (1..=n.max(1)).product::<usize>());
+            prop_assert_eq!(&canonical(l.leaves.clone()), &base);
+            prop_assert_eq!(&canonical(w.leaves.clone()), &base);
+
+            // All three find the same optimal cost.
+            let opt = d.best.expect("dfs best").0;
+            prop_assert_eq!(l.best.expect("lds best").0, opt);
+            prop_assert_eq!(w.best.expect("dds best").0, opt);
+        }
+
+        /// Under any node budget the algorithms never exceed it and the
+        /// incumbent cost is monotone in the budget.
+        #[test]
+        fn budgets_are_hard_and_anytime_quality_is_monotone(
+            seed in 0u64..500,
+            budget in 1u64..200,
+        ) {
+            let mk = || PermutationProblem::from_fn(5, move |perm| {
+                perm.iter().enumerate()
+                    .map(|(i, &x)| ((x as u64 ^ seed) % 17 * (i as u64 + 1)) as f64)
+                    .sum()
+            });
+            for run in [lds, dds, dfs] {
+                let small = run(&mut mk(), SearchConfig::with_limit(budget));
+                let large = run(&mut mk(), SearchConfig::with_limit(budget * 2));
+                prop_assert!(small.stats.nodes <= budget);
+                if let (Some(s), Some(l)) = (small.best_cost(), large.best_cost()) {
+                    prop_assert!(l <= s, "more budget must not worsen the incumbent");
+                }
+            }
+        }
+    }
+}

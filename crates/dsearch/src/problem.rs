@@ -1,0 +1,250 @@
+//! The search-problem abstraction and shared driver plumbing.
+
+/// A mutable cursor over an ordered branching tree.
+///
+/// The driver walks the tree by calling [`branches`](Self::branches) to
+/// enumerate the children of the current node (ordered by the branching
+/// heuristic, best first), [`descend`](Self::descend) to move into a
+/// child and [`ascend`](Self::ascend) to move back up.  `descend` and
+/// `ascend` calls are always properly nested; after a full search the
+/// cursor is back at the root.
+///
+/// By the discrepancy-search convention, taking the **first** branch
+/// follows the heuristic and taking any other branch is a *discrepancy*.
+pub trait SearchProblem {
+    /// A branch choice (e.g. "place job 7 next").  Copied freely.
+    type Branch: Copy;
+    /// Leaf cost; **smaller is better**.  Typically a lexicographic
+    /// tuple, hence `PartialOrd` rather than `Ord`.
+    type Cost: Clone + PartialOrd;
+
+    /// Fills `out` with the branches of the current node in heuristic
+    /// order (clearing it first is the implementor's job is NOT required:
+    /// the driver clears it).  Leaving `out` empty marks the node a leaf.
+    fn branches(&self, out: &mut Vec<Self::Branch>);
+
+    /// Moves the cursor into the child reached by `branch`.
+    fn descend(&mut self, branch: Self::Branch);
+
+    /// Moves the cursor back to the parent.
+    fn ascend(&mut self);
+
+    /// Cost of the current node; only called at leaves.
+    fn leaf_cost(&self) -> Self::Cost;
+
+    /// Maximum number of discrepancies obtainable strictly below a child
+    /// of the current node, given the current node has `m` branches.
+    ///
+    /// LDS uses this for feasibility pruning so each iteration visits
+    /// exactly the leaves with its discrepancy count and no dead ends.
+    /// The default is the permutation-tree value: below a child the
+    /// branch counts are `m-1, m-2, ..., 1`, so `m - 2` decisions still
+    /// offer a discrepancy.  Trees of a different shape should override
+    /// this; a safe over-estimate keeps LDS complete but lets it revisit
+    /// leaves (inflating node counts).
+    fn max_discrepancies_below_child(&self, m: usize) -> usize {
+        m.saturating_sub(2)
+    }
+
+    /// Optional lower bound on the cost of every leaf below the current
+    /// node, for branch-and-bound pruning ([`SearchConfig::prune`]).
+    /// `None` (the default) disables pruning at this node.
+    fn prune_bound(&self) -> Option<Self::Cost> {
+        None
+    }
+
+    /// Number of branches at the current node, without materializing
+    /// them.  The drivers use this together with
+    /// [`heuristic_branch`](Self::heuristic_branch) on heuristic-only
+    /// descents (the overwhelming majority of visited nodes in LDS/DDS),
+    /// so an `O(1)` override here turns per-node cost from `O(queue)` to
+    /// `O(1)`.  The default materializes the branch list.
+    fn branch_count(&self) -> usize {
+        let mut buf = Vec::new();
+        self.branches(&mut buf);
+        buf.len()
+    }
+
+    /// The first (heuristic) branch of the current node, or `None` at a
+    /// leaf.  See [`branch_count`](Self::branch_count) for why overriding
+    /// this matters.
+    fn heuristic_branch(&self) -> Option<Self::Branch> {
+        let mut buf = Vec::new();
+        self.branches(&mut buf);
+        buf.first().copied()
+    }
+}
+
+/// Driver configuration shared by all algorithms.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchConfig {
+    /// Maximum number of tree nodes to visit (the paper's `L`); each
+    /// `descend` counts as one node.  `None` = unbounded.
+    pub node_limit: Option<u64>,
+    /// Record the branch path of every evaluated leaf in
+    /// [`SearchOutcome::leaves`] (used by tests and the Figure 1
+    /// harness; keep off in production — it allocates per leaf).
+    pub record_leaves: bool,
+    /// Enable branch-and-bound pruning via
+    /// [`SearchProblem::prune_bound`].
+    pub prune: bool,
+}
+
+impl SearchConfig {
+    /// Convenience: a config with the given node limit.
+    pub fn with_limit(limit: u64) -> Self {
+        SearchConfig {
+            node_limit: Some(limit),
+            ..Default::default()
+        }
+    }
+}
+
+/// Counters describing a finished search.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Tree nodes visited (`descend` calls), the paper's budget unit.
+    pub nodes: u64,
+    /// Leaves evaluated.
+    pub leaves: u64,
+    /// Iterations fully completed (iteration 0 counts once finished).
+    pub iterations: u32,
+    /// The search space was fully explored (the algorithm ran out of
+    /// iterations before running out of budget).
+    pub exhausted: bool,
+    /// The node budget was hit.
+    pub budget_hit: bool,
+    /// Subtrees pruned by branch-and-bound.
+    pub pruned: u64,
+}
+
+/// Result of a search: the best leaf found (cost and root-to-leaf branch
+/// path) plus statistics.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<B, C> {
+    /// Best (lowest-cost) leaf found, if any leaf was reached.
+    pub best: Option<(C, Vec<B>)>,
+    /// Execution counters.
+    pub stats: SearchStats,
+    /// Paths of all evaluated leaves in visit order, when
+    /// [`SearchConfig::record_leaves`] was set.
+    pub leaves: Vec<Vec<B>>,
+}
+
+impl<B, C> SearchOutcome<B, C> {
+    pub(crate) fn new() -> Self {
+        SearchOutcome {
+            best: None,
+            stats: SearchStats::default(),
+            leaves: Vec::new(),
+        }
+    }
+
+    /// The cost of the best leaf, if any.
+    pub fn best_cost(&self) -> Option<&C> {
+        self.best.as_ref().map(|(c, _)| c)
+    }
+}
+
+/// Internal driver state shared by the algorithms.
+pub(crate) struct Driver<'a, P: SearchProblem> {
+    pub problem: &'a mut P,
+    pub cfg: SearchConfig,
+    pub outcome: SearchOutcome<P::Branch, P::Cost>,
+    pub path: Vec<P::Branch>,
+    /// Scratch buffers for branch lists, one per depth, reused across the
+    /// whole search to avoid per-node allocation.
+    scratch: Vec<Vec<P::Branch>>,
+}
+
+/// Signal that the node budget was exhausted; unwinds the recursion.
+pub(crate) struct BudgetExhausted;
+
+impl<'a, P: SearchProblem> Driver<'a, P> {
+    pub fn new(problem: &'a mut P, cfg: SearchConfig) -> Self {
+        Driver {
+            problem,
+            cfg,
+            outcome: SearchOutcome::new(),
+            path: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Takes the scratch branch buffer for the current depth, filled by
+    /// the problem.  Returned via [`Self::put_branches`].
+    pub fn take_branches(&mut self) -> Vec<P::Branch> {
+        let mut buf = if self.scratch.is_empty() {
+            Vec::new()
+        } else {
+            self.scratch.pop().expect("checked non-empty")
+        };
+        buf.clear();
+        self.problem.branches(&mut buf);
+        buf
+    }
+
+    /// Returns a scratch buffer after use.
+    pub fn put_branches(&mut self, buf: Vec<P::Branch>) {
+        self.scratch.push(buf);
+    }
+
+    /// Moves into `branch`, spending one node of budget.
+    pub fn descend(&mut self, branch: P::Branch) -> Result<(), BudgetExhausted> {
+        if let Some(limit) = self.cfg.node_limit {
+            if self.outcome.stats.nodes >= limit {
+                self.outcome.stats.budget_hit = true;
+                return Err(BudgetExhausted);
+            }
+        }
+        self.outcome.stats.nodes += 1;
+        self.problem.descend(branch);
+        self.path.push(branch);
+        Ok(())
+    }
+
+    /// Moves back to the parent.
+    pub fn ascend(&mut self) {
+        self.problem.ascend();
+        self.path.pop();
+    }
+
+    /// Evaluates the current leaf, updating the incumbent.
+    pub fn visit_leaf(&mut self) {
+        self.outcome.stats.leaves += 1;
+        let cost = self.problem.leaf_cost();
+        if self.cfg.record_leaves {
+            self.outcome.leaves.push(self.path.clone());
+        }
+        let better = match &self.outcome.best {
+            None => true,
+            Some((best, _)) => cost < *best,
+        };
+        if better {
+            self.outcome.best = Some((cost, self.path.clone()));
+        }
+    }
+
+    /// Branch-and-bound check: `true` if the subtree under the cursor
+    /// cannot beat the incumbent and should be skipped.
+    pub fn should_prune(&mut self) -> bool {
+        if !self.cfg.prune {
+            return false;
+        }
+        let (Some(bound), Some((best, _))) = (self.problem.prune_bound(), &self.outcome.best)
+        else {
+            return false;
+        };
+        if bound >= *best {
+            self.outcome.stats.pruned += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn finish(self) -> SearchOutcome<P::Branch, P::Cost> {
+        debug_assert!(self.path.is_empty(), "driver did not return to root");
+        self.outcome
+    }
+}

@@ -1,0 +1,97 @@
+//! Closed-form size of the job-ordering search tree (Figure 1(d)).
+//!
+//! For `n` waiting jobs the tree has `n!` root-to-leaf paths and
+//! `sum_{k=1..n} n!/(n-k)!` nodes (excluding the root, matching the
+//! paper's count of 64 nodes for 4 jobs).  The paper uses these numbers
+//! to argue that node limits of 1K-100K cover only a tiny fraction of
+//! the tree once ten or more jobs are waiting.
+
+/// `n!` as a `u128`, or `None` on overflow (`n > 34`).
+pub fn num_paths(n: u32) -> Option<u128> {
+    let mut acc: u128 = 1;
+    for k in 2..=n as u128 {
+        acc = acc.checked_mul(k)?;
+    }
+    Some(acc)
+}
+
+/// Number of tree nodes excluding the root: `sum_{k=1..n} n!/(n-k)!`
+/// (the number of non-empty ordered prefixes of `n` distinct jobs).
+pub fn num_nodes(n: u32) -> Option<u128> {
+    let mut total: u128 = 0;
+    let mut prefix: u128 = 1; // n! / (n-k)! built incrementally
+    for k in 0..n as u128 {
+        prefix = prefix.checked_mul(n as u128 - k)?;
+        total = total.checked_add(prefix)?;
+    }
+    Some(total)
+}
+
+/// Fraction of the tree's nodes covered by a budget of `limit` nodes.
+pub fn coverage(n: u32, limit: u64) -> f64 {
+    match num_nodes(n) {
+        Some(nodes) if nodes > 0 => (limit as f64 / nodes as f64).min(1.0),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1d_values() {
+        // The sizes the paper tabulates for n = 4, 8, 10, 15.
+        assert_eq!(num_paths(4), Some(24));
+        assert_eq!(num_nodes(4), Some(64));
+        assert_eq!(num_paths(8), Some(40_320));
+        assert_eq!(num_nodes(8), Some(109_600));
+        assert_eq!(num_paths(10), Some(3_628_800));
+        assert_eq!(num_nodes(10), Some(9_864_100));
+        assert_eq!(num_paths(15), Some(1_307_674_368_000));
+        assert_eq!(num_nodes(15), Some(3_554_627_472_075));
+    }
+
+    #[test]
+    fn node_count_matches_brute_force_enumeration() {
+        use crate::permutation::PermutationProblem;
+        use crate::{dfs, SearchConfig};
+        for n in 0..=6u32 {
+            let mut p = PermutationProblem::constant(n as usize);
+            let out = dfs(&mut p, SearchConfig::default());
+            assert_eq!(
+                u128::from(out.stats.nodes),
+                num_nodes(n).expect("small"),
+                "n={n}"
+            );
+            assert_eq!(
+                u128::from(out.stats.leaves),
+                num_paths(n).expect("small"),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_coverage_claims() {
+        // "In a tree of 10 waiting jobs ... L = 1K covers only 0.01% and
+        // even L = 100K covers only 1% of the nodes."
+        assert!((coverage(10, 1_000) - 0.000_1).abs() < 2e-5);
+        assert!((coverage(10, 100_000) - 0.01).abs() < 2e-3);
+    }
+
+    #[test]
+    fn overflow_is_signalled() {
+        assert!(num_paths(34).is_some());
+        assert!(num_paths(35).is_none());
+        assert!(num_nodes(40).is_none());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(num_paths(0), Some(1));
+        assert_eq!(num_nodes(0), Some(0));
+        assert_eq!(num_paths(1), Some(1));
+        assert_eq!(num_nodes(1), Some(1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-user statistics and fairness indices.
+//!
+//! Companions to the fairshare objective extension (the paper's
+//! Section 7 future work): who waited, how unevenly, and how usage is
+//! distributed across users.
+
+use sbs_sim::JobRecord;
+use sbs_workload::time::to_hours;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Aggregate statistics for one user.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserStats {
+    /// User id.
+    pub user: u32,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Mean wait in hours.
+    pub avg_wait_h: f64,
+    /// Maximum wait in hours.
+    pub max_wait_h: f64,
+    /// Mean bounded slowdown.
+    pub avg_bounded_slowdown: f64,
+    /// Share of the total processor demand (`sum N x T`) consumed.
+    pub demand_share: f64,
+}
+
+/// Per-user statistics, sorted by descending demand share.
+pub fn per_user<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> Vec<UserStats> {
+    struct Acc {
+        jobs: usize,
+        wait_sum: u128,
+        wait_max: u64,
+        bsld_sum: f64,
+        demand: u128,
+    }
+    let mut by_user: HashMap<u32, Acc> = HashMap::new();
+    let mut total_demand: u128 = 0;
+    // User ids live on the workload's `Job`; records carry nodes/runtime
+    // but not the user, so we key on what records carry... they do not
+    // carry the user — see `JobRecord::user` below.
+    for r in records {
+        let acc = by_user.entry(r.user).or_insert(Acc {
+            jobs: 0,
+            wait_sum: 0,
+            wait_max: 0,
+            bsld_sum: 0.0,
+            demand: 0,
+        });
+        acc.jobs += 1;
+        acc.wait_sum += r.wait() as u128;
+        acc.wait_max = acc.wait_max.max(r.wait());
+        acc.bsld_sum += r.bounded_slowdown();
+        let d = r.nodes as u128 * r.runtime as u128;
+        acc.demand += d;
+        total_demand += d;
+    }
+    let mut out: Vec<UserStats> = by_user
+        .into_iter()
+        .map(|(user, a)| UserStats {
+            user,
+            jobs: a.jobs,
+            avg_wait_h: a.wait_sum as f64 / a.jobs as f64 / 3_600.0,
+            max_wait_h: to_hours(a.wait_max),
+            avg_bounded_slowdown: a.bsld_sum / a.jobs as f64,
+            demand_share: if total_demand > 0 {
+                a.demand as f64 / total_demand as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.demand_share
+            .partial_cmp(&a.demand_share)
+            .expect("finite shares")
+            .then(a.user.cmp(&b.user))
+    });
+    out
+}
+
+/// Per-user demand shares keyed by user id (input for
+/// `FairshareObjective::from_usage_shares`).
+pub fn usage_shares<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> HashMap<u32, f64> {
+    per_user(records)
+        .into_iter()
+        .map(|u| (u.user, u.demand_share))
+        .collect()
+}
+
+/// Jain's fairness index over a set of non-negative values:
+/// `(sum x)^2 / (n * sum x^2)`.  1 = perfectly even, `1/n` = maximally
+/// concentrated.  Returns 1 for empty or all-zero input.
+pub fn jain_index(values: &[f64]) -> f64 {
+    debug_assert!(
+        values.iter().all(|v| *v >= 0.0),
+        "values must be non-negative"
+    );
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|v| v * v).sum();
+    if sq == 0.0 || values.is_empty() {
+        return 1.0;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+/// Jain's index over per-user average bounded slowdowns — the headline
+/// fairness number the fairshare ablation reports (higher = service
+/// quality spread more evenly across users).
+pub fn slowdown_fairness<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> f64 {
+    let users = per_user(records);
+    let values: Vec<f64> = users.iter().map(|u| u.avg_bounded_slowdown).collect();
+    jain_index(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_workload::job::JobId;
+    use sbs_workload::time::{Time, HOUR};
+
+    fn record(id: u32, user: u32, nodes: u32, runtime: Time, wait: Time) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            submit: 0,
+            start: wait,
+            end: wait + runtime,
+            nodes,
+            runtime,
+            requested: runtime,
+            r_star: runtime,
+            user,
+            in_window: true,
+        }
+    }
+
+    #[test]
+    fn per_user_aggregates_and_orders_by_demand() {
+        let rs = [
+            record(0, 1, 8, 2 * HOUR, HOUR),
+            record(1, 1, 8, 2 * HOUR, 3 * HOUR),
+            record(2, 2, 1, HOUR, 0),
+        ];
+        let users = per_user(&rs);
+        assert_eq!(users.len(), 2);
+        assert_eq!(users[0].user, 1, "heavy user first");
+        assert_eq!(users[0].jobs, 2);
+        assert!((users[0].avg_wait_h - 2.0).abs() < 1e-12);
+        assert_eq!(users[0].max_wait_h, 3.0);
+        assert!((users[0].demand_share - 32.0 / 33.0).abs() < 1e-12);
+        assert!((users[1].demand_share - 1.0 / 33.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[5.0, 5.0, 5.0]), 1.0);
+        let concentrated = jain_index(&[10.0, 0.0, 0.0, 0.0]);
+        assert!((concentrated - 0.25).abs() < 1e-12, "1/n for one-hot");
+        let mid = jain_index(&[1.0, 2.0, 3.0]);
+        assert!(mid > 0.25 && mid < 1.0);
+    }
+
+    #[test]
+    fn usage_shares_sum_to_one() {
+        let rs: Vec<JobRecord> = (0..10)
+            .map(|i| record(i, i % 3, 1 + i % 4, HOUR, 0))
+            .collect();
+        let shares = usage_shares(&rs);
+        let total: f64 = shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(shares.len(), 3);
+    }
+
+    #[test]
+    fn slowdown_fairness_penalizes_starving_one_user() {
+        let even = [record(0, 1, 1, HOUR, HOUR), record(1, 2, 1, HOUR, HOUR)];
+        let skewed = [record(0, 1, 1, HOUR, 0), record(1, 2, 1, HOUR, 20 * HOUR)];
+        assert!(slowdown_fairness(&even) > slowdown_fairness(&skewed));
+    }
+}

@@ -1,0 +1,181 @@
+//! Machine state: which jobs run where (well, *how many* nodes — the
+//! machine is a homogeneous pool, so no placement is modelled, exactly
+//! as in the paper).
+
+use crate::avail::AvailabilityProfile;
+use sbs_workload::job::{Job, JobId};
+use sbs_workload::time::Time;
+
+/// A job currently executing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningJob {
+    /// The job itself.
+    pub job: Job,
+    /// When it started.
+    pub start: Time,
+    /// When the *scheduler* expects it to end (`start + R*`).  The actual
+    /// end is `start + job.runtime`, which is never later than this when
+    /// `R* = R >= T`, and equal when `R* = T`.
+    pub pred_end: Time,
+}
+
+impl RunningJob {
+    /// Actual completion time.
+    pub fn end(&self) -> Time {
+        self.start + self.job.runtime
+    }
+}
+
+/// The space-shared machine: a counter of free nodes plus the running
+/// set.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    capacity: u32,
+    free: u32,
+    running: Vec<RunningJob>,
+    /// Busy node-seconds accumulated so far (for utilization reporting).
+    busy_node_seconds: u64,
+    last_advance: Time,
+}
+
+impl Cluster {
+    /// An empty machine of `capacity` nodes at time 0.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity > 0);
+        Cluster {
+            capacity,
+            free: capacity,
+            running: Vec::new(),
+            busy_node_seconds: 0,
+            last_advance: 0,
+        }
+    }
+
+    /// Machine size.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Currently free nodes.
+    pub fn free_nodes(&self) -> u32 {
+        self.free
+    }
+
+    /// The running set, in start order.
+    pub fn running(&self) -> &[RunningJob] {
+        &self.running
+    }
+
+    /// Accounts busy node-time up to `now` (called by the engine before
+    /// any state change).
+    pub fn advance_to(&mut self, now: Time) {
+        debug_assert!(now >= self.last_advance, "time went backwards");
+        let busy = (self.capacity - self.free) as u64;
+        self.busy_node_seconds += busy * (now - self.last_advance);
+        self.last_advance = now;
+    }
+
+    /// Busy node-seconds accumulated up to the last `advance_to`.
+    pub fn busy_node_seconds(&self) -> u64 {
+        self.busy_node_seconds
+    }
+
+    /// Starts `job` at `now` with predicted runtime `r_star`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job does not fit — the engine validates policy
+    /// decisions with this.
+    pub fn start(&mut self, job: Job, now: Time, r_star: Time) {
+        assert!(
+            job.nodes <= self.free,
+            "policy over-committed: {} needs {} nodes, {} free",
+            job.id,
+            job.nodes,
+            self.free
+        );
+        self.free -= job.nodes;
+        self.running.push(RunningJob {
+            job,
+            start: now,
+            pred_end: now + r_star,
+        });
+    }
+
+    /// Removes a finished job and frees its nodes, returning its record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not running.
+    pub fn finish(&mut self, id: JobId) -> RunningJob {
+        let idx = self
+            .running
+            .iter()
+            .position(|r| r.job.id == id)
+            .unwrap_or_else(|| panic!("{id} is not running"));
+        let r = self.running.swap_remove(idx);
+        self.free += r.job.nodes;
+        r
+    }
+
+    /// The availability profile at `now`, from the scheduler's predicted
+    /// completion times.
+    pub fn profile(&self, now: Time) -> AvailabilityProfile {
+        AvailabilityProfile::from_running(
+            now,
+            self.capacity,
+            self.running.iter().map(|r| (r.pred_end, r.job.nodes)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_workload::time::HOUR;
+
+    fn job(id: u32, nodes: u32, runtime: Time) -> Job {
+        Job::new(JobId(id), 0, nodes, runtime, runtime)
+    }
+
+    #[test]
+    fn start_and_finish_track_free_nodes() {
+        let mut c = Cluster::new(8);
+        c.start(job(1, 5, HOUR), 100, HOUR);
+        assert_eq!(c.free_nodes(), 3);
+        c.start(job(2, 3, HOUR), 100, 2 * HOUR);
+        assert_eq!(c.free_nodes(), 0);
+        let r = c.finish(JobId(1));
+        assert_eq!(r.end(), 100 + HOUR);
+        assert_eq!(c.free_nodes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn over_commit_is_a_policy_bug() {
+        let mut c = Cluster::new(4);
+        c.start(job(1, 3, HOUR), 0, HOUR);
+        c.start(job(2, 2, HOUR), 0, HOUR);
+    }
+
+    #[test]
+    fn profile_reflects_predictions_not_actuals() {
+        let mut c = Cluster::new(8);
+        // Actual runtime 1 h but predicted 2 h (R* = R mode).
+        c.start(job(1, 8, HOUR), 0, 2 * HOUR);
+        let p = c.profile(0);
+        assert_eq!(p.earliest_start(1, 10, 0), 2 * HOUR);
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut c = Cluster::new(10);
+        c.advance_to(0);
+        c.start(job(1, 10, 100), 0, 100);
+        c.advance_to(100);
+        assert_eq!(c.busy_node_seconds(), 1000);
+        c.finish(JobId(1));
+        c.advance_to(200);
+        assert_eq!(c.busy_node_seconds(), 1000);
+    }
+}

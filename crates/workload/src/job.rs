@@ -1,0 +1,175 @@
+//! The job model.
+//!
+//! On the systems studied by the paper, each job is submitted with a
+//! required number of *nodes* (a node is the smallest allocation unit) and
+//! a requested runtime; the trace additionally records the actual runtime.
+//! Jobs are rigid (the node count never changes) and non-preemptible.
+
+use crate::time::{Time, MINUTE};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a job, unique within one [`crate::Workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A rigid, non-preemptible parallel job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique identifier within the workload.
+    pub id: JobId,
+    /// Submission (arrival) time.
+    pub submit: Time,
+    /// Requested number of nodes, `N` in the paper (1..=capacity).
+    pub nodes: u32,
+    /// Actual runtime, `T` in the paper.  Strictly positive.
+    pub runtime: Time,
+    /// User-requested runtime, `R` in the paper.  Always `>= runtime` (the
+    /// system kills jobs that exceed their request) and within the system
+    /// runtime limit at submission time.
+    pub requested: Time,
+    /// Submitting user (0 = unknown).  Not used by the paper's policies;
+    /// carried for the fairshare-objective extension and SWF round-trips.
+    pub user: u32,
+}
+
+impl Job {
+    /// Creates a job, checking the basic trace invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes == 0`, `runtime == 0` or `requested < runtime` —
+    /// such records cannot occur in a valid trace.
+    pub fn new(id: JobId, submit: Time, nodes: u32, runtime: Time, requested: Time) -> Self {
+        assert!(nodes > 0, "{id}: zero nodes");
+        assert!(runtime > 0, "{id}: zero runtime");
+        assert!(
+            requested >= runtime,
+            "{id}: requested runtime {requested} below actual {runtime}"
+        );
+        Self {
+            id,
+            submit,
+            nodes,
+            runtime,
+            requested,
+            user: 0,
+        }
+    }
+
+    /// Sets the submitting user (builder style).
+    pub fn with_user(mut self, user: u32) -> Self {
+        self.user = user;
+        self
+    }
+
+    /// Processor-time demand of the job in node-seconds (`N * T`).
+    pub fn demand(&self) -> u64 {
+        self.nodes as u64 * self.runtime
+    }
+
+    /// The runtime the *scheduler* believes this job has, under the given
+    /// knowledge mode (`R* = T` or `R* = R` in the paper's notation).
+    pub fn r_star(&self, knowledge: RuntimeKnowledge) -> Time {
+        match knowledge {
+            RuntimeKnowledge::Actual => self.runtime,
+            RuntimeKnowledge::Requested => self.requested,
+        }
+    }
+
+    /// The paper's *bounded slowdown* of this job for a given wait time:
+    /// `(wait + max(T, 1min)) / max(T, 1min)`.
+    ///
+    /// Very short jobs are treated as one-minute jobs so they do not
+    /// dominate average slowdown ("the bounded slowdown of jobs under
+    /// 1 min. is 1 + wait time in minutes", Section 4).
+    pub fn bounded_slowdown(&self, wait: Time) -> f64 {
+        bounded_slowdown(wait, self.runtime)
+    }
+}
+
+/// Bounded slowdown for a `(wait, runtime)` pair; see
+/// [`Job::bounded_slowdown`].
+pub fn bounded_slowdown(wait: Time, runtime: Time) -> f64 {
+    let t = runtime.max(MINUTE) as f64;
+    (wait as f64 + t) / t
+}
+
+/// Which runtime the scheduler uses for its decisions — the paper's `R*`.
+///
+/// Most of the paper's results use the actual runtime (`R* = T`) to expose
+/// the full potential of the policies; Section 6.4 re-runs the comparison
+/// with the (inaccurate) user-requested runtimes (`R* = R`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKnowledge {
+    /// Scheduler knows actual runtimes (`R* = T`).
+    Actual,
+    /// Scheduler sees user-requested runtimes (`R* = R`).
+    Requested,
+}
+
+impl std::fmt::Display for RuntimeKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeKnowledge::Actual => write!(f, "R*=T"),
+            RuntimeKnowledge::Requested => write!(f, "R*=R"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::HOUR;
+
+    fn job(nodes: u32, runtime: Time) -> Job {
+        Job::new(JobId(1), 0, nodes, runtime, runtime)
+    }
+
+    #[test]
+    fn demand_is_nodes_times_runtime() {
+        assert_eq!(job(16, 2 * HOUR).demand(), 16 * 2 * HOUR);
+    }
+
+    #[test]
+    fn bounded_slowdown_of_unit_wait() {
+        // A 1-hour job that waited 1 hour has slowdown 2.
+        assert_eq!(job(1, HOUR).bounded_slowdown(HOUR), 2.0);
+        // Zero wait always yields slowdown 1.
+        assert_eq!(job(4, 5 * MINUTE).bounded_slowdown(0), 1.0);
+    }
+
+    #[test]
+    fn bounded_slowdown_clamps_short_jobs_to_one_minute() {
+        // 10-second job waiting 2 minutes: treated as a 1-minute job,
+        // slowdown = 1 + wait-in-minutes = 3.
+        assert_eq!(job(1, 10).bounded_slowdown(2 * MINUTE), 3.0);
+        // Same as an exactly-1-minute job with the same wait.
+        assert_eq!(job(1, MINUTE).bounded_slowdown(2 * MINUTE), 3.0);
+    }
+
+    #[test]
+    fn user_defaults_to_unknown_and_is_settable() {
+        let j = job(1, HOUR);
+        assert_eq!(j.user, 0);
+        assert_eq!(j.with_user(42).user, 42);
+    }
+
+    #[test]
+    fn r_star_selects_knowledge_mode() {
+        let j = Job::new(JobId(7), 0, 2, HOUR, 4 * HOUR);
+        assert_eq!(j.r_star(RuntimeKnowledge::Actual), HOUR);
+        assert_eq!(j.r_star(RuntimeKnowledge::Requested), 4 * HOUR);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested runtime")]
+    fn requested_below_actual_rejected() {
+        let _ = Job::new(JobId(2), 0, 1, HOUR, HOUR - 1);
+    }
+}

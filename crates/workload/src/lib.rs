@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # sbs-workload
+//!
+//! Job and workload model for the reproduction of *"Search-based Job
+//! Scheduling for Parallel Computer Workloads"* (Vasupongayya, Chiang &
+//! Massey, IEEE Cluster 2005).
+//!
+//! The paper evaluates scheduling policies on ten monthly job traces from
+//! the NCSA IA-64 Linux cluster ("Titan", 128 dual-processor nodes) from
+//! June 2003 through March 2004.  Those traces are proprietary, so this
+//! crate provides:
+//!
+//! * the core [`Job`] model (arrival, requested nodes `N`, actual runtime
+//!   `T`, requested runtime `R`) used throughout the workspace,
+//! * per-month **workload profiles** ([`profile::MonthProfile`])
+//!   transcribed from the paper's Tables 2-4 (system capacity, runtime
+//!   limits, monthly job mix, and actual-runtime distribution),
+//! * a seeded **synthetic trace generator** ([`generator`]) that produces
+//!   workloads matching those profiles, with support for the paper's
+//!   artificial high-load (`rho = 0.9`) scaling,
+//! * a **requested-runtime model** ([`estimates`]) reproducing the
+//!   well-documented inaccuracy of user runtime estimates, and
+//! * a minimal **Standard Workload Format** reader/writer ([`swf`]) so
+//!   real traces can be replayed when available.
+//!
+//! Time is measured in whole seconds ([`time::Time`]) everywhere for exact
+//! reproducibility.
+
+pub mod estimates;
+pub mod generator;
+pub mod job;
+pub mod profile;
+pub mod stats;
+pub mod swf;
+pub mod system;
+pub mod time;
+
+pub use generator::{Workload, WorkloadBuilder};
+pub use job::{Job, JobId};
+pub use profile::{MonthProfile, NODE_RANGES};
+pub use stats::WorkloadStats;
+pub use system::{Month, SystemConfig};
+pub use time::{Time, DAY, HOUR, MINUTE, WEEK};

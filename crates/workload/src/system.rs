@@ -1,0 +1,193 @@
+//! System description: the NCSA IA-64 Linux cluster ("Titan") and the ten
+//! monthly study periods.
+//!
+//! Transcribed from the paper's Table 2:
+//!
+//! | Capacity (#nodes) | Period        | Job limit N | Job limit R |
+//! |-------------------|---------------|-------------|-------------|
+//! | 128               | 6/03 - 11/03  | 128         | 12 h        |
+//! | 128               | 12/03 - 3/04  | 128         | 24 h        |
+
+use crate::time::{Time, DAY, HOUR};
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of the simulated machine and its queue limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of nodes; a node is the smallest allocation unit.
+    pub nodes: u32,
+    /// Maximum nodes a single job may request.
+    pub max_job_nodes: u32,
+    /// Maximum requested runtime accepted by the queue.
+    pub runtime_limit: Time,
+}
+
+impl SystemConfig {
+    /// The NCSA IA-64 configuration for a given study month.
+    pub fn ncsa_ia64(month: Month) -> Self {
+        SystemConfig {
+            nodes: 128,
+            max_job_nodes: 128,
+            runtime_limit: month.runtime_limit(),
+        }
+    }
+}
+
+/// One of the ten monthly NCSA/IA-64 workloads studied by the paper
+/// (June 2003 through March 2004).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Month {
+    /// June 2003.
+    Jun03,
+    /// July 2003 (the wide-job-dominated month).
+    Jul03,
+    /// August 2003.
+    Aug03,
+    /// September 2003.
+    Sep03,
+    /// October 2003.
+    Oct03,
+    /// November 2003.
+    Nov03,
+    /// December 2003 (runtime limit raised to 24 h).
+    Dec03,
+    /// January 2004 (the long-one-node-job month).
+    Jan04,
+    /// February 2004.
+    Feb04,
+    /// March 2004.
+    Mar04,
+}
+
+impl Month {
+    /// All ten study months in chronological order.
+    pub const ALL: [Month; 10] = [
+        Month::Jun03,
+        Month::Jul03,
+        Month::Aug03,
+        Month::Sep03,
+        Month::Oct03,
+        Month::Nov03,
+        Month::Dec03,
+        Month::Jan04,
+        Month::Feb04,
+        Month::Mar04,
+    ];
+
+    /// Number of calendar days in the month (February 2004 is a leap
+    /// February).
+    pub fn days(self) -> u64 {
+        match self {
+            Month::Jun03 | Month::Sep03 | Month::Nov03 => 30,
+            Month::Feb04 => 29,
+            _ => 31,
+        }
+    }
+
+    /// Length of the month in seconds — the simulator's measurement
+    /// window.
+    pub fn seconds(self) -> Time {
+        self.days() * DAY
+    }
+
+    /// Queue runtime limit in force during the month (Table 2: raised
+    /// from 12 h to 24 h in December 2003).
+    pub fn runtime_limit(self) -> Time {
+        match self {
+            Month::Jun03
+            | Month::Jul03
+            | Month::Aug03
+            | Month::Sep03
+            | Month::Oct03
+            | Month::Nov03 => 12 * HOUR,
+            Month::Dec03 | Month::Jan04 | Month::Feb04 | Month::Mar04 => 24 * HOUR,
+        }
+    }
+
+    /// Short label used on the paper's figure axes, e.g. `"6/03"`.
+    pub fn label(self) -> &'static str {
+        match self {
+            Month::Jun03 => "6/03",
+            Month::Jul03 => "7/03",
+            Month::Aug03 => "8/03",
+            Month::Sep03 => "9/03",
+            Month::Oct03 => "10/03",
+            Month::Nov03 => "11/03",
+            Month::Dec03 => "12/03",
+            Month::Jan04 => "1/04",
+            Month::Feb04 => "2/04",
+            Month::Mar04 => "3/04",
+        }
+    }
+
+    /// Stable index 0..=9 (chronological), used for seeding and array
+    /// indexed tables.
+    pub fn index(self) -> usize {
+        Month::ALL
+            .iter()
+            .position(|m| *m == self)
+            .expect("month in ALL")
+    }
+
+    /// Parses a label such as `"6/03"` or an identifier such as `"jun03"`.
+    pub fn parse(s: &str) -> Option<Month> {
+        let lower = s.to_ascii_lowercase();
+        Month::ALL
+            .iter()
+            .copied()
+            .find(|m| m.label() == s || format!("{m:?}").to_ascii_lowercase() == lower)
+    }
+}
+
+impl std::fmt::Display for Month {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_limit_changes_in_december() {
+        assert_eq!(Month::Nov03.runtime_limit(), 12 * HOUR);
+        assert_eq!(Month::Dec03.runtime_limit(), 24 * HOUR);
+        assert_eq!(Month::Mar04.runtime_limit(), 24 * HOUR);
+    }
+
+    #[test]
+    fn month_lengths() {
+        assert_eq!(Month::Jun03.days(), 30);
+        assert_eq!(Month::Jul03.days(), 31);
+        // 2004 was a leap year.
+        assert_eq!(Month::Feb04.days(), 29);
+    }
+
+    #[test]
+    fn indices_are_chronological_and_unique() {
+        for (i, m) in Month::ALL.iter().enumerate() {
+            assert_eq!(m.index(), i);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_labels_and_names() {
+        for m in Month::ALL {
+            assert_eq!(Month::parse(m.label()), Some(m));
+            assert_eq!(Month::parse(&format!("{m:?}")), Some(m));
+        }
+        assert_eq!(Month::parse("4/04"), None);
+    }
+
+    #[test]
+    fn ncsa_config_matches_table_2() {
+        let cfg = SystemConfig::ncsa_ia64(Month::Jun03);
+        assert_eq!(cfg.nodes, 128);
+        assert_eq!(cfg.runtime_limit, 12 * HOUR);
+        assert_eq!(
+            SystemConfig::ncsa_ia64(Month::Jan04).runtime_limit,
+            24 * HOUR
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Full policy comparison on one month, including the excessive-wait
+//! family relative to FCFS-backfill — a miniature of the paper's
+//! Figure 4 for a single month.
+//!
+//! ```text
+//! cargo run --release --example compare_policies [month] [scale]
+//! ```
+//! e.g. `cargo run --release --example compare_policies 1/04 0.3`
+
+use sbs_core::experiment::{run_on, Scenario};
+use sbs_core::prelude::*;
+use sbs_metrics::table::{num, Table};
+use sbs_workload::time::to_hours;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let month = args
+        .get(1)
+        .map(|s| Month::parse(s).unwrap_or_else(|| panic!("unknown month {s:?}")))
+        .unwrap_or(Month::Oct03);
+    let scale: f64 = args
+        .get(2)
+        .map(|s| s.parse().expect("scale"))
+        .unwrap_or(0.25);
+
+    let scenario = Scenario::high_load(month).with_scale(scale).with_seed(7);
+    let workload = scenario.workload();
+    println!(
+        "month {month} at rho=0.9, scale {scale}: {} jobs, offered load {:.2}\n",
+        workload.jobs.len(),
+        workload.offered_load()
+    );
+
+    let specs = [
+        PolicySpec::FcfsBackfill,
+        PolicySpec::LxfBackfill,
+        PolicySpec::SjfBackfill,
+        PolicySpec::LxfwBackfill,
+        PolicySpec::SelectiveBackfill,
+        PolicySpec::search_dynb(SearchAlgo::Dds, Branching::Fcfs, 1_000),
+        PolicySpec::search_dynb(SearchAlgo::Lds, Branching::Lxf, 1_000),
+        PolicySpec::dds_lxf_dynb(1_000),
+    ];
+    let results: Vec<_> = specs
+        .iter()
+        .map(|s| run_on(&workload, &scenario, s))
+        .collect();
+
+    // Thresholds from FCFS-backfill, as in the paper.
+    let fcfs = &results[0];
+    let t_max = fcfs.max_wait();
+    let t_98 = fcfs.percentile_wait(98.0);
+    println!(
+        "FCFS-backfill thresholds: max wait {:.1} h, 98th pct {:.1} h\n",
+        to_hours(t_max),
+        to_hours(t_98)
+    );
+
+    let mut table = Table::new([
+        "policy",
+        "avg wait",
+        "max wait",
+        "avg bsld",
+        "E^max tot",
+        "E^max jobs",
+        "E^98% tot",
+        "avg qlen",
+    ]);
+    for r in &results {
+        let e_max = r.excess(t_max);
+        let e_98 = r.excess(t_98);
+        table.row([
+            r.policy.clone(),
+            num(r.stats.avg_wait_h, 2),
+            num(r.stats.max_wait_h, 1),
+            num(r.stats.avg_bounded_slowdown, 2),
+            num(e_max.total_h, 1),
+            e_max.jobs_with_excess.to_string(),
+            num(e_98.total_h, 1),
+            num(r.avg_queue_length, 1),
+        ]);
+    }
+    println!("{}", table.render());
+}

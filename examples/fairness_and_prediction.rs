@@ -1,0 +1,119 @@
+//! The paper's future-work extensions, live: per-user fairness and
+//! online runtime prediction.
+//!
+//! 1. Runs DDS/lxf/dynB on a high-load month and shows the per-user
+//!    service breakdown (heavy users vs light users) plus Jain's
+//!    fairness index;
+//! 2. re-runs with the fairshare-weighted objective and compares;
+//! 3. re-runs with `R*` supplied by the recent-user-average runtime
+//!    predictor instead of user requests, showing how prediction error
+//!    changes and what it does to the schedule.
+//!
+//! ```text
+//! cargo run --release --example fairness_and_prediction
+//! ```
+
+use sbs_core::prelude::*;
+use sbs_core::FairshareObjective;
+use sbs_metrics::fairness::{per_user, slowdown_fairness, usage_shares};
+use sbs_metrics::table::{num, Table};
+use sbs_metrics::timeline::utilization_panel;
+use sbs_sim::prediction::RecentUserAverage;
+use std::sync::Arc;
+
+fn main() {
+    let workload = WorkloadBuilder::month(Month::Nov03)
+        .span_scale(0.25)
+        .seed(5)
+        .target_load(0.9)
+        .build();
+    println!(
+        "November-2003-like workload: {} jobs, offered load {:.2}\n",
+        workload.jobs.len(),
+        workload.offered_load()
+    );
+
+    // --- 1. baseline + per-user breakdown -------------------------------
+    let base = simulate(
+        &workload,
+        SearchPolicy::dds_lxf_dynb(1_000),
+        SimConfig::default(),
+    );
+    let base_records: Vec<_> = base.in_window().copied().collect();
+    println!("== per-user service under {} ==\n", base.policy);
+    let mut t = Table::new(["user", "jobs", "demand %", "avg wait (h)", "avg bsld"]);
+    for u in per_user(&base_records).into_iter().take(8) {
+        t.row([
+            format!("u{}", u.user),
+            u.jobs.to_string(),
+            num(u.demand_share * 100.0, 1),
+            num(u.avg_wait_h, 2),
+            num(u.avg_bounded_slowdown, 2),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "Jain fairness over user slowdowns: {:.3}\n",
+        slowdown_fairness(&base_records)
+    );
+
+    // --- 2. fairshare-weighted objective --------------------------------
+    let shares = usage_shares(&base_records);
+    let fair_policy = SearchPolicy::dds_lxf_dynb(1_000)
+        .with_objective(Arc::new(FairshareObjective::from_usage_shares(&shares)));
+    let fair = simulate(&workload, fair_policy, SimConfig::default());
+    let fair_records: Vec<_> = fair.in_window().copied().collect();
+    println!(
+        "== fairshare objective: Jain {:.3} (was {:.3}) ==\n",
+        slowdown_fairness(&fair_records),
+        slowdown_fairness(&base_records)
+    );
+
+    // --- 3. online runtime prediction as the R* source ------------------
+    let mut table = Table::new(["R* source", "avg wait (h)", "max wait (h)", "mean |R*-T|/T"]);
+    let runs = [
+        (
+            "requested (R*=R)",
+            SimConfig {
+                knowledge: RuntimeKnowledge::Requested,
+                ..Default::default()
+            },
+        ),
+        (
+            "predicted (recent-2-avg)",
+            SimConfig {
+                knowledge: RuntimeKnowledge::Requested,
+                predictor: Some(Box::new(RecentUserAverage::default())),
+                ..Default::default()
+            },
+        ),
+        ("actual (R*=T)", SimConfig::default()),
+    ];
+    for (label, cfg) in runs {
+        let r = simulate(&workload, SearchPolicy::dds_lxf_dynb(1_000), cfg);
+        let records: Vec<_> = r.in_window().copied().collect();
+        let stats = WaitStats::over(&records);
+        let err =
+            records.iter().map(|x| x.prediction_error()).sum::<f64>() / records.len().max(1) as f64;
+        table.row([
+            label.to_string(),
+            num(stats.avg_wait_h, 2),
+            num(stats.max_wait_h, 1),
+            num(err, 2),
+        ]);
+    }
+    println!("{}", table.render());
+
+    // --- machine occupancy at a glance ----------------------------------
+    println!("== machine occupancy over the window ==\n");
+    print!(
+        "{}",
+        utilization_panel(
+            &base.policy,
+            &base_records,
+            workload.capacity,
+            workload.window,
+            64
+        )
+    );
+}

@@ -1,0 +1,67 @@
+//! Replaying a Standard Workload Format trace.
+//!
+//! Archives of real parallel workloads are distributed in SWF.  This
+//! example round-trips a generated trace through SWF text — exactly what
+//! you would do with a downloaded archive file — and schedules it.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [path/to/trace.swf]
+//! ```
+//! Without an argument, a synthetic trace is written to a temp file
+//! first and then replayed from disk.
+
+use sbs_core::prelude::*;
+use sbs_metrics::table::{num, Table};
+use sbs_workload::swf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = match args.get(1) {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            // No trace supplied: generate one and write it out, so the
+            // replay path below is identical either way.
+            let generated = WorkloadBuilder::month(Month::Sep03)
+                .span_scale(0.15)
+                .seed(11)
+                .build();
+            let path = std::env::temp_dir().join("sbs_example_trace.swf");
+            std::fs::write(&path, swf::write(&generated)).expect("write trace");
+            println!("wrote synthetic trace to {}", path.display());
+            path
+        }
+    };
+
+    let text = std::fs::read_to_string(&path).expect("read trace file");
+    let mut workload = swf::parse(&text, 128).expect("parse SWF");
+    // Measure everything after a one-day warm-up.
+    workload.window.0 += 86_400;
+    println!(
+        "replaying {} jobs from {} (offered load {:.2})\n",
+        workload.jobs.len(),
+        path.display(),
+        workload.offered_load()
+    );
+
+    let mut table = Table::new(["policy", "avg wait (h)", "max wait (h)", "avg bsld"]);
+    for policy in [
+        Box::new(fcfs_backfill()) as Box<dyn Policy>,
+        Box::new(SearchPolicy::dds_lxf_dynb(1_000)),
+    ] {
+        // Replayed traces carry user-requested runtimes: use them, as a
+        // production scheduler would (R* = R).
+        let cfg = SimConfig {
+            knowledge: RuntimeKnowledge::Requested,
+            ..Default::default()
+        };
+        let result = simulate(&workload, policy, cfg);
+        let stats = WaitStats::over(result.in_window());
+        table.row([
+            result.policy.clone(),
+            num(stats.avg_wait_h, 2),
+            num(stats.max_wait_h, 1),
+            num(stats.avg_bounded_slowdown, 2),
+        ]);
+    }
+    println!("{}", table.render());
+}
