@@ -23,6 +23,9 @@ sbs — search-based job scheduling simulator
 
 USAGE:
   sbs simulate (--month M | --trace FILE) [options]
+  sbs serve [options]     run the online scheduler daemon
+  sbs submit [options]    submit a job to a running daemon
+  sbs queue [options]     show a running daemon's queue
   sbs policies            list available policy names
   sbs months              list the study months
   sbs help                this text
@@ -40,6 +43,28 @@ OPTIONS (simulate):
   --seed N            workload RNG seed
   --timeline          print an ASCII utilization timeline
   --json              machine-readable output
+
+OPTIONS (serve):
+  --port P            TCP port (default 7070; 0 picks a free port)
+  --capacity N        machine size in nodes (default 128)
+  --policy NAME       scheduling policy (default dds-lxf-dynb)
+  --budget L          search node budget per decision (default 1000)
+  --deadline-ms D     per-decision wall-clock search deadline
+  --snapshot FILE     snapshot state to FILE (recovers from it on start)
+  --snapshot-every N  auto-snapshot every N decisions (default 16)
+  --virtual-clock     time advances only with submitted events (testing)
+
+OPTIONS (submit / queue):
+  --host H            daemon host (default 127.0.0.1)
+  --port P            daemon port (default 7070)
+  --nodes N           (submit) node count
+  --runtime S         (submit) runtime in seconds
+  --requested S       (submit) requested runtime (default: runtime)
+  --user U            (submit) submitting user id
+  --at T              (submit) explicit submit time (virtual clock only)
+
+The daemon speaks newline-delimited JSON on its port and answers plain
+HTTP `GET /metrics` probes on the same port.
 ";
 
 /// A parsed command line.
@@ -47,12 +72,65 @@ OPTIONS (simulate):
 pub enum Command {
     /// Run one simulation and report.
     Simulate(SimulateArgs),
+    /// Run the online scheduler daemon.
+    Serve(ServeArgs),
+    /// Submit a job to a running daemon.
+    Submit(SubmitArgs),
+    /// Show a running daemon's queue.
+    Queue(ConnectArgs),
     /// List policy names.
     Policies,
     /// List study months.
     Months,
     /// Print usage.
     Help,
+}
+
+/// Arguments of `sbs serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// TCP port to listen on (0 = ephemeral).
+    pub port: u16,
+    /// Machine size in nodes.
+    pub capacity: u32,
+    /// Policy name (see [`policy_by_name`]).
+    pub policy: String,
+    /// Search node budget.
+    pub budget: u64,
+    /// Per-decision wall-clock search deadline, in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Snapshot file path.
+    pub snapshot: Option<String>,
+    /// Auto-snapshot cadence in decisions.
+    pub snapshot_every: u64,
+    /// Drive time from submitted events instead of the wall clock.
+    pub virtual_clock: bool,
+}
+
+/// Connection coordinates for the client subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectArgs {
+    /// Daemon host.
+    pub host: String,
+    /// Daemon port.
+    pub port: u16,
+}
+
+/// Arguments of `sbs submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitArgs {
+    /// Where the daemon runs.
+    pub connect: ConnectArgs,
+    /// Node count.
+    pub nodes: u32,
+    /// Runtime in seconds.
+    pub runtime: u64,
+    /// Requested runtime in seconds.
+    pub requested: Option<u64>,
+    /// Submitting user id.
+    pub user: u32,
+    /// Explicit submit time (virtual-clock daemons).
+    pub at: Option<u64>,
 }
 
 /// Arguments of `sbs simulate`.
@@ -233,6 +311,129 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Simulate(parsed))
         }
+        "serve" => {
+            let mut parsed = ServeArgs {
+                port: 7070,
+                capacity: 128,
+                policy: "dds-lxf-dynb".to_string(),
+                budget: 1_000,
+                deadline_ms: None,
+                snapshot: None,
+                snapshot_every: 16,
+                virtual_clock: false,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--port" => {
+                        parsed.port = value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    "--capacity" => {
+                        parsed.capacity =
+                            value()?.parse().map_err(|_| "bad --capacity".to_string())?
+                    }
+                    "--policy" => parsed.policy = value()?,
+                    "--budget" => {
+                        parsed.budget = value()?.parse().map_err(|_| "bad --budget".to_string())?
+                    }
+                    "--deadline-ms" => {
+                        parsed.deadline_ms = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| "bad --deadline-ms".to_string())?,
+                        )
+                    }
+                    "--snapshot" => parsed.snapshot = Some(value()?),
+                    "--snapshot-every" => {
+                        parsed.snapshot_every = value()?
+                            .parse()
+                            .map_err(|_| "bad --snapshot-every".to_string())?
+                    }
+                    "--virtual-clock" => parsed.virtual_clock = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if policy_by_name(&parsed.policy, parsed.budget).is_none() {
+                return Err(format!(
+                    "unknown policy {:?} (try `sbs policies`)",
+                    parsed.policy
+                ));
+            }
+            Ok(Command::Serve(parsed))
+        }
+        "submit" => {
+            let mut connect = ConnectArgs {
+                host: "127.0.0.1".to_string(),
+                port: 7070,
+            };
+            let mut nodes: Option<u32> = None;
+            let mut runtime: Option<u64> = None;
+            let mut requested = None;
+            let mut user = 0;
+            let mut at = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--host" => connect.host = value()?,
+                    "--port" => {
+                        connect.port = value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    "--nodes" => {
+                        nodes = Some(value()?.parse().map_err(|_| "bad --nodes".to_string())?)
+                    }
+                    "--runtime" => {
+                        runtime = Some(value()?.parse().map_err(|_| "bad --runtime".to_string())?)
+                    }
+                    "--requested" => {
+                        requested = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| "bad --requested".to_string())?,
+                        )
+                    }
+                    "--user" => user = value()?.parse().map_err(|_| "bad --user".to_string())?,
+                    "--at" => at = Some(value()?.parse().map_err(|_| "bad --at".to_string())?),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Submit(SubmitArgs {
+                connect,
+                nodes: nodes.ok_or("submit needs --nodes")?,
+                runtime: runtime.ok_or("submit needs --runtime")?,
+                requested,
+                user,
+                at,
+            }))
+        }
+        "queue" => {
+            let mut connect = ConnectArgs {
+                host: "127.0.0.1".to_string(),
+                port: 7070,
+            };
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--host" => connect.host = value()?,
+                    "--port" => {
+                        connect.port = value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Queue(connect))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -262,7 +463,71 @@ pub fn run(cmd: Command) -> Result<String, String> {
             Ok(t.render())
         }
         Command::Simulate(args) => simulate_cmd(args),
+        Command::Serve(args) => serve_cmd(args),
+        Command::Submit(args) => {
+            let mut req = format!(
+                r#"{{"op":"submit","nodes":{},"runtime":{}"#,
+                args.nodes, args.runtime
+            );
+            if let Some(r) = args.requested {
+                req.push_str(&format!(r#","requested":{r}"#));
+            }
+            if args.user != 0 {
+                req.push_str(&format!(r#","user":{}"#, args.user));
+            }
+            if let Some(t) = args.at {
+                req.push_str(&format!(r#","submit":{t}"#));
+            }
+            req.push('}');
+            client_round_trip(&args.connect, &req)
+        }
+        Command::Queue(connect) => client_round_trip(&connect, r#"{"op":"queue"}"#),
     }
+}
+
+/// Sends one protocol line to a running daemon and pretty-prints the
+/// JSON it answers with.
+fn client_round_trip(connect: &ConnectArgs, request: &str) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+    let addr = format!("{}:{}", connect.host, connect.port);
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    writeln!(stream, "{request}").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| e.to_string())?;
+    let v: serde_json::Value = serde_json::from_str(response.trim())
+        .map_err(|e| format!("malformed daemon response: {e}"))?;
+    Ok(format!(
+        "{}\n",
+        serde_json::to_string_pretty(&v).expect("serialize")
+    ))
+}
+
+fn serve_cmd(args: ServeArgs) -> Result<String, String> {
+    use sbs_service::{Daemon, Server, ServiceConfig, VirtualClock, WallClock};
+    let spec = policy_by_name(&args.policy, args.budget).expect("validated by parse_args");
+    let mut cfg = ServiceConfig::new(args.capacity, spec);
+    if let Some(ms) = args.deadline_ms {
+        cfg = cfg.with_deadline(std::time::Duration::from_millis(ms));
+    }
+    if let Some(path) = args.snapshot {
+        cfg = cfg.with_snapshots(path.into(), args.snapshot_every);
+    }
+    let daemon = Daemon::new(cfg)?;
+    let origin = daemon.now();
+    let listener = std::net::TcpListener::bind(("127.0.0.1", args.port))
+        .map_err(|e| format!("cannot bind port {}: {e}", args.port))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("sbs-service: {} listening on {addr}", args.policy);
+    let server = if args.virtual_clock {
+        Server::new(daemon, VirtualClock::starting_at(origin))
+    } else {
+        Server::new(daemon, WallClock::starting_at(origin))
+    };
+    server.run(listener).map_err(|e| e.to_string())?;
+    Ok(format!("daemon on {addr} stopped\n"))
 }
 
 fn load_workload(args: &SimulateArgs) -> Result<Workload, String> {
@@ -442,6 +707,73 @@ mod tests {
                 .expect("parse");
         let out = run(cmd).expect("simulate");
         assert!(serde_json::from_str::<serde_json::Value>(&out).is_ok());
+    }
+
+    #[test]
+    fn parses_daemon_subcommands() {
+        let Command::Serve(s) =
+            parse("serve --port 0 --policy fcfs-bf --capacity 64 --virtual-clock --deadline-ms 50")
+                .expect("parse")
+        else {
+            panic!("not serve")
+        };
+        assert_eq!(s.port, 0);
+        assert_eq!(s.capacity, 64);
+        assert!(s.virtual_clock);
+        assert_eq!(s.deadline_ms, Some(50));
+
+        let Command::Submit(a) =
+            parse("submit --port 9999 --nodes 4 --runtime 3600 --user 2 --at 100").expect("parse")
+        else {
+            panic!("not submit")
+        };
+        assert_eq!(a.connect.port, 9999);
+        assert_eq!((a.nodes, a.runtime, a.user, a.at), (4, 3600, 2, Some(100)));
+
+        assert!(parse("submit --runtime 60").is_err(), "--nodes required");
+        assert!(parse("serve --policy nope").is_err());
+        let Command::Queue(c) = parse("queue --host 10.0.0.1").expect("parse") else {
+            panic!("not queue")
+        };
+        assert_eq!(c.host, "10.0.0.1");
+    }
+
+    #[test]
+    fn submit_and_queue_round_trip_against_a_live_daemon() {
+        use sbs_service::{Daemon, Server, ServiceConfig, VirtualClock};
+        let spec = policy_by_name("fcfs-bf", 100).expect("known policy");
+        let daemon = Daemon::fresh(ServiceConfig::new(8, spec));
+        let server = Server::new(daemon, VirtualClock::default());
+        let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+        let port = listener.local_addr().expect("addr").port();
+        let stop = server.shutdown_flag();
+        let handle = std::thread::spawn(move || server.run(listener));
+
+        let connect = ConnectArgs {
+            host: "127.0.0.1".to_string(),
+            port,
+        };
+        let out = run(Command::Submit(SubmitArgs {
+            connect: connect.clone(),
+            nodes: 4,
+            runtime: 3600,
+            requested: None,
+            user: 1,
+            at: Some(10),
+        }))
+        .expect("submit");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("json");
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["id"].as_u64(), Some(0));
+        assert_eq!(v["started"], true);
+
+        let out = run(Command::Queue(connect)).expect("queue");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("json");
+        assert_eq!(v["now"].as_u64(), Some(10));
+        assert_eq!(v["running"].as_array().map(Vec::len), Some(1));
+
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        handle.join().expect("join").expect("server exit");
     }
 
     #[test]

@@ -109,6 +109,9 @@ pub struct SearchPolicy {
     /// Fraction of `L` reserved for hill-climbing from the tree search's
     /// incumbent (the paper's complete+local future work; 0 = off).
     pub local_frac: f64,
+    /// Optional per-decision wall-clock deadline (anytime stop); used by
+    /// the online daemon where decisions must land in bounded real time.
+    pub deadline: Option<std::time::Duration>,
     objective: Arc<dyn Objective>,
     totals: SearchTotals,
 }
@@ -129,6 +132,7 @@ impl SearchPolicy {
             node_limit,
             prune: false,
             local_frac: 0.0,
+            deadline: None,
             objective: Arc::new(HierarchicalObjective),
             totals: SearchTotals::default(),
         }
@@ -165,6 +169,14 @@ impl SearchPolicy {
             "local fraction must be in [0, 1)"
         );
         self.local_frac = frac;
+        self
+    }
+
+    /// Caps each decision's search at a wall-clock deadline in addition
+    /// to the node budget — whichever is hit first ends the search, which
+    /// returns its best-so-far schedule (anytime behavior).
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -209,6 +221,7 @@ impl Policy for SearchPolicy {
             .max(1.0) as u64;
         let cfg = SearchConfig {
             node_limit: Some(tree_budget),
+            deadline: self.deadline,
             prune: self.prune,
             record_leaves: false,
         };

@@ -46,5 +46,7 @@ pub use dds::dds;
 pub use dfs::{dfs, greedy};
 pub use lds::{lds, lds_original};
 pub use local::hill_climb;
-pub use problem::{SearchConfig, SearchOutcome, SearchProblem, SearchStats};
+pub use problem::{
+    Budget, SearchConfig, SearchOutcome, SearchProblem, SearchStats, DEADLINE_CHECK_INTERVAL,
+};
 pub use random::random_sampling;

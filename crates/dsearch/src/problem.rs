@@ -75,12 +75,60 @@ pub trait SearchProblem {
     }
 }
 
+/// A per-decision search budget: a node limit, a wall-clock deadline, or
+/// both — the search stops at whichever is hit first.
+///
+/// Both algorithms are anytime, so on expiry the best leaf found so far
+/// is returned.  The node limit is the paper's `L` (deterministic,
+/// machine-independent); the deadline is the online-service extension
+/// where a decision must be produced within a real-time bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum tree nodes to visit; `None` = unbounded.
+    pub node_limit: Option<u64>,
+    /// Maximum wall-clock time to search; `None` = unbounded.  Checked
+    /// every [`DEADLINE_CHECK_INTERVAL`] nodes, so short deadlines still
+    /// admit that many nodes.
+    pub deadline: Option<std::time::Duration>,
+}
+
+impl Budget {
+    /// A budget of `limit` tree nodes (the paper's `L`).
+    pub fn nodes(limit: u64) -> Self {
+        Budget {
+            node_limit: Some(limit),
+            deadline: None,
+        }
+    }
+
+    /// No limit of any kind (exhaustive search).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Adds a wall-clock deadline; the search stops at the deadline or
+    /// the node limit, whichever comes first.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// How many `descend`s happen between wall-clock deadline checks.
+///
+/// Reading the clock per node would dominate the cost of cheap problems;
+/// at realistic node costs (micro-seconds) this granularity bounds
+/// deadline overshoot well below a millisecond.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 256;
+
 /// Driver configuration shared by all algorithms.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SearchConfig {
     /// Maximum number of tree nodes to visit (the paper's `L`); each
     /// `descend` counts as one node.  `None` = unbounded.
     pub node_limit: Option<u64>,
+    /// Optional wall-clock deadline for the whole search (anytime stop).
+    pub deadline: Option<std::time::Duration>,
     /// Record the branch path of every evaluated leaf in
     /// [`SearchOutcome::leaves`] (used by tests and the Figure 1
     /// harness; keep off in production — it allocates per leaf).
@@ -98,6 +146,21 @@ impl SearchConfig {
             ..Default::default()
         }
     }
+
+    /// A config enforcing `budget` (node limit and/or deadline).
+    pub fn with_budget(budget: Budget) -> Self {
+        SearchConfig {
+            node_limit: budget.node_limit,
+            deadline: budget.deadline,
+            ..Default::default()
+        }
+    }
+}
+
+impl From<Budget> for SearchConfig {
+    fn from(budget: Budget) -> Self {
+        SearchConfig::with_budget(budget)
+    }
 }
 
 /// Counters describing a finished search.
@@ -114,6 +177,8 @@ pub struct SearchStats {
     pub exhausted: bool,
     /// The node budget was hit.
     pub budget_hit: bool,
+    /// The wall-clock deadline expired (implies `budget_hit`).
+    pub deadline_hit: bool,
     /// Subtrees pruned by branch-and-bound.
     pub pruned: u64,
 }
@@ -155,6 +220,8 @@ pub(crate) struct Driver<'a, P: SearchProblem> {
     /// Scratch buffers for branch lists, one per depth, reused across the
     /// whole search to avoid per-node allocation.
     scratch: Vec<Vec<P::Branch>>,
+    /// Wall-clock instant at which the search must stop, if any.
+    deadline_at: Option<std::time::Instant>,
 }
 
 /// Signal that the node budget was exhausted; unwinds the recursion.
@@ -168,6 +235,7 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
             outcome: SearchOutcome::new(),
             path: Vec::new(),
             scratch: Vec::new(),
+            deadline_at: cfg.deadline.map(|d| std::time::Instant::now() + d),
         }
     }
 
@@ -194,6 +262,26 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
         if let Some(limit) = self.cfg.node_limit {
             if self.outcome.stats.nodes >= limit {
                 self.outcome.stats.budget_hit = true;
+                return Err(BudgetExhausted);
+            }
+        }
+        // Deadline checks are amortized over DEADLINE_CHECK_INTERVAL
+        // nodes so the clock read never dominates cheap problems.  The
+        // first check happens after one full interval, so even an
+        // already-expired deadline admits that many nodes — enough for
+        // the heuristic descent to reach a leaf on realistic queues,
+        // preserving the anytime guarantee.
+        if let Some(at) = self.deadline_at {
+            if self.outcome.stats.nodes > 0
+                && self
+                    .outcome
+                    .stats
+                    .nodes
+                    .is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                && std::time::Instant::now() >= at
+            {
+                self.outcome.stats.budget_hit = true;
+                self.outcome.stats.deadline_hit = true;
                 return Err(BudgetExhausted);
             }
         }

@@ -1,0 +1,91 @@
+//! Anytime wall-clock deadlines: a search stopped by its deadline must
+//! still return the best leaf found so far, and a deadline must compose
+//! with the node budget as "whichever is hit first".
+
+use sbs_dsearch::permutation::PermutationProblem;
+use sbs_dsearch::{dds, dfs, lds, Budget, SearchConfig, DEADLINE_CHECK_INTERVAL};
+use std::time::Duration;
+
+/// A 7-item permutation tree: 13 699 internal+leaf nodes, far beyond one
+/// deadline-check interval, so an expired deadline always fires.
+fn problem() -> PermutationProblem {
+    PermutationProblem::from_fn(7, |perm| {
+        perm.iter()
+            .enumerate()
+            .map(|(i, &x)| ((x * 13 + 5) % 11 * (i + 1)) as f64)
+            .sum()
+    })
+}
+
+#[test]
+fn expired_deadline_returns_best_so_far() {
+    for run in [lds, dds, dfs] {
+        let cfg = SearchConfig::with_budget(Budget::unlimited().with_deadline(Duration::ZERO));
+        let out = run(&mut problem(), cfg);
+        assert!(out.stats.deadline_hit, "deadline must be reported");
+        assert!(out.stats.budget_hit, "deadline implies budget_hit");
+        assert!(!out.stats.exhausted);
+        // The first check fires after one interval, which is enough for
+        // several complete root-to-leaf descents at depth 7 — the
+        // anytime contract: an incumbent exists on expiry.
+        assert!(out.stats.nodes <= DEADLINE_CHECK_INTERVAL);
+        assert!(out.stats.leaves > 0, "no leaf evaluated before expiry");
+        let (cost, path) = out.best.expect("best-so-far must survive expiry");
+        assert_eq!(path.len(), 7, "incumbent must be a complete leaf");
+        assert!(cost.is_finite());
+    }
+}
+
+#[test]
+fn node_limit_wins_when_deadline_is_generous() {
+    let budget = Budget::nodes(50).with_deadline(Duration::from_secs(3600));
+    let out = dds(&mut problem(), SearchConfig::with_budget(budget));
+    assert!(out.stats.budget_hit);
+    assert!(!out.stats.deadline_hit, "the node limit fired first");
+    assert!(out.stats.nodes <= 50);
+}
+
+#[test]
+fn deadline_wins_when_node_limit_is_generous() {
+    let budget = Budget::nodes(1_000_000).with_deadline(Duration::ZERO);
+    let out = dds(&mut problem(), SearchConfig::with_budget(budget));
+    assert!(out.stats.deadline_hit, "the deadline fired first");
+    assert!(out.stats.nodes <= DEADLINE_CHECK_INTERVAL);
+    assert!(out.best.is_some());
+}
+
+#[test]
+fn generous_deadline_does_not_perturb_the_search() {
+    let plain = dds(&mut problem(), SearchConfig::default());
+    let timed = dds(
+        &mut problem(),
+        SearchConfig::with_budget(Budget::unlimited().with_deadline(Duration::from_secs(3600))),
+    );
+    assert!(timed.stats.exhausted);
+    assert_eq!(timed.stats.nodes, plain.stats.nodes);
+    assert_eq!(timed.stats.leaves, plain.stats.leaves);
+    assert_eq!(timed.best, plain.best);
+}
+
+#[test]
+fn expired_incumbent_is_never_better_than_the_optimum() {
+    let full = dfs(&mut problem(), SearchConfig::default());
+    let cut = dds(
+        &mut problem(),
+        SearchConfig::with_budget(Budget::unlimited().with_deadline(Duration::ZERO)),
+    );
+    let optimum = full.best.expect("exhaustive best").0;
+    let incumbent = cut.best.expect("anytime best").0;
+    assert!(incumbent >= optimum);
+}
+
+#[test]
+fn budget_constructors_compose() {
+    let b = Budget::nodes(500).with_deadline(Duration::from_millis(50));
+    assert_eq!(b.node_limit, Some(500));
+    assert_eq!(b.deadline, Some(Duration::from_millis(50)));
+    let cfg: SearchConfig = b.into();
+    assert_eq!(cfg.node_limit, Some(500));
+    assert_eq!(cfg.deadline, Some(Duration::from_millis(50)));
+    assert_eq!(Budget::unlimited(), Budget::default());
+}

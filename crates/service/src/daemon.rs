@@ -1,0 +1,654 @@
+//! The online scheduler daemon.
+//!
+//! [`Daemon`] wraps a [`SchedulerCore`] and any [`PolicySpec`] behind the
+//! protocol of [`crate::protocol`].  It is deliberately clock-agnostic:
+//! every entry point takes the current scheduler time as an argument, so
+//! the same code runs under a wall clock (production) and a virtual
+//! clock (tests, and the daemon-vs-batch parity suite).
+//!
+//! ## Parity with the batch simulator
+//!
+//! The batch engine groups events per timestamp: all departures at `t`
+//! complete, then all arrivals at `t` join the queue, then the policy
+//! runs *once*.  The daemon reproduces exactly that grouping for its
+//! live submissions: a submission at time `t` first replays every
+//! pending departure strictly before `t` (each its own decision point),
+//! then advances to `t`, completes departures due at `t`, enqueues the
+//! job, and runs one decision.  Because both drivers execute
+//! [`SchedulerCore`] for every transition, a virtual-clock daemon fed a
+//! workload one job at a time produces byte-identical schedules to
+//! [`sbs_sim::simulate`] (see the crate's e2e tests).
+
+use crate::metrics::MetricsView;
+use crate::protocol::{error_response, Request};
+use crate::snapshot::{CompletedStats, RunningEntry, Snapshot, WaitingEntry};
+use sbs_core::{PolicySpec, SearchPolicy};
+use sbs_sim::{Policy, SchedulerCore};
+use sbs_workload::job::{Job, JobId, RuntimeKnowledge};
+use sbs_workload::time::Time;
+use serde_json::{json, Value};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Machine size in nodes.
+    pub capacity: u32,
+    /// The scheduling policy to run.
+    pub spec: PolicySpec,
+    /// Runtime-knowledge mode for deriving `R*` (paper default: actual).
+    pub knowledge: RuntimeKnowledge,
+    /// Per-decision wall-clock deadline for search policies (anytime
+    /// search); ignored by heuristic policies.
+    pub deadline: Option<Duration>,
+    /// Wait beyond this threshold counts as excessive in the metrics.
+    pub excess_threshold: Time,
+    /// Where to write snapshots; `None` disables persistence.
+    pub snapshot_path: Option<PathBuf>,
+    /// Auto-snapshot every N decision points (0 = only on demand and at
+    /// shutdown).
+    pub snapshot_every: u64,
+}
+
+impl ServiceConfig {
+    /// A config with the workspace defaults.
+    pub fn new(capacity: u32, spec: PolicySpec) -> Self {
+        ServiceConfig {
+            capacity,
+            spec,
+            knowledge: RuntimeKnowledge::Actual,
+            deadline: None,
+            excess_threshold: 0,
+            snapshot_path: None,
+            snapshot_every: 0,
+        }
+    }
+
+    /// Sets the anytime-search deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables snapshots at `path`, auto-saved every `every` decisions.
+    pub fn with_snapshots(mut self, path: PathBuf, every: u64) -> Self {
+        self.snapshot_path = Some(path);
+        self.snapshot_every = every;
+        self
+    }
+}
+
+/// The built policy, kept concrete for search so the daemon can read
+/// [`SearchPolicy::totals`] for the metrics endpoint.
+enum DaemonPolicy {
+    Search(SearchPolicy),
+    Other(Box<dyn Policy + Send>),
+}
+
+impl DaemonPolicy {
+    fn build(spec: &PolicySpec, deadline: Option<Duration>) -> Self {
+        match spec.build_search() {
+            Some(search) => DaemonPolicy::Search(match deadline {
+                Some(d) => search.with_deadline(d),
+                None => search,
+            }),
+            None => DaemonPolicy::Other(spec.build()),
+        }
+    }
+
+    fn as_dyn(&mut self) -> &mut dyn Policy {
+        match self {
+            DaemonPolicy::Search(p) => p,
+            DaemonPolicy::Other(p) => p.as_mut(),
+        }
+    }
+
+    fn search_nodes(&self) -> u64 {
+        match self {
+            DaemonPolicy::Search(p) => p.totals().nodes,
+            DaemonPolicy::Other(_) => 0,
+        }
+    }
+
+    fn name(&mut self) -> String {
+        self.as_dyn().name()
+    }
+}
+
+/// The long-running scheduler service.
+pub struct Daemon {
+    core: SchedulerCore,
+    policy: DaemonPolicy,
+    cfg: ServiceConfig,
+    next_id: u32,
+    completed: CompletedStats,
+    /// Records already folded into `completed`.
+    completed_seen: usize,
+    /// Decisions carried over from a recovered snapshot.
+    base_decisions: u64,
+    /// Decisions since the last snapshot write.
+    unsnapshotted: u64,
+    draining: bool,
+}
+
+impl Daemon {
+    /// Builds the daemon; recovers from `cfg.snapshot_path` when a
+    /// snapshot exists there.
+    pub fn new(cfg: ServiceConfig) -> Result<Self, String> {
+        match cfg.snapshot_path.as_ref().filter(|p| p.exists()) {
+            Some(path) => {
+                let snap = Snapshot::load(path)?;
+                Self::from_snapshot(cfg.clone(), &snap)
+            }
+            None => Ok(Self::fresh(cfg)),
+        }
+    }
+
+    /// A daemon starting from an empty machine at time 0.
+    pub fn fresh(cfg: ServiceConfig) -> Self {
+        let policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        Daemon {
+            core: SchedulerCore::new(cfg.capacity, cfg.knowledge, (0, Time::MAX)),
+            policy,
+            cfg,
+            next_id: 0,
+            completed: CompletedStats::default(),
+            completed_seen: 0,
+            base_decisions: 0,
+            unsnapshotted: 0,
+            draining: false,
+        }
+    }
+
+    /// Rebuilds the daemon's world from a snapshot: waiting jobs re-queue
+    /// with their recorded `R*`, running jobs re-admit at their original
+    /// start (so reservations resume *remaining*, not restarted), and the
+    /// id counter and completed-job aggregates carry over.
+    pub fn from_snapshot(cfg: ServiceConfig, snap: &Snapshot) -> Result<Self, String> {
+        if snap.capacity != cfg.capacity {
+            return Err(format!(
+                "snapshot is for a {}-node machine, daemon configured for {}",
+                snap.capacity, cfg.capacity
+            ));
+        }
+        let mut core = SchedulerCore::new(cfg.capacity, cfg.knowledge, (0, Time::MAX));
+        for r in &snap.running {
+            core.restore_running(r.job, r.start, r.pred_end);
+        }
+        for w in &snap.waiting {
+            core.restore_waiting(w.job, w.r_star);
+        }
+        core.advance_to(snap.now);
+        let policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        Ok(Daemon {
+            core,
+            policy,
+            cfg,
+            next_id: snap.next_id,
+            completed: snap.completed,
+            completed_seen: 0,
+            base_decisions: snap.decisions,
+            unsnapshotted: 0,
+            draining: false,
+        })
+    }
+
+    /// Current scheduler time.
+    pub fn now(&self) -> Time {
+        self.core.now()
+    }
+
+    /// True once a drain or shutdown has stopped admissions.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Completed-job records (the daemon-side analogue of
+    /// [`sbs_sim::SimResult::records`]).
+    pub fn records(&self) -> &[sbs_sim::JobRecord] {
+        self.core.records()
+    }
+
+    /// Folds freshly completed jobs into the metrics aggregates and
+    /// counts the decision toward the auto-snapshot cadence.
+    fn after_decision(&mut self) {
+        let threshold = self.cfg.excess_threshold;
+        for r in &self.core.records()[self.completed_seen..] {
+            self.completed.absorb(r.wait(), r.excess_wait(threshold));
+        }
+        self.completed_seen = self.core.records().len();
+        self.unsnapshotted += 1;
+        if self.cfg.snapshot_every > 0 && self.unsnapshotted >= self.cfg.snapshot_every {
+            // Best effort: an unwritable snapshot path must not take the
+            // scheduler down mid-decision.
+            let _ = self.save_snapshot();
+        }
+    }
+
+    /// Replays every pending departure strictly before `t`, each as its
+    /// own decision point — exactly the batch engine's event grouping.
+    fn run_until(&mut self, t: Time) {
+        while let Some(d) = self.core.next_departure() {
+            if d >= t {
+                break;
+            }
+            self.core.advance_to(d);
+            self.core.complete_due();
+            self.core.decide(self.policy.as_dyn(), None);
+            self.after_decision();
+        }
+    }
+
+    /// Advances the world to `t` with no new arrival: departures before
+    /// `t` replay as usual, and departures exactly at `t` trigger one
+    /// decision.  No-op when `t` is in the past.
+    pub fn poll_to(&mut self, t: Time) {
+        if t <= self.core.now() {
+            return;
+        }
+        self.run_until(t);
+        if t > self.core.now() {
+            self.core.advance_to(t);
+            if self.core.complete_due() > 0 {
+                self.core.decide(self.policy.as_dyn(), None);
+                self.after_decision();
+            }
+        }
+    }
+
+    /// Submits a job at time `at` (clamped to be monotone) and runs one
+    /// decision point.  Returns the assigned id and whether the job
+    /// started immediately.
+    pub fn submit_at(
+        &mut self,
+        at: Time,
+        nodes: u32,
+        runtime: Time,
+        requested: Option<Time>,
+        user: u32,
+    ) -> Result<(JobId, bool), String> {
+        if self.draining {
+            return Err("daemon is draining; submissions are closed".into());
+        }
+        if nodes > self.core.capacity() {
+            return Err(format!(
+                "job needs {nodes} nodes, machine has {}",
+                self.core.capacity()
+            ));
+        }
+        let at = at.max(self.core.now());
+        let requested = requested.unwrap_or(runtime).max(runtime);
+        self.run_until(at);
+        self.core.advance_to(at);
+        self.core.complete_due();
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let job = Job::new(id, at, nodes, runtime, requested).with_user(user);
+        self.core.submit(job);
+        let started = self.core.decide(self.policy.as_dyn(), None).contains(&id);
+        self.after_decision();
+        Ok((id, started))
+    }
+
+    /// Cancels a waiting job.  Running jobs are not preemptible (the
+    /// paper's machine model), so they report `false`.
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        self.core.cancel(id).is_some()
+    }
+
+    /// Stops admissions and fast-forwards the departure calendar until
+    /// the machine is empty.  Returns `(completed, leftover)`; leftover
+    /// is non-zero only if the policy refuses to start waiting jobs on an
+    /// otherwise idle machine.
+    pub fn drain(&mut self) -> (usize, usize) {
+        self.draining = true;
+        let before = self.core.records().len();
+        loop {
+            if let Some(d) = self.core.next_departure() {
+                self.core.advance_to(d);
+                self.core.complete_due();
+                self.core.decide(self.policy.as_dyn(), None);
+                self.after_decision();
+            } else if !self.core.queue().is_empty() {
+                // Nothing running but work waiting (possible after
+                // cancels): give the policy one more decision; if it
+                // still starts nothing, report the stall instead of
+                // spinning.
+                let started = self.core.decide(self.policy.as_dyn(), None);
+                self.after_decision();
+                if started.is_empty() {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        (self.core.records().len() - before, self.core.queue().len())
+    }
+
+    /// The queue and running set as a JSON value.
+    pub fn queue_view(&self) -> Value {
+        let queue: Vec<Value> = self
+            .core
+            .queue()
+            .iter()
+            .map(|w| {
+                json!({
+                    "id": w.job.id.0,
+                    "submit": w.job.submit,
+                    "nodes": w.job.nodes,
+                    "r_star": w.r_star,
+                    "user": w.job.user,
+                })
+            })
+            .collect();
+        let running: Vec<Value> = self
+            .core
+            .running()
+            .iter()
+            .map(|r| {
+                json!({
+                    "id": r.job.id.0,
+                    "nodes": r.job.nodes,
+                    "start": r.start,
+                    "pred_end": r.pred_end,
+                    "user": r.job.user,
+                })
+            })
+            .collect();
+        json!({
+            "ok": true,
+            "now": self.core.now(),
+            "free_nodes": self.core.free_nodes(),
+            "capacity": self.core.capacity(),
+            "queue": Value::Array(queue),
+            "running": Value::Array(running),
+        })
+    }
+
+    /// A point-in-time metrics sample.
+    pub fn metrics(&self) -> MetricsView {
+        MetricsView {
+            now: self.core.now(),
+            queue_depth: self.core.queue().len(),
+            running_jobs: self.core.running().len(),
+            free_nodes: self.core.free_nodes(),
+            capacity: self.core.capacity(),
+            decisions: self.base_decisions + self.core.decisions(),
+            search_nodes: self.policy.search_nodes(),
+            policy_nanos: self.core.policy_nanos(),
+            completed: self.completed,
+        }
+    }
+
+    /// The daemon's complete state as a snapshot.
+    pub fn snapshot(&mut self) -> Snapshot {
+        Snapshot {
+            now: self.core.now(),
+            capacity: self.core.capacity(),
+            next_id: self.next_id,
+            policy: self.policy.name(),
+            waiting: self
+                .core
+                .queue()
+                .iter()
+                .map(|w| WaitingEntry {
+                    job: w.job,
+                    r_star: w.r_star,
+                })
+                .collect(),
+            running: self
+                .core
+                .running()
+                .iter()
+                .map(|r| RunningEntry {
+                    job: r.job,
+                    start: r.start,
+                    pred_end: r.pred_end,
+                })
+                .collect(),
+            completed: self.completed,
+            decisions: self.base_decisions + self.core.decisions(),
+        }
+    }
+
+    /// Writes a snapshot to the configured path, if any.  Returns the
+    /// path written.
+    pub fn save_snapshot(&mut self) -> Result<Option<PathBuf>, String> {
+        let Some(path) = self.cfg.snapshot_path.clone() else {
+            return Ok(None);
+        };
+        self.snapshot()
+            .save(&path)
+            .map_err(|e| format!("snapshot write failed: {e}"))?;
+        self.unsnapshotted = 0;
+        Ok(Some(path))
+    }
+
+    /// Dispatches one protocol request at scheduler time `at`.  Returns
+    /// the response and whether the daemon should shut down.
+    pub fn handle(&mut self, req: Request, at: Time) -> (Value, bool) {
+        match req {
+            Request::Submit {
+                nodes,
+                runtime,
+                requested,
+                user,
+                submit,
+            } => {
+                let t = submit.unwrap_or(at);
+                match self.submit_at(t, nodes, runtime, requested, user) {
+                    Ok((id, started)) => (
+                        json!({
+                            "ok": true,
+                            "id": id.0,
+                            "now": self.core.now(),
+                            "started": started,
+                        }),
+                        false,
+                    ),
+                    Err(e) => (error_response(&e), false),
+                }
+            }
+            Request::Cancel { id } => {
+                self.poll_to(at);
+                let cancelled = self.cancel(JobId(id));
+                (json!({ "ok": true, "cancelled": cancelled }), false)
+            }
+            Request::Queue => {
+                self.poll_to(at);
+                (self.queue_view(), false)
+            }
+            Request::Metrics => {
+                self.poll_to(at);
+                (
+                    json!({ "ok": true, "text": self.metrics().render() }),
+                    false,
+                )
+            }
+            Request::Drain => {
+                self.poll_to(at);
+                let (completed, leftover) = self.drain();
+                (
+                    json!({
+                        "ok": true,
+                        "completed": completed,
+                        "leftover": leftover,
+                        "now": self.core.now(),
+                    }),
+                    false,
+                )
+            }
+            Request::Snapshot => {
+                self.poll_to(at);
+                match self.save_snapshot() {
+                    Ok(Some(path)) => (
+                        json!({ "ok": true, "path": path.display().to_string() }),
+                        false,
+                    ),
+                    Ok(None) => (error_response("no snapshot path configured"), false),
+                    Err(e) => (error_response(&e), false),
+                }
+            }
+            Request::Shutdown => {
+                self.poll_to(at);
+                let saved = self.save_snapshot();
+                let mut v = json!({ "ok": true });
+                if let (Value::Object(map), Ok(Some(path))) = (&mut v, saved) {
+                    map.insert("snapshot".into(), Value::from(path.display().to_string()));
+                }
+                (v, true)
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("core", &self.core)
+            .field("next_id", &self.next_id)
+            .field("draining", &self.draining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_workload::time::HOUR;
+
+    fn daemon(capacity: u32) -> Daemon {
+        Daemon::fresh(ServiceConfig::new(capacity, PolicySpec::FcfsBackfill))
+    }
+
+    #[test]
+    fn submit_runs_one_decision_and_starts_fitting_jobs() {
+        let mut d = daemon(8);
+        let (id, started) = d.submit_at(100, 4, HOUR, None, 0).expect("submit");
+        assert_eq!(id, JobId(0));
+        assert!(started);
+        assert_eq!(d.now(), 100);
+        let (id2, started2) = d.submit_at(100, 8, HOUR, None, 0).expect("submit");
+        assert_eq!(id2, JobId(1));
+        assert!(!started2, "8 nodes cannot fit next to 4 on 8");
+    }
+
+    #[test]
+    fn oversized_and_draining_submissions_are_rejected() {
+        let mut d = daemon(8);
+        assert!(d.submit_at(0, 9, HOUR, None, 0).is_err());
+        d.drain();
+        assert!(d.submit_at(0, 1, HOUR, None, 0).is_err());
+    }
+
+    #[test]
+    fn departures_between_submissions_replay_as_decision_points() {
+        let mut d = daemon(8);
+        d.submit_at(0, 8, HOUR, None, 0).expect("submit");
+        d.submit_at(10, 8, HOUR, None, 0).expect("submit"); // waits
+                                                            // Submitting long after both jobs' departures replays them.
+        let (_, started) = d.submit_at(3 * HOUR, 8, HOUR, None, 0).expect("submit");
+        assert!(started, "machine drained by then");
+        assert_eq!(d.records().len(), 2);
+        assert_eq!(d.records()[0].end, HOUR);
+        assert_eq!(
+            d.records()[1].start,
+            HOUR,
+            "queued job started at departure"
+        );
+    }
+
+    #[test]
+    fn drain_completes_everything() {
+        let mut d = daemon(8);
+        for i in 0..5 {
+            d.submit_at(i * 10, 4, HOUR, None, 0).expect("submit");
+        }
+        let (completed, leftover) = d.drain();
+        assert_eq!(completed, 5);
+        assert_eq!(leftover, 0);
+        assert_eq!(d.metrics().completed.count, 5);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_the_same_world() {
+        let mut d = daemon(8);
+        d.submit_at(0, 4, 2 * HOUR, Some(3 * HOUR), 1)
+            .expect("submit");
+        d.submit_at(50, 8, HOUR, None, 2).expect("submit"); // waits
+        let snap = d.snapshot();
+        assert_eq!(snap.waiting.len(), 1);
+        assert_eq!(snap.running.len(), 1);
+
+        let cfg = ServiceConfig::new(8, PolicySpec::FcfsBackfill);
+        let mut d2 = Daemon::from_snapshot(cfg, &snap).expect("restore");
+        assert_eq!(d2.now(), d.now());
+        assert_eq!(d2.snapshot(), snap, "snapshot of the restore is identical");
+
+        // Both worlds evolve identically from here.
+        let (a, _) = d.drain();
+        let (b, _) = d2.drain();
+        assert_eq!(a, b);
+        assert_eq!(
+            d.records().last().map(|r| (r.id, r.start, r.end)),
+            d2.records().last().map(|r| (r.id, r.start, r.end)),
+        );
+    }
+
+    #[test]
+    fn capacity_mismatch_is_rejected_on_restore() {
+        let mut d = daemon(8);
+        let snap = d.snapshot();
+        let err = Daemon::from_snapshot(ServiceConfig::new(16, PolicySpec::FcfsBackfill), &snap)
+            .unwrap_err();
+        assert!(err.contains("8-node"));
+    }
+
+    #[test]
+    fn handle_dispatches_the_full_protocol() {
+        let mut d = daemon(8);
+        let (v, stop) = d.handle(
+            Request::Submit {
+                nodes: 2,
+                runtime: HOUR,
+                requested: None,
+                user: 0,
+                submit: Some(5),
+            },
+            0,
+        );
+        assert!(!stop);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["id"].as_u64(), Some(0));
+        assert_eq!(v["started"], true);
+
+        let (v, _) = d.handle(Request::Queue, 5);
+        assert_eq!(v["running"].as_array().map(Vec::len), Some(1));
+
+        let (v, _) = d.handle(Request::Cancel { id: 0 }, 5);
+        assert_eq!(v["cancelled"], false, "running jobs cannot be cancelled");
+
+        let (v, _) = d.handle(Request::Metrics, 5);
+        assert!(v["text"].as_str().unwrap().contains("sbs_running_jobs 1"));
+
+        let (v, _) = d.handle(Request::Drain, 5);
+        assert_eq!(v["completed"].as_u64(), Some(1));
+
+        let (v, stop) = d.handle(Request::Shutdown, 5);
+        assert_eq!(v["ok"], true);
+        assert!(stop);
+    }
+
+    #[test]
+    fn search_policies_report_expanded_nodes() {
+        let mut d = Daemon::fresh(ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(1_000)));
+        d.submit_at(0, 8, HOUR, None, 0).expect("submit");
+        d.submit_at(1, 4, HOUR, None, 1).expect("submit");
+        d.submit_at(2, 4, 2 * HOUR, None, 2).expect("submit");
+        assert!(d.metrics().search_nodes > 0);
+        let (completed, leftover) = d.drain();
+        assert_eq!((completed, leftover), (3, 0));
+    }
+}

@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # sbs-service
+//!
+//! The **online scheduler daemon**: a long-running service that wraps
+//! any [`sbs_core::PolicySpec`] — the paper's search-based policies
+//! included — behind a newline-delimited JSON protocol over TCP.
+//!
+//! The batch simulator answers *"how would this policy have scheduled
+//! the month?"*; this crate answers *"run that policy as the
+//! scheduler."*  Both drive the same decision-point state machine
+//! ([`sbs_sim::SchedulerCore`]), so the daemon's schedules are
+//! byte-identical to the simulator's for the same submission sequence —
+//! an invariant the e2e tests pin down.
+//!
+//! Pieces:
+//!
+//! * [`protocol`] — the wire format: `submit` / `cancel` / `queue` /
+//!   `metrics` / `drain` / `snapshot` / `shutdown`, one JSON object per
+//!   line;
+//! * [`daemon`] — [`Daemon`]: clock-agnostic request handling on top of
+//!   `SchedulerCore`, including the batch-parity event replay;
+//! * [`clock`] — wall and virtual time sources;
+//! * [`snapshot`] — crash-safe JSON state snapshots and recovery;
+//! * [`metrics`] — Prometheus exposition text;
+//! * [`server`] — the std-only threaded TCP front end (JSON protocol
+//!   and `GET /metrics` on the same port, graceful SIGTERM drain).
+//!
+//! Anytime search: give [`ServiceConfig::with_deadline`] a per-decision
+//! wall-clock budget and search policies return their best-so-far
+//! schedule when it expires (see `sbs_dsearch`'s deadline budgets).
+
+pub mod clock;
+pub mod daemon;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use daemon::{Daemon, ServiceConfig};
+pub use metrics::MetricsView;
+pub use protocol::{parse_request, Request};
+pub use server::Server;
+pub use snapshot::{CompletedStats, Snapshot};

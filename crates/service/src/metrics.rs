@@ -1,0 +1,159 @@
+//! Plaintext metrics in the Prometheus exposition format.
+//!
+//! The daemon answers both the in-protocol `{"op":"metrics"}` request
+//! and plain `GET /metrics` HTTP probes with the same text, rendered
+//! from a point-in-time [`MetricsView`].
+
+use crate::snapshot::CompletedStats;
+
+/// Everything the metrics endpoint reports, sampled at one instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsView {
+    /// Scheduler time of the sample.
+    pub now: u64,
+    /// Jobs waiting in the queue.
+    pub queue_depth: usize,
+    /// Jobs currently running.
+    pub running_jobs: usize,
+    /// Free nodes.
+    pub free_nodes: u32,
+    /// Machine size.
+    pub capacity: u32,
+    /// Decision points executed.
+    pub decisions: u64,
+    /// Tree nodes expanded by the search policy (0 for heuristics).
+    pub search_nodes: u64,
+    /// Wall-clock nanoseconds spent inside the policy.
+    pub policy_nanos: u64,
+    /// Completed-job aggregates.
+    pub completed: CompletedStats,
+}
+
+impl MetricsView {
+    /// Renders the Prometheus exposition text.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut gauge = |name: &str, help: &str, value: String| {
+            out.push_str(&format!("# HELP {name} {help}\n"));
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            out.push_str(&format!("{name} {value}\n"));
+        };
+        let c = &self.completed;
+        let mean = |total: u64| {
+            if c.count == 0 {
+                0.0
+            } else {
+                total as f64 / c.count as f64
+            }
+        };
+        gauge(
+            "sbs_scheduler_time_seconds",
+            "Scheduler clock at sample time",
+            self.now.to_string(),
+        );
+        gauge(
+            "sbs_queue_depth",
+            "Jobs waiting in the queue",
+            self.queue_depth.to_string(),
+        );
+        gauge(
+            "sbs_running_jobs",
+            "Jobs currently running",
+            self.running_jobs.to_string(),
+        );
+        gauge("sbs_free_nodes", "Idle nodes", self.free_nodes.to_string());
+        gauge(
+            "sbs_capacity_nodes",
+            "Machine size in nodes",
+            self.capacity.to_string(),
+        );
+        gauge(
+            "sbs_decisions_total",
+            "Decision points executed",
+            self.decisions.to_string(),
+        );
+        gauge(
+            "sbs_search_nodes_total",
+            "Search tree nodes expanded",
+            self.search_nodes.to_string(),
+        );
+        gauge(
+            "sbs_policy_seconds_total",
+            "Wall-clock seconds spent inside the policy",
+            format!("{:.6}", self.policy_nanos as f64 / 1e9),
+        );
+        gauge(
+            "sbs_completed_jobs_total",
+            "Jobs completed",
+            c.count.to_string(),
+        );
+        gauge(
+            "sbs_wait_seconds_mean",
+            "Mean wait of completed jobs",
+            format!("{:.3}", mean(c.total_wait)),
+        );
+        gauge(
+            "sbs_wait_seconds_max",
+            "Maximum wait of completed jobs",
+            c.max_wait.to_string(),
+        );
+        gauge(
+            "sbs_excess_wait_seconds_mean",
+            "Mean excessive wait of completed jobs",
+            format!("{:.3}", mean(c.total_excess)),
+        );
+        gauge(
+            "sbs_excess_wait_seconds_max",
+            "Maximum excessive wait of completed jobs",
+            c.max_excess.to_string(),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_every_series_once() {
+        let mut completed = CompletedStats::default();
+        completed.absorb(100, 0);
+        completed.absorb(300, 40);
+        let text = MetricsView {
+            now: 5_000,
+            queue_depth: 3,
+            running_jobs: 2,
+            free_nodes: 10,
+            capacity: 128,
+            decisions: 42,
+            search_nodes: 123_456,
+            policy_nanos: 2_500_000_000,
+            completed,
+        }
+        .render();
+        for needle in [
+            "sbs_queue_depth 3\n",
+            "sbs_running_jobs 2\n",
+            "sbs_free_nodes 10\n",
+            "sbs_capacity_nodes 128\n",
+            "sbs_decisions_total 42\n",
+            "sbs_search_nodes_total 123456\n",
+            "sbs_policy_seconds_total 2.500000\n",
+            "sbs_completed_jobs_total 2\n",
+            "sbs_wait_seconds_mean 200.000\n",
+            "sbs_wait_seconds_max 300\n",
+            "sbs_excess_wait_seconds_mean 20.000\n",
+            "sbs_excess_wait_seconds_max 40\n",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        assert_eq!(text.matches("# TYPE").count(), 13);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let text = MetricsView::default().render();
+        assert!(text.contains("sbs_wait_seconds_mean 0.000\n"));
+    }
+}

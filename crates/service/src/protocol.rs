@@ -1,0 +1,176 @@
+//! The newline-delimited JSON protocol.
+//!
+//! One request per line, one JSON object per request, answered by one
+//! JSON object per line.  Every request carries an `"op"` field:
+//!
+//! ```text
+//! {"op":"submit","nodes":4,"runtime":3600}              -> {"ok":true,"id":0,...}
+//! {"op":"cancel","id":0}                                -> {"ok":true,"cancelled":true}
+//! {"op":"queue"}                                        -> {"ok":true,"now":...,"queue":[...],"running":[...]}
+//! {"op":"metrics"}                                      -> {"ok":true,"text":"..."}
+//! {"op":"drain"}                                        -> {"ok":true,"completed":N}
+//! {"op":"snapshot"}                                     -> {"ok":true,"path":"..."}
+//! {"op":"shutdown"}                                     -> {"ok":true}
+//! ```
+//!
+//! `submit` accepts optional `requested` (seconds, defaults to
+//! `runtime`), `user`, and — on virtual-clock daemons only — an explicit
+//! `submit` time.  Unknown fields are ignored; malformed requests get
+//! `{"ok":false,"error":"..."}` and the connection stays open.
+
+use sbs_workload::time::Time;
+use serde_json::Value;
+
+/// A decoded protocol request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Enqueue a job.
+    Submit {
+        /// Requested node count.
+        nodes: u32,
+        /// Actual runtime (the daemon simulates execution).
+        runtime: Time,
+        /// User-requested runtime; defaults to `runtime`.
+        requested: Option<Time>,
+        /// Submitting user id.
+        user: u32,
+        /// Explicit submission time (virtual-clock daemons only).
+        submit: Option<Time>,
+    },
+    /// Remove a waiting job.
+    Cancel {
+        /// The id returned by `submit`.
+        id: u32,
+    },
+    /// Queue and running-set view.
+    Queue,
+    /// Plaintext metrics.
+    Metrics,
+    /// Stop admitting work and fast-forward until everything completes.
+    Drain,
+    /// Force a state snapshot to disk.
+    Snapshot,
+    /// Snapshot (if configured) and stop the daemon.
+    Shutdown,
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(f) => f
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field {key:?} must be a non-negative integer")),
+    }
+}
+
+fn require_u64(v: &Value, key: &str) -> Result<u64, String> {
+    get_u64(v, key)?.ok_or_else(|| format!("missing field {key:?}"))
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let op = v
+        .get("op")
+        .and_then(Value::as_str)
+        .ok_or("missing field \"op\"")?;
+    match op {
+        "submit" => {
+            let nodes = require_u64(&v, "nodes")?;
+            if nodes == 0 || nodes > u32::MAX as u64 {
+                return Err("\"nodes\" must be in 1..=2^32-1".into());
+            }
+            let runtime = require_u64(&v, "runtime")?;
+            if runtime == 0 {
+                return Err("\"runtime\" must be positive".into());
+            }
+            Ok(Request::Submit {
+                nodes: nodes as u32,
+                runtime,
+                requested: get_u64(&v, "requested")?,
+                user: get_u64(&v, "user")?.unwrap_or(0).min(u32::MAX as u64) as u32,
+                submit: get_u64(&v, "submit")?,
+            })
+        }
+        "cancel" => {
+            let id = require_u64(&v, "id")?;
+            if id > u32::MAX as u64 {
+                return Err("\"id\" out of range".into());
+            }
+            Ok(Request::Cancel { id: id as u32 })
+        }
+        "queue" => Ok(Request::Queue),
+        "metrics" => Ok(Request::Metrics),
+        "drain" => Ok(Request::Drain),
+        "snapshot" => Ok(Request::Snapshot),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// The standard failure envelope.
+pub fn error_response(message: &str) -> Value {
+    serde_json::json!({ "ok": false, "error": message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_accepts_minimal_and_full_forms() {
+        let r = parse_request(r#"{"op":"submit","nodes":4,"runtime":3600}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                nodes: 4,
+                runtime: 3600,
+                requested: None,
+                user: 0,
+                submit: None
+            }
+        );
+        let r = parse_request(
+            r#"{"op":"submit","nodes":1,"runtime":60,"requested":120,"user":7,"submit":500}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                nodes: 1,
+                runtime: 60,
+                requested: Some(120),
+                user: 7,
+                submit: Some(500)
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_are_described() {
+        for (line, needle) in [
+            ("{", "JSON"),
+            (r#"{"nodes":1}"#, "op"),
+            (r#"{"op":"warp"}"#, "unknown op"),
+            (r#"{"op":"submit","runtime":60}"#, "nodes"),
+            (r#"{"op":"submit","nodes":0,"runtime":60}"#, "nodes"),
+            (r#"{"op":"submit","nodes":1,"runtime":0}"#, "runtime"),
+            (r#"{"op":"submit","nodes":1,"runtime":-5}"#, "runtime"),
+            (r#"{"op":"cancel"}"#, "id"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn simple_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"queue"}"#).unwrap(), Request::Queue);
+        assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+    }
+}

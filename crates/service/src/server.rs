@@ -1,0 +1,189 @@
+//! The TCP front end: newline-delimited JSON plus a `/metrics` probe.
+//!
+//! One listener serves both protocols on the same port.  A connection
+//! whose first line starts with `GET ` is treated as an HTTP probe and
+//! answered with the Prometheus exposition text; anything else is the
+//! JSON protocol, one request and one response per line.
+//!
+//! Threading is std-only: the accept loop runs non-blocking with a short
+//! sleep, each connection gets its own thread, and all of them share the
+//! [`Daemon`] behind one mutex (a scheduler decision is already
+//! serialized by nature — there is exactly one machine state).
+//!
+//! `SIGTERM` (and the in-protocol `shutdown` op) drains gracefully:
+//! admissions stop, a final snapshot is written if configured, and the
+//! accept loop exits once every connection thread has been joined.
+
+use crate::clock::Clock;
+use crate::daemon::Daemon;
+use crate::protocol::{error_response, parse_request};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Process-wide SIGTERM latch (signal handlers cannot capture state).
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm() {
+    extern "C" fn on_term(_signum: i32) {
+        TERM.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm() {}
+
+/// The daemon's TCP server.
+pub struct Server {
+    daemon: Arc<Mutex<Daemon>>,
+    clock: Arc<dyn Clock + Sync>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Wraps `daemon` with the given time source.
+    pub fn new(daemon: Daemon, clock: impl Clock + Sync + 'static) -> Self {
+        Server {
+            daemon: Arc::new(Mutex::new(daemon)),
+            clock: Arc::new(clock),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Shared handle to the daemon (tests inspect state through this).
+    pub fn daemon(&self) -> Arc<Mutex<Daemon>> {
+        Arc::clone(&self.daemon)
+    }
+
+    /// Shared stop flag; storing `true` ends [`Server::run`].
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serves `listener` until shutdown (in-protocol, via the flag, or
+    /// SIGTERM).  Writes a final snapshot if one is configured.
+    pub fn run(&self, listener: TcpListener) -> std::io::Result<()> {
+        install_sigterm();
+        listener.set_nonblocking(true)?;
+        let mut workers = Vec::new();
+        while !self.stopping() {
+            {
+                let mut d = self.daemon.lock().expect("daemon lock");
+                d.poll_to(self.clock.now());
+            }
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    let daemon = Arc::clone(&self.daemon);
+                    let clock = Arc::clone(&self.clock);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    workers.push(std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &daemon, clock.as_ref(), &shutdown);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        {
+            let mut d = self.daemon.lock().expect("daemon lock");
+            let _ = d.save_snapshot();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst) || TERM.load(Ordering::SeqCst)
+    }
+}
+
+/// Handles one client connection until EOF, error, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    daemon: &Mutex<Daemon>,
+    clock: &(dyn Clock + Sync),
+    shutdown: &AtomicBool,
+) -> std::io::Result<()> {
+    // A finite read timeout lets the thread notice shutdown even when
+    // the client keeps the connection open silently.
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if shutdown.load(Ordering::SeqCst) || TERM.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()),
+            Ok(_) => {
+                let text = line.trim().to_string();
+                line.clear();
+                if text.is_empty() {
+                    continue;
+                }
+                if text.starts_with("GET ") {
+                    return answer_http_probe(&mut writer, daemon, clock);
+                }
+                let (response, stop) = match parse_request(&text) {
+                    Ok(req) => {
+                        let mut d = daemon.lock().expect("daemon lock");
+                        let out = d.handle(req, clock.now());
+                        // Keep a steered (virtual) clock in step with the
+                        // scheduler so later requests see consistent time.
+                        clock.advance_to(d.now());
+                        out
+                    }
+                    Err(e) => (error_response(&e), false),
+                };
+                let rendered = serde_json::to_string(&response).expect("infallible");
+                writeln!(writer, "{rendered}")?;
+                if stop {
+                    shutdown.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Answers a plain HTTP `GET` (any path) with the metrics text.
+fn answer_http_probe(
+    writer: &mut TcpStream,
+    daemon: &Mutex<Daemon>,
+    clock: &(dyn Clock + Sync),
+) -> std::io::Result<()> {
+    let text = {
+        let mut d = daemon.lock().expect("daemon lock");
+        d.poll_to(clock.now());
+        d.metrics().render()
+    };
+    write!(
+        writer,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        text.len(),
+        text
+    )
+}

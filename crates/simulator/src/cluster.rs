@@ -102,6 +102,34 @@ impl Cluster {
         });
     }
 
+    /// Re-admits a job that was already running (snapshot recovery),
+    /// preserving its original start and predicted end instead of
+    /// restarting its reservation from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the job does not fit or is already present.
+    pub fn admit(&mut self, job: Job, start: Time, pred_end: Time) {
+        assert!(
+            job.nodes <= self.free,
+            "recovery over-committed: {} needs {} nodes, {} free",
+            job.id,
+            job.nodes,
+            self.free
+        );
+        assert!(
+            self.running.iter().all(|r| r.job.id != job.id),
+            "{} re-admitted twice",
+            job.id
+        );
+        self.free -= job.nodes;
+        self.running.push(RunningJob {
+            job,
+            start,
+            pred_end,
+        });
+    }
+
     /// Removes a finished job and frees its nodes, returning its record.
     ///
     /// # Panics

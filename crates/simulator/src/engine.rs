@@ -14,16 +14,14 @@
 //! node demand must fit) and asserts that the simulation drains — a
 //! policy that strands jobs is a bug, loudly.
 
-use crate::cluster::Cluster;
-use crate::policy::{Policy, SchedContext, WaitingJob};
+use crate::core::SchedulerCore;
+use crate::policy::Policy;
 use crate::prediction::RuntimePredictor;
 use crate::record::JobRecord;
-use crate::tracelog::{DecisionLog, DecisionRecord};
+use crate::tracelog::DecisionLog;
 use sbs_workload::generator::Workload;
 use sbs_workload::job::RuntimeKnowledge;
 use sbs_workload::time::Time;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Simulation options.
 pub struct SimConfig {
@@ -100,23 +98,18 @@ impl SimResult {
 /// Panics on any policy protocol violation: starting an unknown or
 /// already-started job, over-committing nodes, or leaving jobs unstarted
 /// when the simulation drains.
-pub fn simulate(workload: &Workload, mut policy: impl Policy, mut cfg: SimConfig) -> SimResult {
+pub fn simulate(workload: &Workload, mut policy: impl Policy, cfg: SimConfig) -> SimResult {
     let (w0, w1) = workload.window;
-    let mut cluster = Cluster::new(workload.capacity);
-    let mut queue: Vec<WaitingJob> = Vec::new();
-    let mut records: Vec<JobRecord> = Vec::with_capacity(workload.jobs.len());
-    // Departures as (actual end, job id); ids make ties deterministic.
-    let mut departures: BinaryHeap<Reverse<(Time, u32)>> = BinaryHeap::new();
+    let mut core = SchedulerCore::new(workload.capacity, cfg.knowledge, workload.window)
+        .with_predictor(cfg.predictor);
     let mut next_arrival = 0usize;
-    let mut decisions = 0u64;
-    let mut policy_nanos = 0u64;
     let mut decision_log = cfg.log_decisions.then(DecisionLog::default);
     let mut queue_area: u128 = 0;
     let mut last_t: Time = 0;
 
     loop {
         let arrival_t = workload.jobs.get(next_arrival).map(|j| j.submit);
-        let departure_t = departures.peek().map(|Reverse((t, _))| *t);
+        let departure_t = core.next_departure();
         let now = match (arrival_t, departure_t) {
             (Some(a), Some(d)) => a.min(d),
             (Some(a), None) => a,
@@ -128,85 +121,30 @@ pub fn simulate(workload: &Workload, mut policy: impl Policy, mut cfg: SimConfig
         let lo = last_t.max(w0);
         let hi = now.min(w1);
         if hi > lo {
-            queue_area += queue.len() as u128 * (hi - lo) as u128;
+            queue_area += core.queue().len() as u128 * (hi - lo) as u128;
         }
-        cluster.advance_to(now);
+        core.advance_to(now);
         last_t = now;
 
         // Departures first (free the nodes), then arrivals, then decide.
-        while let Some(&Reverse((t, id))) = departures.peek() {
-            if t != now {
-                break;
-            }
-            departures.pop();
-            let done = cluster.finish(sbs_workload::job::JobId(id));
-            if let Some(predictor) = cfg.predictor.as_mut() {
-                predictor.observe(&done.job);
-            }
-            records.push(JobRecord {
-                id: done.job.id,
-                submit: done.job.submit,
-                start: done.start,
-                end: now,
-                nodes: done.job.nodes,
-                runtime: done.job.runtime,
-                requested: done.job.requested,
-                r_star: done.pred_end - done.start,
-                user: done.job.user,
-                in_window: done.job.submit >= w0 && done.job.submit < w1,
-            });
-        }
+        core.complete_due();
         while let Some(job) = workload.jobs.get(next_arrival) {
             if job.submit != now {
                 break;
             }
             next_arrival += 1;
-            let r_star = match cfg.predictor.as_mut() {
-                Some(predictor) => predictor.predict(job).clamp(1, job.requested),
-                None => job.r_star(cfg.knowledge),
-            };
-            queue.push(WaitingJob { job: *job, r_star });
+            core.submit(*job);
         }
-
-        // Decision point.
-        decisions += 1;
-        let ctx = SchedContext {
-            now,
-            capacity: cluster.capacity(),
-            free_nodes: cluster.free_nodes(),
-            queue: &queue,
-            running: cluster.running(),
-        };
-        let t0 = std::time::Instant::now();
-        let starts = policy.decide(&ctx);
-        policy_nanos += t0.elapsed().as_nanos() as u64;
-        if let Some(log) = decision_log.as_mut() {
-            log.records.push(DecisionRecord {
-                now,
-                queue_len: queue.len(),
-                running: cluster.running().len(),
-                free_nodes: cluster.free_nodes(),
-                started: starts.clone(),
-            });
-        }
-
-        for id in starts {
-            let idx = queue
-                .iter()
-                .position(|w| w.job.id == id)
-                .unwrap_or_else(|| panic!("policy started non-queued job {id}"));
-            let w = queue.remove(idx);
-            cluster.start(w.job, now, w.r_star); // panics if over-committed
-            departures.push(Reverse((now + w.job.runtime, w.job.id.0)));
-        }
+        core.decide(&mut policy, decision_log.as_mut());
     }
 
     assert!(
-        queue.is_empty(),
+        core.queue().is_empty(),
         "policy stranded {} jobs in the queue",
-        queue.len()
+        core.queue().len()
     );
-    assert!(cluster.running().is_empty(), "running set not drained");
+    assert!(core.running().is_empty(), "running set not drained");
+    let (mut records, decisions, policy_nanos) = core.finish();
     assert_eq!(records.len(), workload.jobs.len(), "lost job records");
     records.sort_by_key(|r| (r.submit, r.id));
 
@@ -288,7 +226,7 @@ pub fn check_invariants(result: &SimResult) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::StrictFcfs;
+    use crate::policy::{SchedContext, StrictFcfs};
     use sbs_workload::generator::{random_workload, RandomWorkloadCfg};
     use sbs_workload::job::{Job, JobId};
     use sbs_workload::time::HOUR;

@@ -31,6 +31,7 @@
 
 pub mod avail;
 pub mod cluster;
+pub mod core;
 pub mod engine;
 pub mod policy;
 pub mod prediction;
@@ -39,6 +40,7 @@ pub mod tracelog;
 
 pub use avail::AvailabilityProfile;
 pub use cluster::{Cluster, RunningJob};
+pub use core::SchedulerCore;
 pub use engine::{simulate, SimConfig, SimResult};
 pub use policy::{Policy, SchedContext, WaitingJob};
 pub use record::JobRecord;

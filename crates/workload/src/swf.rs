@@ -43,6 +43,46 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Reads the machine size from the SWF header comments.
+///
+/// The archive convention is a `; MaxNodes: N` and/or `; MaxProcs: N`
+/// line in the header block; since this workspace models allocation in
+/// nodes, `MaxNodes` wins when both are present.
+pub fn header_capacity(text: &str) -> Option<u32> {
+    let mut max_procs = None;
+    for raw in text.lines() {
+        let line = raw.trim();
+        let Some(comment) = line.strip_prefix(';') else {
+            // Header comments precede the first job record.
+            if !line.is_empty() {
+                break;
+            }
+            continue;
+        };
+        let Some((key, value)) = comment.split_once(':') else {
+            continue;
+        };
+        let parsed = value.trim().parse::<u32>().ok().filter(|&v| v > 0);
+        match key.trim() {
+            "MaxNodes" if parsed.is_some() => return parsed,
+            "MaxProcs" => max_procs = parsed.or(max_procs),
+            _ => {}
+        }
+    }
+    max_procs
+}
+
+/// Parses SWF text, inferring the machine size from the `; MaxNodes:` /
+/// `; MaxProcs:` header ([`header_capacity`]).  Errors when the header
+/// carries no machine size — pass one explicitly via [`parse`] then.
+pub fn parse_auto(text: &str) -> Result<Workload, SwfError> {
+    let capacity = header_capacity(text).ok_or_else(|| SwfError {
+        line: 0,
+        message: "no MaxNodes/MaxProcs header; machine size must be given explicitly".into(),
+    })?;
+    parse(text, capacity)
+}
+
 /// Parses SWF text into a [`Workload`] for a machine of `capacity` nodes.
 ///
 /// Jobs requesting more than `capacity` nodes are clamped to `capacity`
@@ -131,6 +171,7 @@ pub fn write(workload: &Workload) -> String {
     let mut out = String::new();
     out.push_str("; Generated by sbs-workload\n");
     out.push_str(&format!("; MaxNodes: {}\n", workload.capacity));
+    out.push_str(&format!("; MaxProcs: {}\n", workload.capacity));
     for j in &workload.jobs {
         // fields:        1       2  3  4  5  6  7  8  9  10..18
         out.push_str(&format!(
@@ -198,6 +239,54 @@ mod tests {
     fn malformed_line_reports_position() {
         let err = parse("garbage line here x y z a b c d\n", 128).unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn header_capacity_reads_a_realistic_header_block() {
+        // Shaped like the parallel-workloads archive headers (NCSA-style).
+        let text = "; Version: 2.2\n\
+                    ; Computer: IA-64 Linux Cluster\n\
+                    ; Installation: NCSA\n\
+                    ; Acknowledge: anonymous\n\
+                    ; MaxJobs: 10000\n\
+                    ; MaxRecords: 10000\n\
+                    ; UnixStartTime: 1054425600\n\
+                    ; MaxProcs: 128\n\
+                    ; MaxRuntime: 172800\n\
+                    ;\n\
+                    1 100 -1 3600 4 -1 -1 4 7200 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+        assert_eq!(header_capacity(text), Some(128));
+        let w = parse_auto(text).expect("parse with inferred capacity");
+        assert_eq!(w.capacity, 128);
+        assert_eq!(w.jobs.len(), 1);
+    }
+
+    #[test]
+    fn max_nodes_wins_over_max_procs() {
+        // Dual-processor nodes: MaxProcs = 2 * MaxNodes; allocation here
+        // is modelled in nodes.
+        let text = "; MaxNodes: 64\n; MaxProcs: 128\n";
+        assert_eq!(header_capacity(text), Some(64));
+        let text = "; MaxProcs: 128\n; MaxNodes: 64\n";
+        assert_eq!(header_capacity(text), Some(64));
+    }
+
+    #[test]
+    fn header_scan_stops_at_the_first_job_record() {
+        // A stray comment *after* data must not override the header.
+        let text = "1 100 -1 60 1 -1 -1 1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1\n\
+                    ; MaxProcs: 4\n";
+        assert_eq!(header_capacity(text), None);
+        let err = parse_auto(text).unwrap_err();
+        assert!(err.message.contains("MaxNodes/MaxProcs"));
+    }
+
+    #[test]
+    fn auto_round_trip_preserves_capacity() {
+        let w = random_workload(RandomWorkloadCfg::default(), 9);
+        let parsed = parse_auto(&write(&w)).expect("written headers suffice");
+        assert_eq!(parsed.capacity, w.capacity);
+        assert_eq!(parsed.jobs.len(), w.jobs.len());
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Std-only offline shim for the subset of `criterion` this workspace
+//! uses.  Timing is plain wall-clock sampling (short warm-up, then a
+//! bounded number of timed iterations, median reported) — adequate for
+//! the relative before/after comparisons the bench suite is read for,
+//! without upstream's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for `criterion::black_box` users (std's is canonical).
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 30,
+        }
+    }
+
+    /// A stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into(), 30, &mut f);
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Benchmarks a no-input closure.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Ends the group (printing already happened per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`iter`](Bencher::iter) times the body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to `sample_size` samples within a small
+    /// time budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up.
+        black_box(f());
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples (closure never called iter)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let (lo, hi) = (b.samples[0], b.samples[b.samples.len() - 1]);
+    println!(
+        "{label}: median {} (min {}, max {}, n={})",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi),
+        b.samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a group runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from group runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
