@@ -1,0 +1,208 @@
+//! `lint.toml` — the workspace lint configuration.
+//!
+//! The build environment has no crates.io access, so this module ships a
+//! tiny TOML-subset reader sufficient for the lint config: `[section]`
+//! headers (dotted names allowed), `key = "string"` and
+//! `key = ["a", "b"]` entries, `#` comments, blank lines.  Anything
+//! fancier (multi-line arrays, tables-in-arrays, non-string values) is
+//! rejected loudly rather than misread.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-rule configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Path prefixes (workspace-relative, `/`-separated) the rule is
+    /// limited to.  Empty = the whole scanned tree.
+    pub scope: Vec<String>,
+    /// Path prefixes exempt from the rule even inside its scope.
+    pub allow_paths: Vec<String>,
+}
+
+impl RuleConfig {
+    /// True when the rule applies to `rel_path`.
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        let in_scope = self.scope.is_empty() || self.scope.iter().any(|p| rel_path.starts_with(p));
+        in_scope && !self.allow_paths.iter().any(|p| rel_path.starts_with(p))
+    }
+}
+
+/// The whole lint configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Directory trees to scan, relative to the workspace root.
+    pub roots: Vec<String>,
+    /// Directory *names* skipped wherever they appear (test trees,
+    /// fixtures, build output).
+    pub skip_dirs: Vec<String>,
+    /// Per-rule settings keyed by rule name; rules without an entry run
+    /// everywhere with no exemptions.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            roots: vec!["crates".to_string()],
+            skip_dirs: ["tests", "benches", "examples", "fixtures", "target"]
+                .map(String::from)
+                .to_vec(),
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+impl LintConfig {
+    /// Settings for `rule` (a default, apply-everywhere config when the
+    /// file has no section for it).
+    pub fn rule(&self, name: &str) -> RuleConfig {
+        self.rules.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Reads and parses `path`.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the TOML-subset text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut cfg = LintConfig::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                section = name.trim().to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let values = parse_value(value.trim()).map_err(|e| format!("line {lineno}: {e}"))?;
+            match (section.as_str(), key) {
+                ("scan", "roots") => cfg.roots = values,
+                ("scan", "skip_dirs") => cfg.skip_dirs = values,
+                ("scan", other) => {
+                    return Err(format!("line {lineno}: unknown scan key {other:?}"))
+                }
+                (s, k) => {
+                    let Some(rule) = s.strip_prefix("rules.") else {
+                        return Err(format!("line {lineno}: unknown section {s:?}"));
+                    };
+                    let entry = cfg.rules.entry(rule.to_string()).or_default();
+                    match k {
+                        "scope" => entry.scope = values,
+                        "allow_paths" => entry.allow_paths = values,
+                        other => {
+                            return Err(format!(
+                                "line {lineno}: unknown rule key {other:?} in [{s}]"
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Removes a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"string"` or `["a", "b"]` into a vector of strings.
+fn parse_value(v: &str) -> Result<Vec<String>, String> {
+    if let Some(inner) = v.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+        let inner = inner.trim();
+        if inner.is_empty() {
+            return Ok(Vec::new());
+        }
+        inner
+            .split(',')
+            .map(|item| parse_string(item.trim()))
+            .collect()
+    } else {
+        Ok(vec![parse_string(v)?])
+    }
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(String::from)
+        .ok_or_else(|| format!("expected a quoted string, got {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_arrays_and_comments() {
+        let cfg = LintConfig::parse(
+            r#"
+# workspace lint config
+[scan]
+roots = ["crates"]          # only first-party code
+skip_dirs = ["tests", "fixtures"]
+
+[rules.wall-clock]
+allow_paths = ["crates/service/src/clock.rs", "crates/bench/"]
+
+[rules.unordered-map]
+scope = ["crates/core/src/"]
+allow_paths = []
+"#,
+        )
+        .expect("parse");
+        assert_eq!(cfg.roots, ["crates"]);
+        assert_eq!(cfg.skip_dirs, ["tests", "fixtures"]);
+        assert_eq!(
+            cfg.rule("wall-clock").allow_paths,
+            ["crates/service/src/clock.rs", "crates/bench/"]
+        );
+        assert_eq!(cfg.rule("unordered-map").scope, ["crates/core/src/"]);
+        assert!(cfg.rule("unconfigured").applies_to("anything/x.rs"));
+    }
+
+    #[test]
+    fn scoping_and_allowlists_compose() {
+        let r = RuleConfig {
+            scope: vec!["crates/core/".into()],
+            allow_paths: vec!["crates/core/src/special.rs".into()],
+        };
+        assert!(r.applies_to("crates/core/src/lib.rs"));
+        assert!(!r.applies_to("crates/cli/src/lib.rs"));
+        assert!(!r.applies_to("crates/core/src/special.rs"));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        assert!(LintConfig::parse("[scan]\nroots = unquoted\n")
+            .unwrap_err()
+            .contains("line 2"));
+        assert!(LintConfig::parse("[mystery]\nx = \"1\"\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(LintConfig::parse("[rules.x]\nbad = \"1\"\n")
+            .unwrap_err()
+            .contains("unknown rule key"));
+        assert!(LintConfig::parse("loose = \"1\"\n").is_err());
+    }
+}

@@ -1,0 +1,478 @@
+//! The lint engine: file walking, rule scoping, test-code exemption and
+//! inline suppressions.
+//!
+//! ## Suppressions
+//!
+//! ```text
+//! // sbs-lint: allow(wall-clock): telemetry only, never feeds a decision
+//! let t0 = Instant::now();
+//! ```
+//!
+//! A suppression names one or more rules and **must** carry a
+//! justification after the closing parenthesis (separated by `:`); a
+//! bare `allow(...)` is itself a diagnostic.  A trailing suppression
+//! applies to its own line, a standalone one to the next line with code.
+//!
+//! ## Test code
+//!
+//! The rules police production code.  `#[cfg(test)]` items (the
+//! workspace's inline test modules) are skipped entirely, as are files
+//! under directories named in `[scan] skip_dirs` (`tests/`, `benches/`,
+//! `examples/`, `fixtures/`).
+
+use crate::config::LintConfig;
+use crate::lexer::{mask, tokenize, Comment, Token, TokenKind};
+use crate::rules::{rule_by_name, RULES};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One reported problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The rule that fired (or `invalid-suppression`).
+    pub rule: String,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} {} {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `sbs-lint: allow(...)` comment.
+#[derive(Debug, Clone)]
+struct Suppression {
+    rules: Vec<String>,
+    target_line: Option<u32>,
+    justified: bool,
+    comment_line: u32,
+}
+
+/// Lints one file's source text under `cfg`.  `rel_path` is the
+/// workspace-relative path used for rule scoping and reporting.
+pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let masked = mask(source);
+    let tokens = tokenize(&masked.text);
+    let test_ranges = cfg_test_ranges(&tokens);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let suppressions = parse_suppressions(&masked.comments, &tokens);
+
+    let mut out = Vec::new();
+
+    // Suppression syntax problems are diagnostics themselves (outside
+    // test code): an unjustified or unknown allow must not pass silently.
+    for s in &suppressions {
+        if in_test(s.comment_line) {
+            continue;
+        }
+        if !s.justified {
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: s.comment_line,
+                col: 1,
+                rule: "invalid-suppression".to_string(),
+                message: "allow(...) without a justification; write \
+                          `sbs-lint: allow(<rule>): <why this is sound>`"
+                    .to_string(),
+            });
+        }
+        for r in &s.rules {
+            if rule_by_name(r).is_none() {
+                out.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: s.comment_line,
+                    col: 1,
+                    rule: "invalid-suppression".to_string(),
+                    message: format!("allow({r}) names an unknown rule"),
+                });
+            }
+        }
+    }
+
+    // Line -> rules suppressed there (only justified suppressions count).
+    let mut allowed: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for s in &suppressions {
+        if let (true, Some(line)) = (s.justified, s.target_line) {
+            allowed
+                .entry(line)
+                .or_default()
+                .extend(s.rules.iter().map(String::as_str));
+        }
+    }
+
+    for rule in RULES {
+        if !cfg.rule(rule.name).applies_to(rel_path) {
+            continue;
+        }
+        for f in (rule.check)(&tokens) {
+            if in_test(f.line) {
+                continue;
+            }
+            if allowed
+                .get(&f.line)
+                .is_some_and(|rs| rs.contains(&rule.name))
+            {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: f.line,
+                col: f.col,
+                rule: rule.name.to_string(),
+                message: f.message,
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+    out
+}
+
+/// Extracts `sbs-lint: allow(...)` suppressions from comments and
+/// resolves each to the line it covers.
+fn parse_suppressions(comments: &[Comment], tokens: &[Token]) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("sbs-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(args) = rest.strip_prefix("allow").map(str::trim_start) else {
+            // Unknown directive: surface as an unjustified suppression so
+            // typos like `sbs-lint: alow(...)` cannot silence anything.
+            out.push(Suppression {
+                rules: Vec::new(),
+                target_line: None,
+                justified: false,
+                comment_line: c.line,
+            });
+            continue;
+        };
+        let (rules_part, tail) = match args.strip_prefix('(').and_then(|a| a.split_once(')')) {
+            Some((inner, tail)) => (inner, tail),
+            None => ("", args),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let justification = tail.trim_start().strip_prefix(':').map(str::trim);
+        let justified = !rules.is_empty() && justification.is_some_and(|j| !j.is_empty());
+        let target_line = if c.standalone {
+            tokens.iter().map(|t| t.line).find(|&l| l > c.line)
+        } else {
+            Some(c.line)
+        };
+        out.push(Suppression {
+            rules,
+            target_line,
+            justified,
+            comment_line: c.line,
+        });
+    }
+    out
+}
+
+/// Line ranges (inclusive) of `#[cfg(test)]` items.
+fn cfg_test_ranges(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if let Some(end) = match_cfg_test_attr(tokens, i) {
+            let start_line = tokens[i].line;
+            let item_end = skip_item(tokens, end);
+            let end_line = tokens
+                .get(item_end.saturating_sub(1))
+                .map_or(start_line, |t| t.line);
+            out.push((start_line, end_line));
+            i = item_end;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn punct(tokens: &[Token], i: usize, b: u8) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct(b))
+}
+
+fn ident(tokens: &[Token], i: usize, text: &str) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Ident && t.text == text)
+}
+
+/// If `tokens[i..]` starts `#[cfg(test)]` (whitespace-insensitive),
+/// returns the index just past the closing `]`.
+fn match_cfg_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if punct(tokens, i, b'#')
+        && punct(tokens, i + 1, b'[')
+        && ident(tokens, i + 2, "cfg")
+        && punct(tokens, i + 3, b'(')
+        && ident(tokens, i + 4, "test")
+        && punct(tokens, i + 5, b')')
+        && punct(tokens, i + 6, b']')
+    {
+        Some(i + 7)
+    } else {
+        None
+    }
+}
+
+/// Skips one item starting at `i` (more attributes, visibility, then a
+/// braced body or a `;`-terminated item).  Returns the index just past
+/// the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    // Further attributes.
+    while punct(tokens, i, b'#') && punct(tokens, i + 1, b'[') {
+        let mut depth = 0usize;
+        i += 1;
+        while i < tokens.len() {
+            if punct(tokens, i, b'[') {
+                depth += 1;
+            } else if punct(tokens, i, b']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+    }
+    // Walk to the first top-level `{` or `;`, then past the balanced
+    // block if it was a brace.  (`<`/`>` are not counted — `->` and
+    // comparisons make them unreliable; `;` cannot appear inside
+    // generics anyway.)
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        match tokens[i].kind {
+            TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => paren += 1,
+            TokenKind::Punct(b')') | TokenKind::Punct(b']') => paren -= 1,
+            TokenKind::Punct(b';') if paren <= 0 => return i + 1,
+            TokenKind::Punct(b'{') => {
+                let mut depth = 0usize;
+                while i < tokens.len() {
+                    if punct(tokens, i, b'{') {
+                        depth += 1;
+                    } else if punct(tokens, i, b'}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return i + 1;
+                        }
+                    }
+                    i += 1;
+                }
+                return i;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping `skip_dirs`
+/// names and dotfiles, in sorted (deterministic) order.
+fn collect_rs_files(dir: &Path, skip: &[String], out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            if skip.iter().any(|s| s == name) {
+                continue;
+            }
+            collect_rs_files(&path, skip, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` under `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+    let mut files = Vec::new();
+    for r in &cfg.roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &cfg.skip_dirs, &mut files)?;
+        }
+    }
+    let mut out = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        out.extend(lint_source(&rel, &source, cfg));
+    }
+    Ok(out)
+}
+
+/// Lints explicit files (workspace-relative or absolute) under `cfg`.
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    cfg: &LintConfig,
+) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    for f in files {
+        let abs = if f.is_absolute() {
+            f.clone()
+        } else {
+            root.join(f)
+        };
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&abs)
+            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
+        out.extend(lint_source(&rel, &source, cfg));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bare_cfg() -> LintConfig {
+        LintConfig {
+            rules: BTreeMap::new(),
+            ..LintConfig::default()
+        }
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        lint_source("x/src/lib.rs", src, &bare_cfg())
+    }
+
+    #[test]
+    fn fires_and_reports_position() {
+        let d = diags("fn f() {\n    let t = Instant::now();\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].rule.as_str()), (2, "wall-clock"));
+        assert_eq!(d[0].col, 13);
+    }
+
+    #[test]
+    fn trailing_suppression_covers_its_line() {
+        let d = diags(
+            "let t = Instant::now(); // sbs-lint: allow(wall-clock): boot-time banner only\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn standalone_suppression_covers_the_next_code_line() {
+        let d = diags(
+            "// sbs-lint: allow(wall-clock): telemetry, never feeds a decision\nlet t = Instant::now();\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // ... but not the line after it.
+        let d = diags(
+            "// sbs-lint: allow(wall-clock): telemetry\nlet a = 1;\nlet t = Instant::now();\n",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn suppression_without_justification_is_a_diagnostic() {
+        let d = diags("// sbs-lint: allow(wall-clock)\nlet t = Instant::now();\n");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().any(|x| x.rule == "invalid-suppression"));
+        assert!(d.iter().any(|x| x.rule == "wall-clock"));
+    }
+
+    #[test]
+    fn suppression_of_unknown_rule_is_a_diagnostic() {
+        let d = diags("// sbs-lint: allow(wall-clok): typo\nlet x = 1;\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "invalid-suppression");
+        assert!(d[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppressions_only_silence_the_named_rule() {
+        let d = diags(
+            "// sbs-lint: allow(unordered-map): scratch only, drained sorted\nlet t = Instant::now();\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "wall-clock");
+    }
+
+    #[test]
+    fn multi_rule_allows_work() {
+        let d = diags(
+            "// sbs-lint: allow(wall-clock, unordered-map): test harness shim\nlet t = (Instant::now(), HashMap::new());\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn real() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        x.unwrap();\n        let m = HashMap::new();\n    }\n}\n";
+        assert!(diags(src).is_empty());
+        // The same code outside the module fires.
+        let src2 = "fn real() { x.unwrap(); }\n";
+        assert_eq!(diags(src2).len(), 1);
+    }
+
+    #[test]
+    fn code_after_a_test_module_is_still_linted() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { a.unwrap(); }\n}\n\nfn late() { b.unwrap(); }\n";
+        let d = diags(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn scoping_by_path_prefix() {
+        let mut cfg = bare_cfg();
+        cfg.rules.insert(
+            "unordered-map".to_string(),
+            crate::config::RuleConfig {
+                scope: vec!["crates/core/".to_string()],
+                allow_paths: Vec::new(),
+            },
+        );
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_source("crates/core/src/lib.rs", src, &cfg).len(), 1);
+        assert!(lint_source("crates/cli/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_grep_style() {
+        let d = diags("fn f() { q.unwrap() }\n");
+        let line = d[0].to_string();
+        assert!(line.starts_with("x/src/lib.rs:1:"), "{line}");
+        assert!(line.contains("panic-in-daemon"));
+    }
+}

@@ -1,0 +1,491 @@
+//! A small but real Rust lexer for lint purposes.
+//!
+//! The lexer does one job: separate *code* from *non-code* (comments and
+//! the interiors of string/char literals) so that rules never fire on
+//! text inside a literal or a comment.  It produces a **masked** copy of
+//! the source — byte-for-byte the same length, with every non-code byte
+//! replaced by a space (newlines are preserved so line/column arithmetic
+//! stays valid) — plus the list of comments, which the engine mines for
+//! `// sbs-lint: allow(...)` suppressions.
+//!
+//! Handled syntax:
+//!
+//! * line comments (`//`) and **nested** block comments (`/* /* */ */`);
+//! * plain strings with escapes (`"a \" b"`), byte strings (`b"..."`);
+//! * raw strings with any hash depth (`r"..."`, `r##"..."##`,
+//!   `br#"..."#`), distinguished from raw identifiers (`r#type`);
+//! * char and byte-char literals (`'x'`, `'\''`, `b'\n'`), distinguished
+//!   from lifetimes (`'a` in `&'a T`);
+//! * everything else is code and copied through unchanged.
+
+/// One comment found in the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the first character of the comment.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` delimiters, trimmed.
+    pub text: String,
+    /// True when only whitespace precedes the comment on its line.
+    pub standalone: bool,
+}
+
+/// The lexer's output: masked source plus extracted comments.
+#[derive(Debug, Clone)]
+pub struct Masked {
+    /// Same byte length as the input; non-code bytes are spaces,
+    /// newlines are kept.
+    pub text: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Masks comments and literal interiors out of `source`.
+pub fn mask(source: &str) -> Masked {
+    let s = source.as_bytes();
+    let mut out = vec![0u8; 0];
+    out.reserve(s.len());
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_has_code = false;
+
+    // Pushes a masked byte, preserving newlines for line accounting.
+    fn push_masked(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < s.len() {
+        let b = s[i];
+        let next = s.get(i + 1).copied();
+
+        // Line comment.
+        if b == b'/' && next == Some(b'/') {
+            let start = i;
+            while i < s.len() && s[i] != b'\n' {
+                push_masked(&mut out, s[i]);
+                i += 1;
+            }
+            let text = source[start + 2..i].trim().to_string();
+            comments.push(Comment {
+                line,
+                text,
+                standalone: !line_has_code,
+            });
+            continue;
+        }
+
+        // Block comment, possibly nested.
+        if b == b'/' && next == Some(b'*') {
+            let start = i;
+            let start_line = line;
+            let started_on_code_line = line_has_code;
+            let mut depth = 0usize;
+            while i < s.len() {
+                if s[i] == b'/' && s.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    push_masked(&mut out, s[i]);
+                    push_masked(&mut out, s[i + 1]);
+                    i += 2;
+                } else if s[i] == b'*' && s.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    push_masked(&mut out, s[i]);
+                    push_masked(&mut out, s[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if s[i] == b'\n' {
+                        line += 1;
+                    }
+                    push_masked(&mut out, s[i]);
+                    i += 1;
+                }
+            }
+            let end = i.min(s.len());
+            let inner = source[start..end]
+                .trim_start_matches("/*")
+                .trim_end_matches("*/")
+                .trim()
+                .to_string();
+            comments.push(Comment {
+                line: start_line,
+                text: inner,
+                standalone: !started_on_code_line,
+            });
+            continue;
+        }
+
+        // String-ish literals.  Raw/byte prefixes only count when they
+        // start a token (previous byte is not part of an identifier).
+        let token_start = i == 0 || !is_ident_continue(s[i - 1]);
+        if token_start && (b == b'r' || b == b'b') {
+            if let Some(consumed) = try_string_prefix(s, i) {
+                mask_range(&mut out, s, i, i + consumed, &mut line);
+                i += consumed;
+                line_has_code = true; // the literal itself is a code token
+                continue;
+            }
+        }
+        if b == b'"' {
+            let consumed = scan_plain_string(s, i);
+            mask_range(&mut out, s, i, i + consumed, &mut line);
+            i += consumed;
+            line_has_code = true;
+            continue;
+        }
+        if b == b'\'' {
+            if let Some(consumed) = scan_char_literal(s, i) {
+                mask_range(&mut out, s, i, i + consumed, &mut line);
+                i += consumed;
+                line_has_code = true;
+                continue;
+            }
+            // A lifetime: the quote passes through as code.
+        }
+
+        // Plain code byte.
+        if b == b'\n' {
+            line += 1;
+            line_has_code = false;
+        } else if !b.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        out.push(b);
+        i += 1;
+    }
+
+    Masked {
+        text: String::from_utf8(out).unwrap_or_default(),
+        comments,
+    }
+}
+
+/// Masks `s[from..to]`, updating the line counter for embedded newlines.
+fn mask_range(out: &mut Vec<u8>, s: &[u8], from: usize, to: usize, line: &mut u32) {
+    for &b in &s[from..to.min(s.len())] {
+        if b == b'\n' {
+            *line += 1;
+            out.push(b'\n');
+        } else {
+            out.push(b' ');
+        }
+    }
+}
+
+/// If `s[i..]` begins a raw/byte string literal (`r"`, `r#"`, `b"`,
+/// `b'`, `br"`, `br#"`), returns its total byte length.  Returns `None`
+/// for raw identifiers (`r#match`) and ordinary identifiers.
+fn try_string_prefix(s: &[u8], i: usize) -> Option<usize> {
+    let b = s[i];
+    if b == b'b' {
+        match s.get(i + 1).copied() {
+            Some(b'"') => Some(1 + scan_plain_string(s, i + 1)),
+            Some(b'\'') => scan_char_literal(s, i + 1).map(|n| 1 + n),
+            Some(b'r') => scan_raw_string(s, i + 2).map(|n| 2 + n),
+            _ => None,
+        }
+    } else {
+        // b == b'r'
+        scan_raw_string(s, i + 1).map(|n| 1 + n)
+    }
+}
+
+/// Scans a raw-string body starting at the hash run / opening quote
+/// (`s[at]` is `#` or `"`).  Returns the byte length from `at` through
+/// the closing delimiter, or `None` when this is not a raw string (e.g.
+/// a raw identifier).
+fn scan_raw_string(s: &[u8], at: usize) -> Option<usize> {
+    let mut j = at;
+    let mut hashes = 0usize;
+    while s.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if s.get(j) != Some(&b'"') {
+        return None; // raw identifier or plain ident char
+    }
+    j += 1;
+    // Find `"` followed by `hashes` hashes.
+    while j < s.len() {
+        if s[j] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && s.get(j + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes - at);
+            }
+        }
+        j += 1;
+    }
+    Some(s.len() - at) // unterminated: mask to EOF
+}
+
+/// Scans a plain (escaped) string starting at the opening quote.
+/// Returns the byte length including both quotes.
+fn scan_plain_string(s: &[u8], at: usize) -> usize {
+    let mut j = at + 1;
+    while j < s.len() {
+        match s[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1 - at,
+            _ => j += 1,
+        }
+    }
+    s.len() - at
+}
+
+/// Scans a char literal starting at the opening quote.  Returns `None`
+/// when the quote is a lifetime, not a literal.  The distinction is the
+/// same one rustc draws: exactly one code point (or one escape) followed
+/// immediately by a closing quote is a char literal; anything else
+/// (`'a` in `&'a T`, `<'de, 'a>`) is a lifetime.
+fn scan_char_literal(s: &[u8], at: usize) -> Option<usize> {
+    let mut j = at + 1;
+    if j >= s.len() || s[j] == b'\n' {
+        return None;
+    }
+    if s[j] == b'\\' {
+        // Escape: consume until the closing quote.
+        j += 1;
+        while j < s.len() {
+            match s[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1 - at),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return Some(s.len() - at);
+    }
+    // One code point (skip UTF-8 continuation bytes), then `'`.
+    let mut k = j + 1;
+    while k < s.len() && s[k] & 0xC0 == 0x80 {
+        k += 1;
+    }
+    if s.get(k) == Some(&b'\'') {
+        Some(k + 1 - at)
+    } else {
+        None
+    }
+}
+
+/// A code token from the masked text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal start (the lexer does not split suffixes).
+    Number,
+    /// A single punctuation/operator byte.
+    Punct(u8),
+}
+
+/// A token with its location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Identifier/number text; empty for punctuation.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+}
+
+/// Tokenizes masked text into identifiers, numbers and punctuation.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let s = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut line_start = 0usize;
+    while i < s.len() {
+        let b = s[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            line_start = i;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let col = (i - line_start + 1) as u32;
+        if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 {
+            let start = i;
+            while i < s.len() && (is_ident_continue(s[i]) || s[i] >= 0x80) {
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: masked[start..i].to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < s.len() && (is_ident_continue(s[i]) || s[i] == b'.') {
+                // Stop at `..` (range) and at a `.` followed by an
+                // identifier (method call on a literal).
+                if s[i] == b'.' {
+                    let after = s.get(i + 1).copied().unwrap_or(b' ');
+                    if after == b'.' || after.is_ascii_alphabetic() || after == b'_' {
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: masked[start..i].to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        tokens.push(Token {
+            kind: TokenKind::Punct(b),
+            text: String::new(),
+            line,
+            col,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).text
+    }
+
+    #[test]
+    fn line_comments_are_masked_and_collected() {
+        let m = mask("let x = 1; // trailing HashMap\n// standalone\nlet y = 2;\n");
+        assert!(!m.text.contains("HashMap"));
+        assert!(m.text.contains("let x = 1;"));
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].line, 1);
+        assert!(!m.comments[0].standalone);
+        assert_eq!(m.comments[0].text, "trailing HashMap");
+        assert!(m.comments[1].standalone);
+    }
+
+    #[test]
+    fn nested_block_comments_mask_fully() {
+        let src = "a /* outer /* inner Instant::now() */ still outer */ b\n";
+        let masked = code_of(src);
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains('a') && masked.contains('b'));
+    }
+
+    #[test]
+    fn block_comment_spanning_lines_keeps_line_count() {
+        let src = "x\n/* one\ntwo\nthree */\ny\n";
+        let masked = code_of(src);
+        assert_eq!(masked.matches('\n').count(), src.matches('\n').count());
+        let m = mask(src);
+        assert_eq!(m.comments[0].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_interiors() {
+        let masked = code_of(r#"let s = "Instant::now() // not a comment";"#);
+        assert!(!masked.contains("Instant"));
+        assert!(!masked.contains("//"));
+        assert!(masked.contains("let s ="));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let masked = code_of(r#"let s = "a \" HashMap \" b"; let t = HashMap;"#);
+        // The second HashMap is real code; the first is inside the string.
+        assert_eq!(masked.matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let masked = code_of(r###"let s = r#"Instant::now() "quoted" more"#; next()"###);
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains("next()"));
+    }
+
+    #[test]
+    fn raw_identifiers_stay_code() {
+        let masked = code_of("let r#type = 1; let x = r#type;");
+        assert!(masked.contains("r#type"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let masked = code_of(r##"let a = b"unsafe"; let b2 = br#"panic!()"#; done()"##);
+        assert!(!masked.contains("unsafe"));
+        assert!(!masked.contains("panic"));
+        assert!(masked.contains("done()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let masked = code_of("let c = 'u'; fn f<'unsafe2>(x: &'unsafe2 str) {} let q = '\\'';");
+        // 'u' masked; the lifetime named unsafe2 stays code (and is a
+        // plain identifier as far as tokens go).
+        assert!(!masked.contains("'u'"));
+        assert!(masked.contains("'unsafe2"));
+        let masked2 = code_of("let nl = '\\n'; let tick = '\\''; after()");
+        assert!(masked2.contains("after()"));
+    }
+
+    #[test]
+    fn adjacent_lifetimes_are_not_a_char_literal() {
+        // `'a, 'b` must not be swallowed as the char literal `'a, '`.
+        let masked = code_of("fn f<'a, 'b>(x: &'a str, y: &'b str) -> &'a str { x }");
+        assert!(masked.contains("fn f<'a, 'b>"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_or_b_is_not_a_prefix() {
+        let masked = code_of(r#"let color = 4; let grab = "unsafe"; for x in "panic!" {}"#);
+        assert!(masked.contains("color"));
+        assert!(masked.contains("grab"));
+        assert!(!masked.contains("unsafe"));
+        assert!(!masked.contains("panic"));
+        assert!(masked.contains("for x in"));
+    }
+
+    #[test]
+    fn tokenizer_reports_lines_and_cols() {
+        let toks = tokenize("ab cd\n  ef(1)\n");
+        assert_eq!(toks[0].text, "ab");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!(toks[1].text, "cd");
+        assert_eq!((toks[1].line, toks[1].col), (1, 4));
+        assert_eq!(toks[2].text, "ef");
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+        assert_eq!(toks[3].kind, TokenKind::Punct(b'('));
+        assert_eq!(toks[4].kind, TokenKind::Number);
+        assert_eq!(toks[5].kind, TokenKind::Punct(b')'));
+    }
+
+    #[test]
+    fn number_method_calls_split_at_the_dot() {
+        let toks = tokenize("1.max(2) 3.5 0..4");
+        assert_eq!(toks[0].text, "1");
+        assert_eq!(toks[1].kind, TokenKind::Punct(b'.'));
+        assert_eq!(toks[2].text, "max");
+        let three_five = toks.iter().find(|t| t.text == "3.5");
+        assert!(three_five.is_some(), "float literal stays one token");
+    }
+}

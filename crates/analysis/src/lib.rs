@@ -1,0 +1,64 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `sbs-analysis` — the workspace's in-repo static analysis pass.
+//!
+//! The paper's headline result (DDS/lxf/dynB matching FCFS-backfill's
+//! max wait *and* LXF-backfill's average slowdown) is only reproducible
+//! when every scheduling decision is bit-deterministic.  Three classes
+//! of bugs silently destroy that:
+//!
+//! * **wall-clock reads** in decision-path code make runs
+//!   time-dependent;
+//! * **`HashMap`/`HashSet` iteration** is randomized per process, so any
+//!   decision influenced by iteration order differs run to run;
+//! * **`partial_cmp` on float keys** mis-orders (or panics on) NaN,
+//!   breaking the exact tie-breaking semantics discrepancy search
+//!   depends on.
+//!
+//! A fourth class — `unwrap`/`expect`/`panic!`/bare indexing in the
+//! long-running daemon — trades an error message for a dead scheduler.
+//!
+//! The container this workspace builds in has no crates.io access, so
+//! miri/loom/cargo-deny/clippy-plugins are unavailable; this crate is a
+//! dependency-free replacement sized to the workspace's actual needs: a
+//! small real Rust lexer ([`lexer`]) so rules never fire inside strings
+//! or comments, a rule set ([`rules`]), per-crate scoping via the
+//! workspace-root `lint.toml` ([`config`]), and justified inline
+//! suppressions ([`engine`]).
+//!
+//! Run it as `sbs lint` or `cargo run -p sbs-analysis -- --workspace`.
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{LintConfig, RuleConfig};
+pub use engine::{lint_files, lint_source, lint_workspace, Diagnostic};
+pub use rules::{rule_by_name, Finding, RuleDef, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Name of the workspace configuration file.
+pub const CONFIG_FILE: &str = "lint.toml";
+
+/// Walks upward from `start` to the first directory containing
+/// `lint.toml`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join(CONFIG_FILE).is_file() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Loads the config at `root` and lints the whole workspace: the
+/// one-call entry point used by `sbs lint` and the CI job.
+pub fn run_workspace_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let cfg = LintConfig::load(&root.join(CONFIG_FILE))?;
+    lint_workspace(root, &cfg)
+}

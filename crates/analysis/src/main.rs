@@ -1,0 +1,90 @@
+//! The standalone `sbs-analysis` binary.
+//!
+//! ```text
+//! sbs-analysis --workspace            lint everything lint.toml names
+//! sbs-analysis FILE...                lint specific files
+//! sbs-analysis --list-rules           show the rule set
+//! ```
+//!
+//! Exits 0 when clean, 1 on any diagnostic, 2 on usage/config errors.
+//! Diagnostics are grep-style `file:line:col rule message` lines on
+//! stdout, one per finding, sorted by file then position.
+
+use sbs_analysis::{find_workspace_root, lint_files, LintConfig, CONFIG_FILE, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sbs-analysis — static analysis for determinism, panic-freedom and float ordering
+
+USAGE:
+  sbs-analysis --workspace [--root DIR]     lint the whole workspace
+  sbs-analysis [--root DIR] FILE...         lint specific files
+  sbs-analysis --list-rules                 describe every rule
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("sbs-analysis: {} diagnostic(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("sbs-analysis: {e}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<Vec<sbs_analysis::Diagnostic>, String> {
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => {
+                root = Some(PathBuf::from(
+                    it.next().ok_or("--root needs a value")?.clone(),
+                ))
+            }
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
+            other => files.push(PathBuf::from(other)),
+        }
+    }
+    if list_rules {
+        for r in RULES {
+            println!("{:<16} {}", r.name, r.summary);
+        }
+        return Ok(Vec::new());
+    }
+    if !workspace && files.is_empty() {
+        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    }
+
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = match root {
+        Some(r) => r,
+        None => find_workspace_root(&cwd)
+            .ok_or_else(|| format!("no {CONFIG_FILE} found above {}", cwd.display()))?,
+    };
+    let cfg = LintConfig::load(&root.join(CONFIG_FILE))?;
+    if workspace {
+        sbs_analysis::lint_workspace(&root, &cfg)
+    } else {
+        lint_files(&root, &files, &cfg)
+    }
+}

@@ -1,0 +1,297 @@
+//! The rule set.
+//!
+//! Every rule is a pure function over the masked token stream (see
+//! [`crate::lexer`]); rules therefore never fire inside comments or
+//! string literals by construction.  Scoping (which crates a rule
+//! polices) lives in `lint.toml`, not here — rules only know how to
+//! recognize a violation.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// A rule: its identity plus its checker.
+pub struct RuleDef {
+    /// The name used in `lint.toml` sections and `allow(...)`.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and docs.
+    pub summary: &'static str,
+    /// Scans a masked token stream for violations.
+    pub check: fn(&[Token]) -> Vec<Finding>,
+}
+
+/// Every rule the analyzer knows, in reporting order.
+pub const RULES: &[RuleDef] = &[
+    RuleDef {
+        name: "wall-clock",
+        summary: "Instant::now()/SystemTime::now() forbidden in deterministic code",
+        check: check_wall_clock,
+    },
+    RuleDef {
+        name: "unordered-map",
+        summary: "HashMap/HashSet forbidden in decision-path crates (iteration order is random)",
+        check: check_unordered_map,
+    },
+    RuleDef {
+        name: "panic-in-daemon",
+        summary: "unwrap/expect/panic!/bare indexing forbidden in long-running daemon code",
+        check: check_panic,
+    },
+    RuleDef {
+        name: "float-ordering",
+        summary: "partial_cmp on float keys must be total_cmp (NaN breaks tie-breaking)",
+        check: check_float_ordering,
+    },
+    RuleDef {
+        name: "forbid-unsafe",
+        summary: "no unsafe blocks without an explicit justified allow",
+        check: check_unsafe,
+    },
+];
+
+/// Looks a rule up by name.
+pub fn rule_by_name(name: &str) -> Option<&'static RuleDef> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(t) if t.kind == TokenKind::Ident => Some(&t.text),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, b: u8) -> bool {
+    matches!(tokens.get(i), Some(t) if t.kind == TokenKind::Punct(b))
+}
+
+/// `Instant::now` / `SystemTime::now` as a token sequence.
+fn check_wall_clock(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let Some(ty) = ident_at(tokens, i) else {
+            continue;
+        };
+        if ty != "Instant" && ty != "SystemTime" {
+            continue;
+        }
+        if punct_at(tokens, i + 1, b':')
+            && punct_at(tokens, i + 2, b':')
+            && ident_at(tokens, i + 3) == Some("now")
+        {
+            out.push(Finding {
+                line: tokens[i].line,
+                col: tokens[i].col,
+                message: format!(
+                    "{ty}::now() reads the wall clock in deterministic code; \
+                     route time through an injectable clock (see service::Clock) \
+                     or move the read into an allowlisted module"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Any `HashMap` / `HashSet` mention (type position, construction, or
+/// import) inside the configured decision-path crates.
+fn check_unordered_map(tokens: &[Token]) -> Vec<Finding> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet"))
+        .map(|t| Finding {
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "{} has per-process-randomized iteration order, which leaks \
+                 nondeterminism into scheduling decisions; use BTreeMap/BTreeSet \
+                 or sort keys before iterating",
+                t.text
+            ),
+        })
+        .collect()
+}
+
+/// Keywords that can legitimately precede `[` without it being an index
+/// expression (`let [a, b] = ...`, `for [x, y] in ...`, `return [..]`).
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "let", "in", "return", "break", "continue", "match", "if", "else", "mut", "ref", "move", "as",
+    "const", "static", "type", "where", "dyn", "impl", "fn", "pub", "use", "mod", "box", "yield",
+];
+
+/// `.unwrap(` / `.expect(` / `panic!` / bare `expr[...]` indexing.
+fn check_panic(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        match &t.kind {
+            TokenKind::Ident
+                if (t.text == "unwrap" || t.text == "expect")
+                    && i > 0
+                    && punct_at(tokens, i - 1, b'.')
+                    && punct_at(tokens, i + 1, b'(') =>
+            {
+                out.push(Finding {
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        ".{}() can panic and take the daemon down; return a typed \
+                         error (or use unwrap_or_else/match) so a bad input logs \
+                         and the scheduler keeps running",
+                        t.text
+                    ),
+                });
+            }
+            TokenKind::Ident if t.text == "panic" && punct_at(tokens, i + 1, b'!') => {
+                out.push(Finding {
+                    line: t.line,
+                    col: t.col,
+                    message: "panic!() in daemon code kills the scheduler; degrade \
+                              gracefully with an error path instead"
+                        .to_string(),
+                });
+            }
+            TokenKind::Punct(b'[') if i > 0 => {
+                let prev = &tokens[i - 1];
+                let is_index_base = match &prev.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                    TokenKind::Punct(b')') | TokenKind::Punct(b']') => true,
+                    _ => false,
+                };
+                if is_index_base {
+                    out.push(Finding {
+                        line: t.line,
+                        col: t.col,
+                        message: "bare indexing/slicing panics when out of bounds; use \
+                                  .get(..) and handle the None"
+                            .to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `.partial_cmp(` — float keys must use a total order.
+fn check_float_ordering(tokens: &[Token]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for i in 1..tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "partial_cmp"
+            && punct_at(tokens, i - 1, b'.')
+            && punct_at(tokens, i + 1, b'(')
+        {
+            out.push(Finding {
+                line: t.line,
+                col: t.col,
+                message: "partial_cmp on search/decision keys mis-orders or panics on \
+                          NaN; use f64::total_cmp (or a hand-written total Ord) so \
+                          tie-breaking is exact"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The `unsafe` keyword anywhere.
+fn check_unsafe(tokens: &[Token]) -> Vec<Finding> {
+    tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
+        .map(|t| Finding {
+            line: t.line,
+            col: t.col,
+            message: "unsafe code needs an explicit justified allow (and prefer \
+                      #![forbid(unsafe_code)] crates)"
+                .to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{mask, tokenize};
+
+    fn findings(rule: &str, src: &str) -> Vec<Finding> {
+        let def = rule_by_name(rule).expect("known rule");
+        (def.check)(&tokenize(&mask(src).text))
+    }
+
+    #[test]
+    fn wall_clock_fires_on_both_clocks_and_spaced_paths() {
+        assert_eq!(findings("wall-clock", "let t = Instant::now();").len(), 1);
+        assert_eq!(
+            findings("wall-clock", "let t = std::time::SystemTime::now();").len(),
+            1
+        );
+        assert_eq!(findings("wall-clock", "Instant :: now()").len(), 1);
+        assert!(findings("wall-clock", "let now = compute_now();").is_empty());
+        assert!(findings("wall-clock", "instant.elapsed()").is_empty());
+    }
+
+    #[test]
+    fn unordered_map_fires_on_types_and_imports() {
+        assert_eq!(
+            findings("unordered-map", "use std::collections::HashMap;").len(),
+            1
+        );
+        assert_eq!(
+            findings("unordered-map", "let s: HashSet<u32> = HashSet::new();").len(),
+            2
+        );
+        assert!(findings("unordered-map", "let m = BTreeMap::new();").is_empty());
+    }
+
+    #[test]
+    fn panic_rule_catches_the_four_forms() {
+        assert_eq!(findings("panic-in-daemon", "x.unwrap()").len(), 1);
+        assert_eq!(findings("panic-in-daemon", "x.expect(\"msg\")").len(), 1);
+        assert_eq!(findings("panic-in-daemon", "panic!(\"boom\")").len(), 1);
+        assert_eq!(findings("panic-in-daemon", "let y = xs[0];").len(), 1);
+        assert_eq!(findings("panic-in-daemon", "let y = &xs[1..n];").len(), 1);
+        assert_eq!(findings("panic-in-daemon", "f(a)[0]").len(), 1);
+    }
+
+    #[test]
+    fn panic_rule_skips_non_panicking_lookalikes() {
+        assert!(findings("panic-in-daemon", "x.unwrap_or(0)").is_empty());
+        assert!(findings("panic-in-daemon", "x.unwrap_or_else(|| 0)").is_empty());
+        assert!(findings("panic-in-daemon", "xs.get(0)").is_empty());
+        assert!(findings("panic-in-daemon", "#[derive(Debug)] struct X;").is_empty());
+        assert!(findings("panic-in-daemon", "#![forbid(unsafe_code)]").is_empty());
+        assert!(findings("panic-in-daemon", "let v = vec![1, 2];").is_empty());
+        assert!(findings("panic-in-daemon", "let [a, b] = pair;").is_empty());
+        assert!(findings("panic-in-daemon", "fn f(x: [u8; 4]) -> [u8; 4] { x }").is_empty());
+        assert!(findings("panic-in-daemon", "let x: &[u8] = &buf;").is_empty());
+        assert!(findings("panic-in-daemon", "let v: Vec<[u8; 2]> = Vec::new();").is_empty());
+    }
+
+    #[test]
+    fn float_ordering_fires_on_partial_cmp_calls_only() {
+        assert_eq!(findings("float-ordering", "a.partial_cmp(&b)").len(), 1);
+        assert!(findings("float-ordering", "a.total_cmp(&b)").is_empty());
+        assert!(findings("float-ordering", "fn partial_cmp() {}").is_empty());
+        assert!(findings("float-ordering", "use std::cmp::PartialOrd;").is_empty());
+    }
+
+    #[test]
+    fn unsafe_rule_fires_on_the_keyword() {
+        assert_eq!(findings("forbid-unsafe", "unsafe { *p }").len(), 1);
+        assert!(findings("forbid-unsafe", "let unsafety = 1;").is_empty());
+        assert!(findings("forbid-unsafe", "// unsafe in a comment").is_empty());
+    }
+}

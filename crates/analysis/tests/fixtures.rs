@@ -1,0 +1,137 @@
+//! Fixture-based self-tests: every rule has a firing fixture and a
+//! suppressed fixture, plus lexer edge cases that must stay silent.
+//!
+//! Fixtures are linted with a *bare* config (no scoping, no
+//! allowlists), so every rule applies to every fixture — exactly the
+//! worst case for false positives.
+
+use sbs_analysis::{lint_source, LintConfig};
+use std::collections::BTreeMap;
+
+fn bare_cfg() -> LintConfig {
+    LintConfig {
+        rules: BTreeMap::new(),
+        ..LintConfig::default()
+    }
+}
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+/// Lints a fixture and returns `(line, rule)` pairs.
+fn lint_fixture(name: &str) -> Vec<(u32, String)> {
+    lint_source(name, &fixture(name), &bare_cfg())
+        .into_iter()
+        .map(|d| (d.line, d.rule))
+        .collect()
+}
+
+fn assert_silent(name: &str) {
+    let d = lint_fixture(name);
+    assert!(d.is_empty(), "{name}: expected no diagnostics, got {d:?}");
+}
+
+#[test]
+fn wall_clock_fires() {
+    assert_eq!(
+        lint_fixture("wall_clock_fires.rs"),
+        vec![(5, "wall-clock".to_string()), (9, "wall-clock".to_string())]
+    );
+}
+
+#[test]
+fn wall_clock_suppressed() {
+    assert_silent("wall_clock_suppressed.rs");
+}
+
+#[test]
+fn unordered_map_fires() {
+    assert_eq!(
+        lint_fixture("unordered_map_fires.rs"),
+        vec![
+            (5, "unordered-map".to_string()),
+            (8, "unordered-map".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn unordered_map_suppressed() {
+    assert_silent("unordered_map_suppressed.rs");
+}
+
+#[test]
+fn panic_fires() {
+    assert_eq!(
+        lint_fixture("panic_fires.rs"),
+        vec![
+            (6, "panic-in-daemon".to_string()),
+            (7, "panic-in-daemon".to_string()),
+            (9, "panic-in-daemon".to_string()),
+            (11, "panic-in-daemon".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn panic_suppressed() {
+    assert_silent("panic_suppressed.rs");
+}
+
+#[test]
+fn float_ordering_fires() {
+    // The fixture's `partial_cmp(..).unwrap()` trips both the float rule
+    // and the panic rule — both are real findings on that line.
+    assert_eq!(
+        lint_fixture("float_ordering_fires.rs"),
+        vec![
+            (5, "float-ordering".to_string()),
+            (5, "panic-in-daemon".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn float_ordering_suppressed() {
+    assert_silent("float_ordering_suppressed.rs");
+}
+
+#[test]
+fn forbid_unsafe_fires() {
+    assert_eq!(
+        lint_fixture("unsafe_fires.rs"),
+        vec![(4, "forbid-unsafe".to_string())]
+    );
+}
+
+#[test]
+fn forbid_unsafe_suppressed() {
+    assert_silent("unsafe_suppressed.rs");
+}
+
+#[test]
+fn lexer_edge_cases_never_fire() {
+    // Raw strings containing `Instant::now()`, `//` inside string
+    // literals, nested `/* /* */ */` comments, tricky char literals and
+    // lifetimes: all must be invisible to every rule.
+    assert_silent("lexer_edge_cases.rs");
+}
+
+#[test]
+fn diagnostics_carry_exact_positions() {
+    // The acceptance check for "reintroduce a violation, get the right
+    // file:line back": render the first wall-clock finding grep-style.
+    let d = lint_source(
+        "wall_clock_fires.rs",
+        &fixture("wall_clock_fires.rs"),
+        &bare_cfg(),
+    );
+    let first = d.first().expect("fixture fires").to_string();
+    assert!(
+        first.starts_with("wall_clock_fires.rs:5:"),
+        "unexpected rendering: {first}"
+    );
+    assert!(first.contains("wall-clock"), "{first}");
+}

@@ -1,0 +1,6 @@
+// Fixture: NaN-unsafe float comparison must fire `float-ordering`.
+// Expected: line 5.
+
+pub fn sort_costs(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,7 @@
+// Fixture: a justified partial_cmp stays silent.
+// Expected: no diagnostics.
+
+pub fn sort_bounds<T: PartialOrd>(xs: &mut Vec<T>) {
+    // sbs-lint: allow(float-ordering): generic PartialOrd key; incomparable pairs fall back to Equal under a stable sort
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}

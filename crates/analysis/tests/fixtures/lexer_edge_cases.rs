@@ -1,0 +1,28 @@
+// Fixture: rule-trigger text inside strings and comments must never
+// produce diagnostics.  Expected: no diagnostics.
+
+/* A block comment mentioning Instant::now() and HashMap. */
+
+/* nested /* block /* comments */ with x.unwrap() inside */ stay comments */
+
+pub fn docs() -> Vec<String> {
+    vec![
+        // Plain strings with trigger text and a fake line comment marker.
+        "call Instant::now() // not a comment, still in the string".to_string(),
+        "HashMap::new() and q.unwrap() and panic!(\"no\")".to_string(),
+        // Raw strings: hashes guard embedded quotes and trigger text.
+        r#"SystemTime::now() says "hello" unsafe { }"#.to_string(),
+        r##"outer r#"inner Instant::now()"# still raw"##.to_string(),
+        // Byte strings and chars.
+        String::from_utf8_lossy(b"HashSet::from([1])").to_string(),
+        // A char literal that looks like a quote opener, and lifetimes
+        // that must not be mistaken for char literals.
+        '"'.to_string(),
+    ]
+}
+
+pub fn lifetimes<'a, 'b>(x: &'a str, _y: &'b str) -> &'a str {
+    let _escaped = '\'';
+    let _unicode = '\u{1F600}';
+    x
+}

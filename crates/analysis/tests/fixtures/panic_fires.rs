@@ -1,0 +1,13 @@
+// Fixture: every panic path the `panic-in-daemon` rule knows about.
+// Expected: line 6 (unwrap), line 7 (expect), line 9 (panic!),
+// line 11 (bare index).
+
+pub fn handle(q: &[u32], found: Option<u32>) -> u32 {
+    let a = found.unwrap();
+    let b = found.expect("present");
+    if q.is_empty() {
+        panic!("empty queue");
+    }
+    let first = q[0];
+    a + b + first
+}

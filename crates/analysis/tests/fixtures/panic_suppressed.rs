@@ -1,0 +1,9 @@
+// Fixture: panic paths silenced by justified suppressions.
+// Expected: no diagnostics.
+
+pub fn handle(q: &[u32]) -> u32 {
+    // sbs-lint: allow(panic-in-daemon): emptiness checked in the same expression; get() would hide the invariant
+    let first = if q.is_empty() { 0 } else { q[0] };
+    let parsed: Option<u32> = Some(first);
+    parsed.unwrap() // sbs-lint: allow(panic-in-daemon): constructed Some() two lines up, cannot be None
+}

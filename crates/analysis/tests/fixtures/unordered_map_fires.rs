@@ -1,0 +1,11 @@
+// Fixture: HashMap/HashSet in decision-path code must fire
+// `unordered-map`.  Expected: line 5 (HashMap) and line 8 (HashSet).
+
+pub fn tally(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0u32) += 1;
+        let _ = std::collections::HashSet::from([x]);
+    }
+    seen.len()
+}

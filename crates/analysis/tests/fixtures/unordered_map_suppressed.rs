@@ -1,0 +1,7 @@
+// Fixture: a justified HashMap stays silent.  Expected: no diagnostics.
+
+pub fn membership(xs: &[u32]) -> usize {
+    // sbs-lint: allow(unordered-map): pure membership check, iteration order never observed
+    let seen: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}

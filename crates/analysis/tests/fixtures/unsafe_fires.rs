@@ -1,0 +1,5 @@
+// Fixture: an unsafe block must fire `forbid-unsafe`.  Expected: line 4.
+
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}

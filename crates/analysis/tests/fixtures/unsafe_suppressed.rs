@@ -1,0 +1,13 @@
+// Fixture: a justified unsafe block stays silent.
+// Expected: no diagnostics.
+
+pub fn install_handler() {
+    // sbs-lint: allow(forbid-unsafe): libc signal registration has no safe std equivalent; handler only stores an atomic
+    unsafe {
+        register();
+    }
+}
+
+extern "C" {
+    fn register();
+}

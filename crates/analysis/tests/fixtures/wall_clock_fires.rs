@@ -1,0 +1,10 @@
+// Fixture: production code reading the wall clock must fire `wall-clock`.
+// Expected: wall-clock at line 5 and line 9.
+
+pub fn decision_timestamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn submit_time() -> std::time::SystemTime {
+    SystemTime::now()
+}

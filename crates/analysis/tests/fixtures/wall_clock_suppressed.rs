@@ -1,0 +1,11 @@
+// Fixture: the same clock reads, silenced by justified suppressions.
+// Expected: no diagnostics.
+
+pub fn telemetry_stamp() -> std::time::Instant {
+    // sbs-lint: allow(wall-clock): latency telemetry only, never read back into a decision
+    std::time::Instant::now()
+}
+
+pub fn banner_time() -> std::time::SystemTime {
+    SystemTime::now() // sbs-lint: allow(wall-clock): boot banner, display only
+}

@@ -43,8 +43,7 @@ impl PriorityOrder {
         let keys: Vec<f64> = queue.iter().map(|w| self.value(w, now)).collect();
         idx.sort_by(|&a, &b| {
             keys[b]
-                .partial_cmp(&keys[a])
-                .expect("priorities are finite")
+                .total_cmp(&keys[a])
                 .then(queue[a].job.submit.cmp(&queue[b].job.submit))
                 .then(queue[a].job.id.cmp(&queue[b].job.id))
         });

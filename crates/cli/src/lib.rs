@@ -26,6 +26,7 @@ USAGE:
   sbs serve [options]     run the online scheduler daemon
   sbs submit [options]    submit a job to a running daemon
   sbs queue [options]     show a running daemon's queue
+  sbs lint [FILE...]      run the workspace static-analysis pass
   sbs policies            list available policy names
   sbs months              list the study months
   sbs help                this text
@@ -54,6 +55,11 @@ OPTIONS (serve):
   --snapshot-every N  auto-snapshot every N decisions (default 16)
   --virtual-clock     time advances only with submitted events (testing)
 
+OPTIONS (lint):
+  --root DIR          workspace root (default: nearest parent directory
+                      containing lint.toml); FILE arguments restrict the
+                      pass to those files
+
 OPTIONS (submit / queue):
   --host H            daemon host (default 127.0.0.1)
   --port P            daemon port (default 7070)
@@ -78,6 +84,8 @@ pub enum Command {
     Submit(SubmitArgs),
     /// Show a running daemon's queue.
     Queue(ConnectArgs),
+    /// Run the static-analysis pass.
+    Lint(LintArgs),
     /// List policy names.
     Policies,
     /// List study months.
@@ -105,6 +113,16 @@ pub struct ServeArgs {
     pub snapshot_every: u64,
     /// Drive time from submitted events instead of the wall clock.
     pub virtual_clock: bool,
+}
+
+/// Arguments of `sbs lint`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LintArgs {
+    /// Explicit workspace root; `None` = walk up to the nearest
+    /// `lint.toml`.
+    pub root: Option<String>,
+    /// Specific files to lint; empty = the whole workspace.
+    pub files: Vec<String>,
 }
 
 /// Connection coordinates for the client subcommands.
@@ -434,6 +452,25 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Queue(connect))
         }
+        "lint" => {
+            let mut parsed = LintArgs::default();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--root" => {
+                        parsed.root = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "--root needs a value".to_string())?,
+                        )
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag {other:?}"))
+                    }
+                    file => parsed.files.push(file.to_string()),
+                }
+            }
+            Ok(Command::Lint(parsed))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -482,6 +519,43 @@ pub fn run(cmd: Command) -> Result<String, String> {
             client_round_trip(&args.connect, &req)
         }
         Command::Queue(connect) => client_round_trip(&connect, r#"{"op":"queue"}"#),
+        Command::Lint(args) => lint_cmd(args),
+    }
+}
+
+/// Runs the static-analysis pass; violations are an error (non-zero
+/// exit) whose text carries the grep-style diagnostics.
+fn lint_cmd(args: LintArgs) -> Result<String, String> {
+    let root = match &args.root {
+        Some(r) => std::path::PathBuf::from(r),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            sbs_analysis::find_workspace_root(&cwd).ok_or_else(|| {
+                format!(
+                    "no {} found above {} (pass --root)",
+                    sbs_analysis::CONFIG_FILE,
+                    cwd.display()
+                )
+            })?
+        }
+    };
+    let diags = if args.files.is_empty() {
+        sbs_analysis::run_workspace_lint(&root)?
+    } else {
+        let cfg = sbs_analysis::LintConfig::load(&root.join(sbs_analysis::CONFIG_FILE))?;
+        let files: Vec<std::path::PathBuf> =
+            args.files.iter().map(std::path::PathBuf::from).collect();
+        sbs_analysis::lint_files(&root, &files, &cfg)?
+    };
+    if diags.is_empty() {
+        Ok("lint clean\n".to_string())
+    } else {
+        let mut msg = format!("{} lint finding(s)\n", diags.len());
+        for d in &diags {
+            msg.push_str(&d.to_string());
+            msg.push('\n');
+        }
+        Err(msg)
     }
 }
 
@@ -774,6 +848,49 @@ mod tests {
 
         stop.store(true, std::sync::atomic::Ordering::SeqCst);
         handle.join().expect("join").expect("server exit");
+    }
+
+    #[test]
+    fn lint_subcommand_parses() {
+        let Command::Lint(a) = parse("lint --root /tmp/ws crates/core/src/lib.rs").expect("parse")
+        else {
+            panic!("not lint")
+        };
+        assert_eq!(a.root.as_deref(), Some("/tmp/ws"));
+        assert_eq!(a.files, ["crates/core/src/lib.rs"]);
+        assert!(parse("lint --bogus").is_err());
+    }
+
+    #[test]
+    fn lint_runs_clean_on_this_workspace() {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        let out = run(Command::Lint(LintArgs {
+            root: Some(root),
+            files: Vec::new(),
+        }))
+        .expect("the workspace must lint clean");
+        assert_eq!(out, "lint clean\n");
+    }
+
+    #[test]
+    fn lint_reports_reintroduced_violations_with_positions() {
+        // Reintroduce a wall-clock read in a scratch "workspace" and
+        // check the diagnostic carries the exact file:line back.
+        let dir = std::env::temp_dir().join("sbs_cli_lint_test");
+        std::fs::create_dir_all(dir.join("crates/x/src")).expect("mkdir");
+        std::fs::write(dir.join("lint.toml"), "[scan]\nroots = [\"crates\"]\n").expect("config");
+        std::fs::write(
+            dir.join("crates/x/src/lib.rs"),
+            "pub fn t() -> std::time::Instant {\n    std::time::Instant::now()\n}\n",
+        )
+        .expect("source");
+        let err = run(Command::Lint(LintArgs {
+            root: Some(dir.to_string_lossy().to_string()),
+            files: Vec::new(),
+        }))
+        .expect_err("violation must fail the lint");
+        assert!(err.contains("1 lint finding(s)"), "{err}");
+        assert!(err.contains("crates/x/src/lib.rs:2:16 wall-clock"), "{err}");
     }
 
     #[test]

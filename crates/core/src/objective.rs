@@ -19,7 +19,7 @@ use sbs_sim::policy::{SchedContext, WaitingJob};
 use sbs_workload::job::bounded_slowdown;
 use sbs_workload::time::Time;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The target wait bound ω in the first objective level.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -79,6 +79,18 @@ impl ObjectiveCost {
         } else {
             self.bsld_sum / n as f64
         }
+    }
+
+    /// A **total** order consistent with the derived lexicographic
+    /// `PartialOrd` on all finite values: excess first, then
+    /// `f64::total_cmp` on the slowdown sum.  Search reducers (e.g. the
+    /// parallel root-split merge) must use this instead of
+    /// `partial_cmp(..).unwrap()` so a NaN produced by a buggy objective
+    /// mis-ranks deterministically instead of panicking mid-decision.
+    pub fn total_order(&self, other: &ObjectiveCost) -> std::cmp::Ordering {
+        self.excess
+            .cmp(&other.excess)
+            .then_with(|| self.bsld_sum.total_cmp(&other.bsld_sum))
     }
 }
 
@@ -141,7 +153,11 @@ impl Objective for RuntimeScaledBound {
 /// average slowdown.
 #[derive(Debug, Clone, Default)]
 pub struct FairshareObjective {
-    weights: HashMap<u32, f64>,
+    /// Ordered so that any iteration over users (serialization, debug
+    /// output, future aggregate terms) is deterministic; lookups by key
+    /// never depended on order, but the determinism lint bans HashMap in
+    /// decision-path crates wholesale.
+    weights: BTreeMap<u32, f64>,
 }
 
 impl FairshareObjective {
@@ -150,7 +166,7 @@ impl FairshareObjective {
 
     /// Creates the objective from explicit per-user weights (all finite
     /// and non-negative).
-    pub fn new(weights: HashMap<u32, f64>) -> Self {
+    pub fn new(weights: BTreeMap<u32, f64>) -> Self {
         assert!(
             weights.values().all(|w| w.is_finite() && *w >= 0.0),
             "weights must be finite and non-negative"
@@ -162,7 +178,7 @@ impl FairshareObjective {
     /// demand share `s` among `n` users gets weight `(1/n) / max(s, eps)`
     /// clamped to `[0.25, 4]` — heavy users discounted, light users
     /// boosted, all bounded so nobody is entirely unprotected.
-    pub fn from_usage_shares(shares: &HashMap<u32, f64>) -> Self {
+    pub fn from_usage_shares(shares: &BTreeMap<u32, f64>) -> Self {
         let n = shares.len().max(1) as f64;
         let fair = 1.0 / n;
         let weights = shares
@@ -254,7 +270,7 @@ mod tests {
 
     #[test]
     fn fairshare_weights_scale_excess_only() {
-        let o = FairshareObjective::new(HashMap::from([(7, 0.5), (9, 2.0)]));
+        let o = FairshareObjective::new(BTreeMap::from([(7, 0.5), (9, 2.0)]));
         let heavy = o.job_cost(&waiting(0, HOUR, 7), 3 * HOUR, HOUR);
         let light = o.job_cost(&waiting(0, HOUR, 9), 3 * HOUR, HOUR);
         let unknown = o.job_cost(&waiting(0, HOUR, 1), 3 * HOUR, HOUR);
@@ -267,7 +283,7 @@ mod tests {
 
     #[test]
     fn fairshare_from_usage_shares_discounts_heavy_users() {
-        let shares = HashMap::from([(1, 0.6), (2, 0.3), (3, 0.1)]);
+        let shares = BTreeMap::from([(1, 0.6), (2, 0.3), (3, 0.1)]);
         let o = FairshareObjective::from_usage_shares(&shares);
         assert!(o.weight(1) < o.weight(2));
         assert!(o.weight(2) < o.weight(3));
@@ -279,7 +295,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite and non-negative")]
     fn negative_weights_rejected() {
-        let _ = FairshareObjective::new(HashMap::from([(1, -1.0)]));
+        let _ = FairshareObjective::new(BTreeMap::from([(1, -1.0)]));
     }
 
     #[test]

@@ -118,7 +118,7 @@ impl Policy for ParallelSearchPolicy {
         let best = outcomes
             .into_iter()
             .filter_map(|o| o.best)
-            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite costs"));
+            .min_by(|a, b| a.0.total_order(&b.0));
         let path = match best {
             Some((_, path)) => path,
             None => {

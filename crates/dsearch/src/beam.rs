@@ -52,6 +52,7 @@ pub fn beam<P: SearchProblem>(
         // Keep the `width` best-bounded children (stable: ties keep
         // heuristic order; unbounded candidates sort last).
         scored.sort_by(|a, b| match (&a.0, &b.0) {
+            // sbs-lint: allow(float-ordering): Cost is a generic PartialOrd; incomparable bounds fall back to Equal, and the sort is stable so ties keep heuristic order
             (Some(x), Some(y)) => x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal),
             (Some(_), None) => std::cmp::Ordering::Less,
             (None, Some(_)) => std::cmp::Ordering::Greater,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # sbs-dsearch
@@ -33,6 +34,7 @@
 
 pub mod beam;
 pub mod dds;
+pub mod deadline;
 pub mod dfs;
 pub mod lds;
 pub mod local;

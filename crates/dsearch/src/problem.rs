@@ -220,8 +220,9 @@ pub(crate) struct Driver<'a, P: SearchProblem> {
     /// Scratch buffers for branch lists, one per depth, reused across the
     /// whole search to avoid per-node allocation.
     scratch: Vec<Vec<P::Branch>>,
-    /// Wall-clock instant at which the search must stop, if any.
-    deadline_at: Option<std::time::Instant>,
+    /// Wall-clock deadline for the search (the crate's only time source;
+    /// see [`crate::deadline`]).
+    deadline: crate::deadline::DeadlineTimer,
 }
 
 /// Signal that the node budget was exhausted; unwinds the recursion.
@@ -235,7 +236,7 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
             outcome: SearchOutcome::new(),
             path: Vec::new(),
             scratch: Vec::new(),
-            deadline_at: cfg.deadline.map(|d| std::time::Instant::now() + d),
+            deadline: crate::deadline::DeadlineTimer::starting_now(cfg.deadline),
         }
     }
 
@@ -271,19 +272,18 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
         // already-expired deadline admits that many nodes — enough for
         // the heuristic descent to reach a leaf on realistic queues,
         // preserving the anytime guarantee.
-        if let Some(at) = self.deadline_at {
-            if self.outcome.stats.nodes > 0
-                && self
-                    .outcome
-                    .stats
-                    .nodes
-                    .is_multiple_of(DEADLINE_CHECK_INTERVAL)
-                && std::time::Instant::now() >= at
-            {
-                self.outcome.stats.budget_hit = true;
-                self.outcome.stats.deadline_hit = true;
-                return Err(BudgetExhausted);
-            }
+        if self.deadline.armed()
+            && self.outcome.stats.nodes > 0
+            && self
+                .outcome
+                .stats
+                .nodes
+                .is_multiple_of(DEADLINE_CHECK_INTERVAL)
+            && self.deadline.expired()
+        {
+            self.outcome.stats.budget_hit = true;
+            self.outcome.stats.deadline_hit = true;
+            return Err(BudgetExhausted);
         }
         self.outcome.stats.nodes += 1;
         self.problem.descend(branch);

@@ -7,7 +7,7 @@
 use sbs_sim::JobRecord;
 use sbs_workload::time::to_hours;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Aggregate statistics for one user.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,7 +35,9 @@ pub fn per_user<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> Vec<Use
         bsld_sum: f64,
         demand: u128,
     }
-    let mut by_user: HashMap<u32, Acc> = HashMap::new();
+    // Ordered accumulator: the table feeds sorted output and the shares
+    // table below, and iteration order must not vary run to run.
+    let mut by_user: BTreeMap<u32, Acc> = BTreeMap::new();
     let mut total_demand: u128 = 0;
     // User ids live on the workload's `Job`; records carry nodes/runtime
     // but not the user, so we key on what records carry... they do not
@@ -73,8 +75,7 @@ pub fn per_user<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> Vec<Use
         .collect();
     out.sort_by(|a, b| {
         b.demand_share
-            .partial_cmp(&a.demand_share)
-            .expect("finite shares")
+            .total_cmp(&a.demand_share)
             .then(a.user.cmp(&b.user))
     });
     out
@@ -82,7 +83,7 @@ pub fn per_user<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> Vec<Use
 
 /// Per-user demand shares keyed by user id (input for
 /// `FairshareObjective::from_usage_shares`).
-pub fn usage_shares<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> HashMap<u32, f64> {
+pub fn usage_shares<'a>(records: impl IntoIterator<Item = &'a JobRecord>) -> BTreeMap<u32, f64> {
     per_user(records)
         .into_iter()
         .map(|u| (u.user, u.demand_share))

@@ -214,7 +214,15 @@ impl Daemon {
     /// counts the decision toward the auto-snapshot cadence.
     fn after_decision(&mut self) {
         let threshold = self.cfg.excess_threshold;
-        for r in &self.core.records()[self.completed_seen..] {
+        // `completed_seen` only ever trails `records().len()`, but an
+        // out-of-range slice would abort the daemon; degrade to "no new
+        // completions" instead.
+        let fresh = self
+            .core
+            .records()
+            .get(self.completed_seen..)
+            .unwrap_or(&[]);
+        for r in fresh {
             self.completed.absorb(r.wait(), r.excess_wait(threshold));
         }
         self.completed_seen = self.core.records().len();

@@ -20,8 +20,21 @@ use crate::protocol::{error_response, parse_request};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
+
+/// Locks the daemon, recovering from mutex poisoning.
+///
+/// A poisoned lock means some connection thread panicked mid-request.
+/// The scheduler state itself is transition-consistent (every mutation in
+/// `SchedulerCore` completes or panics before touching state), so the
+/// daemon must keep serving rather than cascade the panic into every
+/// other connection and the accept loop.
+fn lock_daemon(daemon: &Mutex<Daemon>) -> MutexGuard<'_, Daemon> {
+    daemon
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Process-wide SIGTERM latch (signal handlers cannot capture state).
 static TERM: AtomicBool = AtomicBool::new(false);
@@ -35,6 +48,7 @@ fn install_sigterm() {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
     const SIGTERM: i32 = 15;
+    // sbs-lint: allow(forbid-unsafe): libc signal(2) registration has no safe std equivalent; the handler only stores a SeqCst atomic flag, which is async-signal-safe
     unsafe {
         signal(SIGTERM, on_term);
     }
@@ -78,7 +92,7 @@ impl Server {
         let mut workers = Vec::new();
         while !self.stopping() {
             {
-                let mut d = self.daemon.lock().expect("daemon lock");
+                let mut d = lock_daemon(&self.daemon);
                 d.poll_to(self.clock.now());
             }
             match listener.accept() {
@@ -98,7 +112,7 @@ impl Server {
         }
         self.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut d = self.daemon.lock().expect("daemon lock");
+            let mut d = lock_daemon(&self.daemon);
             let _ = d.save_snapshot();
         }
         for w in workers {
@@ -142,7 +156,7 @@ fn serve_connection(
                 }
                 let (response, stop) = match parse_request(&text) {
                     Ok(req) => {
-                        let mut d = daemon.lock().expect("daemon lock");
+                        let mut d = lock_daemon(daemon);
                         let out = d.handle(req, clock.now());
                         // Keep a steered (virtual) clock in step with the
                         // scheduler so later requests see consistent time.
@@ -151,7 +165,12 @@ fn serve_connection(
                     }
                     Err(e) => (error_response(&e), false),
                 };
-                let rendered = serde_json::to_string(&response).expect("infallible");
+                // Serializing a response value cannot fail today, but a
+                // daemon never bets its life on "cannot": fall back to a
+                // hand-built error line instead of panicking the thread.
+                let rendered = serde_json::to_string(&response).unwrap_or_else(|_| {
+                    r#"{"ok":false,"error":"internal: response serialization failed"}"#.to_string()
+                });
                 writeln!(writer, "{rendered}")?;
                 if stop {
                     shutdown.store(true, Ordering::SeqCst);
@@ -176,7 +195,7 @@ fn answer_http_probe(
     clock: &(dyn Clock + Sync),
 ) -> std::io::Result<()> {
     let text = {
-        let mut d = daemon.lock().expect("daemon lock");
+        let mut d = lock_daemon(daemon);
         d.poll_to(clock.now());
         d.metrics().render()
     };

@@ -217,7 +217,12 @@ impl Snapshot {
 
     /// Writes the snapshot to `path` atomically (temp file + rename).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let text = serde_json::to_string_pretty(&self.to_value()).expect("infallible");
+        // Snapshot values are built from plain scheduler state and cannot
+        // fail to serialize today; if that ever changes, surface it as an
+        // io::Error on this best-effort path instead of panicking the
+        // daemon mid-decision.
+        let text = serde_json::to_string_pretty(&self.to_value())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let tmp = path.with_extension("tmp");
         {
             let mut f = std::fs::File::create(&tmp)?;

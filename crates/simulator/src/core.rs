@@ -196,6 +196,7 @@ impl SchedulerCore {
             queue: &self.queue,
             running: self.cluster.running(),
         };
+        // sbs-lint: allow(wall-clock): policy-latency telemetry only; the measurement is reported, never read back into a scheduling decision
         let t0 = std::time::Instant::now();
         let starts = policy.decide(&ctx);
         self.policy_nanos += t0.elapsed().as_nanos() as u64;

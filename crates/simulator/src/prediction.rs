@@ -16,7 +16,7 @@
 
 use sbs_workload::job::Job;
 use sbs_workload::time::Time;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An online runtime predictor driven by the simulation engine.
 pub trait RuntimePredictor: Send {
@@ -38,7 +38,7 @@ pub trait RuntimePredictor: Send {
 pub struct RecentUserAverage {
     window: usize,
     fallback_frac: f64,
-    history: HashMap<u32, Vec<Time>>,
+    history: BTreeMap<u32, Vec<Time>>,
 }
 
 impl RecentUserAverage {
@@ -58,7 +58,7 @@ impl RecentUserAverage {
         RecentUserAverage {
             window,
             fallback_frac,
-            history: HashMap::new(),
+            history: BTreeMap::new(),
         }
     }
 }
