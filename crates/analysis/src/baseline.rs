@@ -1,0 +1,351 @@
+//! The findings ratchet: `lint-baseline.toml`.
+//!
+//! Pre-existing findings are *pinned* — each `[[pin]]` entry records a
+//! (rule, file) pair, how many findings of that pair are tolerated, and
+//! a justification.  CI fails on any finding beyond the pins, so new
+//! debt cannot land; `sbs lint --update-baseline` rewrites the file
+//! with today's (lower) counts, so the pinned count can only shrink.
+//! Nothing ever *adds* a pin mechanically: growing the baseline is a
+//! deliberate, hand-edited, reviewed act.
+//!
+//! Pins match by count rather than by line so unrelated edits to a
+//! pinned file don't shuffle the baseline; if the count rises the rule
+//! fails closed and every finding of that (rule, file) is reported.
+
+use crate::engine::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One tolerated (rule, file) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pin {
+    /// The rule name.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// How many findings are tolerated.
+    pub count: u32,
+    /// Why these findings are pinned rather than fixed.
+    pub reason: String,
+}
+
+/// The parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// All pins, in file order.
+    pub pins: Vec<Pin>,
+}
+
+/// The result of applying a baseline to a set of diagnostics.
+#[derive(Debug, Default)]
+pub struct RatchetOutcome {
+    /// Findings not covered by any pin: these fail the build.
+    pub new: Vec<Diagnostic>,
+    /// `(rule, file, pinned, found)` where found < pinned: the baseline
+    /// can ratchet down.
+    pub improved: Vec<(String, String, u32, u32)>,
+    /// Pins whose (rule, file) produced no findings at all.
+    pub stale: Vec<Pin>,
+}
+
+impl Baseline {
+    /// Loads `path`; a missing file is an empty baseline (nothing
+    /// pinned), a malformed one is an error.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the TOML-subset baseline format: `[[pin]]` tables with
+    /// `rule`, `file`, `count`, `reason` keys.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut pins: Vec<Pin> = Vec::new();
+        let mut current: Option<PinDraft> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[pin]]" {
+                if let Some(d) = current.take() {
+                    pins.push(d.finish()?);
+                }
+                current = Some(PinDraft::default());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let Some(d) = current.as_mut() else {
+                return Err(format!("line {lineno}: key outside a [[pin]] table"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "rule" => d.rule = Some(parse_string(value).map_err(|e| at(lineno, e))?),
+                "file" => d.file = Some(parse_string(value).map_err(|e| at(lineno, e))?),
+                "reason" => d.reason = Some(parse_string(value).map_err(|e| at(lineno, e))?),
+                "count" => {
+                    d.count = Some(value.parse::<u32>().map_err(|_| {
+                        at(lineno, format!("count must be an integer, got {value:?}"))
+                    })?)
+                }
+                other => return Err(format!("line {lineno}: unknown pin key {other:?}")),
+            }
+        }
+        if let Some(d) = current.take() {
+            pins.push(d.finish()?);
+        }
+        Ok(Baseline { pins })
+    }
+
+    /// Splits diagnostics into baselined and new, and reports where the
+    /// ratchet can tighten.
+    pub fn apply(&self, diags: &[Diagnostic]) -> RatchetOutcome {
+        let mut counts: BTreeMap<(&str, &str), u32> = BTreeMap::new();
+        for d in diags {
+            *counts
+                .entry((d.rule.as_str(), d.path.as_str()))
+                .or_insert(0) += 1;
+        }
+        let mut out = RatchetOutcome::default();
+        for d in diags {
+            let found = counts[&(d.rule.as_str(), d.path.as_str())];
+            let pinned = self.pinned(&d.rule, &d.path);
+            if found > pinned {
+                out.new.push(d.clone());
+            }
+        }
+        for p in &self.pins {
+            let found = counts
+                .get(&(p.rule.as_str(), p.file.as_str()))
+                .copied()
+                .unwrap_or(0);
+            if found == 0 {
+                out.stale.push(p.clone());
+            } else if found < p.count {
+                out.improved
+                    .push((p.rule.clone(), p.file.clone(), p.count, found));
+            }
+        }
+        out
+    }
+
+    /// Tolerated count for a (rule, file) pair.
+    pub fn pinned(&self, rule: &str, file: &str) -> u32 {
+        self.pins
+            .iter()
+            .filter(|p| p.rule == rule && p.file == file)
+            .map(|p| p.count)
+            .sum()
+    }
+
+    /// The ratchet step: shrink every pin to today's count and drop
+    /// pins whose findings are gone.  Never adds or grows a pin.
+    pub fn shrunk_to(&self, diags: &[Diagnostic]) -> Baseline {
+        let mut counts: BTreeMap<(&str, &str), u32> = BTreeMap::new();
+        for d in diags {
+            *counts
+                .entry((d.rule.as_str(), d.path.as_str()))
+                .or_insert(0) += 1;
+        }
+        let pins = self
+            .pins
+            .iter()
+            .filter_map(|p| {
+                let found = counts
+                    .get(&(p.rule.as_str(), p.file.as_str()))
+                    .copied()
+                    .unwrap_or(0);
+                let kept = p.count.min(found);
+                (kept > 0).then(|| Pin {
+                    count: kept,
+                    ..p.clone()
+                })
+            })
+            .collect();
+        Baseline { pins }
+    }
+
+    /// Renders the baseline back to its file format.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Findings ratchet for sbs-analysis (see DESIGN.md).\n\
+             # Counts may only go down: `sbs lint --update-baseline` shrinks\n\
+             # them; growing or adding a pin is a hand-reviewed edit.\n",
+        );
+        for p in &self.pins {
+            out.push_str(&format!(
+                "\n[[pin]]\nrule = \"{}\"\nfile = \"{}\"\ncount = {}\nreason = \"{}\"\n",
+                p.rule, p.file, p.count, p.reason
+            ));
+        }
+        out
+    }
+}
+
+#[derive(Default)]
+struct PinDraft {
+    rule: Option<String>,
+    file: Option<String>,
+    count: Option<u32>,
+    reason: Option<String>,
+}
+
+impl PinDraft {
+    fn finish(self) -> Result<Pin, String> {
+        let reason = self
+            .reason
+            .ok_or("pin missing `reason` (every pin must be justified)")?;
+        if reason.trim().is_empty() {
+            return Err("pin has an empty `reason`".to_string());
+        }
+        Ok(Pin {
+            rule: self.rule.ok_or("pin missing `rule`")?,
+            file: self.file.ok_or("pin missing `file`")?,
+            count: self.count.ok_or("pin missing `count`")?,
+            reason,
+        })
+    }
+}
+
+fn at(lineno: usize, e: String) -> String {
+    format!("line {lineno}: {e}")
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    v.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .map(String::from)
+        .ok_or_else(|| format!("expected a quoted string, got {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            col: 1,
+            rule: rule.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    const SAMPLE: &str = r#"
+# ratchet
+[[pin]]
+rule = "cast-truncation"
+file = "crates/metrics/src/lib.rs"
+count = 2
+reason = "u32 job ids proven < 2^32 by the SWF format"
+
+[[pin]]
+rule = "pub-dead-item"
+file = "crates/core/src/lib.rs"
+count = 1
+reason = "API staged for the next PR"
+"#;
+
+    #[test]
+    fn parses_pins() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        assert_eq!(b.pins.len(), 2);
+        assert_eq!(b.pins[0].rule, "cast-truncation");
+        assert_eq!(b.pins[0].count, 2);
+        assert_eq!(b.pinned("cast-truncation", "crates/metrics/src/lib.rs"), 2);
+        assert_eq!(b.pinned("cast-truncation", "elsewhere.rs"), 0);
+    }
+
+    #[test]
+    fn rejects_unjustified_or_malformed_pins() {
+        assert!(
+            Baseline::parse("[[pin]]\nrule = \"x\"\nfile = \"f\"\ncount = 1\n")
+                .unwrap_err()
+                .contains("reason")
+        );
+        assert!(
+            Baseline::parse("[[pin]]\nrule = \"x\"\nfile = \"f\"\ncount = 1\nreason = \"\"\n")
+                .unwrap_err()
+                .contains("empty")
+        );
+        assert!(Baseline::parse("[[pin]]\ncount = many\n")
+            .unwrap_err()
+            .contains("integer"));
+        assert!(Baseline::parse("rule = \"x\"\n")
+            .unwrap_err()
+            .contains("outside"));
+    }
+
+    #[test]
+    fn within_pin_findings_pass_beyond_pin_findings_fail() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        let within = [
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 10),
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 20),
+        ];
+        assert!(b.apply(&within).new.is_empty());
+        let beyond = [
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 10),
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 20),
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 30),
+        ];
+        // Over the pin: every finding of the pair is surfaced.
+        assert_eq!(b.apply(&beyond).new.len(), 3);
+        // A different file is never covered by this pin.
+        let other = [diag("cast-truncation", "crates/core/src/lib.rs", 1)];
+        assert_eq!(b.apply(&other).new.len(), 1);
+    }
+
+    #[test]
+    fn ratchet_reports_improvement_and_staleness() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        let one = [diag("cast-truncation", "crates/metrics/src/lib.rs", 10)];
+        let out = b.apply(&one);
+        assert_eq!(out.improved.len(), 1);
+        assert_eq!(out.improved[0].2, 2);
+        assert_eq!(out.improved[0].3, 1);
+        assert_eq!(out.stale.len(), 1, "the pub-dead-item pin is stale");
+    }
+
+    #[test]
+    fn update_shrinks_but_never_grows() {
+        let b = Baseline::parse(SAMPLE).expect("parse");
+        let now = [
+            diag("cast-truncation", "crates/metrics/src/lib.rs", 10),
+            // 5 findings of an unpinned pair must NOT create a pin.
+            diag("wall-clock", "crates/x.rs", 1),
+        ];
+        let shrunk = b.shrunk_to(&now);
+        assert_eq!(shrunk.pins.len(), 1);
+        assert_eq!(shrunk.pins[0].count, 1);
+        assert_eq!(shrunk.pins[0].reason, b.pins[0].reason, "reason survives");
+        // Round-trips through render/parse.
+        let reparsed = Baseline::parse(&shrunk.render()).expect("reparse");
+        assert_eq!(reparsed, shrunk);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let b = Baseline::load(Path::new("/nonexistent/lint-baseline.toml")).expect("load");
+        assert!(b.pins.is_empty());
+    }
+}

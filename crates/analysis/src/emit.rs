@@ -1,0 +1,200 @@
+//! Output layers: grep-style (the `Display` impl on
+//! [`Diagnostic`]), machine-readable JSON, and SARIF 2.1.0 for GitHub
+//! code-scanning annotations.
+//!
+//! The crate is dependency-free, so both formats are emitted by hand;
+//! the only subtlety is JSON string escaping, which [`json_escape`]
+//! centralizes.  The SARIF shape follows the minimal subset GitHub's
+//! code-scanning ingestion requires: `runs[].tool.driver` with rule
+//! metadata, and `results[]` carrying `ruleId`, `level`, `message.text`
+//! and one physical location each.
+
+use crate::engine::Diagnostic;
+use crate::rules::RULES;
+use crate::semrules::SEM_RULES;
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a JSON array of finding objects.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.rule),
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut rules_json = String::new();
+    let all_rules = RULES
+        .iter()
+        .map(|r| (r.name, r.summary))
+        .chain(SEM_RULES.iter().map(|r| (r.name, r.summary)))
+        .chain(std::iter::once((
+            "invalid-suppression",
+            "sbs-lint allow(...) comments must name known rules and carry a justification",
+        )));
+    for (i, (name, summary)) in all_rules.enumerate() {
+        if i > 0 {
+            rules_json.push(',');
+        }
+        rules_json.push_str(&format!(
+            "\n          {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            json_escape(name),
+            json_escape(summary)
+        ));
+    }
+    let mut results = String::new();
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            results.push(',');
+        }
+        results.push_str(&format!(
+            "\n      {{\n        \"ruleId\": \"{}\",\n        \"level\": \"error\",\n        \
+             \"message\": {{\"text\": \"{}\"}},\n        \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}}}}}}}]\n      }}",
+            json_escape(&d.rule),
+            json_escape(&d.message),
+            json_escape(&d.path),
+            d.line,
+            d.col
+        ));
+    }
+    format!(
+        "{{\n  \"version\": \"2.1.0\",\n  \"$schema\": \
+         \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \"runs\": [\n    {{\n      \
+         \"tool\": {{\n        \"driver\": {{\n          \"name\": \"sbs-analysis\",\n          \
+         \"informationUri\": \"https://example.invalid/sbs\",\n          \"rules\": [{rules_json}\n          ]\n        \
+         }}\n      }},\n      \"results\": [{results}\n      ]\n    }}\n  ]\n}}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 7,
+            col: 3,
+            rule: rule.to_string(),
+            message: msg.to_string(),
+        }
+    }
+
+    /// A stack-based structural JSON validator (no parser dependency):
+    /// checks balanced braces/brackets outside strings and legal escape
+    /// sequences inside them.
+    fn assert_valid_json(s: &str) {
+        let mut stack = Vec::new();
+        let mut chars = s.chars().peekable();
+        let mut in_string = false;
+        while let Some(c) = chars.next() {
+            if in_string {
+                match c {
+                    '\\' => {
+                        let e = chars.next().expect("escape must be followed");
+                        assert!(
+                            matches!(e, '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' | 'u'),
+                            "bad escape \\{e}"
+                        );
+                        if e == 'u' {
+                            for _ in 0..4 {
+                                assert!(chars.next().is_some_and(|h| h.is_ascii_hexdigit()));
+                            }
+                        }
+                    }
+                    '"' => in_string = false,
+                    c => assert!((c as u32) >= 0x20, "raw control char in string"),
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' | '[' => stack.push(c),
+                    '}' => assert_eq!(stack.pop(), Some('{'), "unbalanced }}"),
+                    ']' => assert_eq!(stack.pop(), Some('['), "unbalanced ]"),
+                    _ => {}
+                }
+            }
+        }
+        assert!(!in_string, "unterminated string");
+        assert!(stack.is_empty(), "unbalanced structure: {stack:?}");
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let diags = [diag("wall-clock", "uses \"Instant::now\"\n\tbadly")];
+        let j = to_json(&diags);
+        assert_valid_json(&j);
+        assert!(j.contains("\\\"Instant::now\\\""));
+        assert!(j.contains("\\n\\t"));
+        assert!(j.contains("\"line\": 7"));
+        assert_valid_json(&to_json(&[]));
+    }
+
+    #[test]
+    fn sarif_has_the_code_scanning_shape() {
+        let diags = [diag("cast-truncation", "lossy cast")];
+        let s = to_sarif(&diags);
+        assert_valid_json(&s);
+        for needle in [
+            "\"version\": \"2.1.0\"",
+            "\"runs\":",
+            "\"tool\":",
+            "\"driver\":",
+            "\"name\": \"sbs-analysis\"",
+            "\"rules\":",
+            "\"results\":",
+            "\"ruleId\": \"cast-truncation\"",
+            "\"level\": \"error\"",
+            "\"message\": {\"text\": \"lossy cast\"}",
+            "\"artifactLocation\": {\"uri\": \"crates/x/src/lib.rs\"}",
+            "\"startLine\": 7",
+            "\"startColumn\": 3",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn sarif_declares_all_ten_rules_plus_suppression_meta_rule() {
+        let s = to_sarif(&[]);
+        assert_valid_json(&s);
+        for r in RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{}", r.name);
+        }
+        for r in SEM_RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{}", r.name);
+        }
+        assert!(s.contains("\"id\": \"invalid-suppression\""));
+    }
+}

@@ -22,7 +22,10 @@
 
 use crate::config::LintConfig;
 use crate::lexer::{mask, tokenize, Comment, Token, TokenKind};
+use crate::parse::parse_file;
 use crate::rules::{rule_by_name, RULES};
+use crate::semrules::{sem_rule_by_name, SemCtx, SEM_RULES};
+use crate::workspace::{ParsedFile, Workspace};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
@@ -60,25 +63,63 @@ struct Suppression {
     comment_line: u32,
 }
 
-/// Lints one file's source text under `cfg`.  `rel_path` is the
-/// workspace-relative path used for rule scoping and reporting.
-pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let masked = mask(source);
-    let tokens = tokenize(&masked.text);
-    let test_ranges = cfg_test_ranges(&tokens);
-    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
-    let suppressions = parse_suppressions(&masked.comments, &tokens);
+/// One file handed to the in-memory lint API.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The file's full source text.
+    pub source: String,
+}
 
-    let mut out = Vec::new();
+/// Wall-clock time spent in one rule across the whole run.
+#[derive(Debug, Clone)]
+pub struct RuleTiming {
+    /// The rule name.
+    pub name: String,
+    /// Accumulated microseconds across all files.
+    pub micros: u128,
+    /// Findings produced (pre-suppression, pre-baseline).
+    pub findings: usize,
+}
+
+/// Per-file suppression/test-range state shared by all rules.
+struct FileState {
+    test_ranges: Vec<(u32, u32)>,
+    /// Line → rules suppressed there (justified suppressions only).
+    allowed: BTreeMap<u32, Vec<String>>,
+    /// Diagnostics about the suppressions themselves.
+    supp_diags: Vec<Diagnostic>,
+}
+
+impl FileState {
+    fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| line >= a && line <= b)
+    }
+
+    fn is_allowed(&self, line: u32, rule: &str) -> bool {
+        self.allowed
+            .get(&line)
+            .is_some_and(|rs| rs.iter().any(|r| r == rule))
+    }
+}
+
+fn prepare_file_state(rel_path: &str, masked_comments: &[Comment], tokens: &[Token]) -> FileState {
+    let test_ranges = cfg_test_ranges(tokens);
+    let in_test = |line: u32| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let suppressions = parse_suppressions(masked_comments, tokens);
 
     // Suppression syntax problems are diagnostics themselves (outside
     // test code): an unjustified or unknown allow must not pass silently.
+    let mut supp_diags = Vec::new();
     for s in &suppressions {
         if in_test(s.comment_line) {
             continue;
         }
         if !s.justified {
-            out.push(Diagnostic {
+            supp_diags.push(Diagnostic {
                 path: rel_path.to_string(),
                 line: s.comment_line,
                 col: 1,
@@ -89,8 +130,8 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagno
             });
         }
         for r in &s.rules {
-            if rule_by_name(r).is_none() {
-                out.push(Diagnostic {
+            if rule_by_name(r).is_none() && sem_rule_by_name(r).is_none() {
+                supp_diags.push(Diagnostic {
                     path: rel_path.to_string(),
                     line: s.comment_line,
                     col: 1,
@@ -101,42 +142,156 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagno
         }
     }
 
-    // Line -> rules suppressed there (only justified suppressions count).
-    let mut allowed: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    let mut allowed: BTreeMap<u32, Vec<String>> = BTreeMap::new();
     for s in &suppressions {
         if let (true, Some(line)) = (s.justified, s.target_line) {
-            allowed
-                .entry(line)
-                .or_default()
-                .extend(s.rules.iter().map(String::as_str));
+            allowed.entry(line).or_default().extend(s.rules.clone());
         }
+    }
+    FileState {
+        test_ranges,
+        allowed,
+        supp_diags,
+    }
+}
+
+/// Lints one file's source text under `cfg`.  `rel_path` is the
+/// workspace-relative path used for rule scoping and reporting.
+///
+/// Single-file mode: the workspace index covers only this file, and
+/// cross-file rules (`pub-dead-item`) stay silent.
+pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    lint_sources(
+        &[SourceFile {
+            rel: rel_path.to_string(),
+            source: source.to_string(),
+        }],
+        cfg,
+        false,
+    )
+}
+
+/// Lints a set of in-memory sources as one workspace.  `cross_file`
+/// enables the rules that only mean something over the whole workspace
+/// (`pub-dead-item`).
+pub fn lint_sources(files: &[SourceFile], cfg: &LintConfig, cross_file: bool) -> Vec<Diagnostic> {
+    lint_sources_timed(files, &[], cfg, cross_file).0
+}
+
+/// The full-control variant: `reference` files feed the workspace
+/// mention index (so test-only usage keeps a pub item alive) without
+/// being linted themselves.  Returns diagnostics plus per-rule wall
+/// time.
+pub fn lint_sources_timed(
+    files: &[SourceFile],
+    reference: &[SourceFile],
+    cfg: &LintConfig,
+    cross_file: bool,
+) -> (Vec<Diagnostic>, Vec<RuleTiming>) {
+    // Parse every file once.
+    let mut parsed = Vec::with_capacity(files.len());
+    let mut states = Vec::with_capacity(files.len());
+    for f in files {
+        let masked = mask(&f.source);
+        let tokens = tokenize(&masked.text);
+        states.push(prepare_file_state(&f.rel, &masked.comments, &tokens));
+        let ast = parse_file(&tokens);
+        parsed.push(ParsedFile {
+            rel: f.rel.clone(),
+            tokens,
+            ast,
+        });
+    }
+    // With a single lintable file "referenced by no other file" is
+    // vacuously true for everything, so cross-file rules need at least
+    // two files to mean anything.
+    let mut ws = Workspace::build(&parsed, cross_file && parsed.len() > 1);
+    for r in reference {
+        let masked = mask(&r.source);
+        ws.add_reference_tokens(&r.rel, &tokenize(&masked.text));
     }
 
+    let mut timings: BTreeMap<&'static str, (u128, usize)> = BTreeMap::new();
+    // Findings per file index, so output stays grouped by file.
+    let mut per_file: Vec<Vec<Diagnostic>> = (0..files.len())
+        .map(|i| states[i].supp_diags.clone())
+        .collect();
+
     for rule in RULES {
-        if !cfg.rule(rule.name).applies_to(rel_path) {
-            continue;
-        }
-        for f in (rule.check)(&tokens) {
-            if in_test(f.line) {
+        // sbs-lint: allow(wall-clock): rule-timing telemetry only; findings never depend on it
+        let t0 = std::time::Instant::now();
+        let mut found = 0usize;
+        for (i, pf) in parsed.iter().enumerate() {
+            if !cfg.rule(rule.name).applies_to(&pf.rel) {
                 continue;
             }
-            if allowed
-                .get(&f.line)
-                .is_some_and(|rs| rs.contains(&rule.name))
-            {
-                continue;
+            let fs = &states[i];
+            for f in (rule.check)(&pf.tokens) {
+                found += 1;
+                if fs.in_test(f.line) || fs.is_allowed(f.line, rule.name) {
+                    continue;
+                }
+                per_file[i].push(Diagnostic {
+                    path: pf.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    rule: rule.name.to_string(),
+                    message: f.message,
+                });
             }
-            out.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: f.line,
-                col: f.col,
-                rule: rule.name.to_string(),
-                message: f.message,
-            });
         }
+        let e = timings.entry(rule.name).or_default();
+        e.0 += t0.elapsed().as_micros();
+        e.1 += found;
     }
-    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
-    out
+
+    for rule in SEM_RULES {
+        // sbs-lint: allow(wall-clock): rule-timing telemetry only; findings never depend on it
+        let t0 = std::time::Instant::now();
+        let mut found = 0usize;
+        for (i, pf) in parsed.iter().enumerate() {
+            if !cfg.rule(rule.name).applies_to(&pf.rel) {
+                continue;
+            }
+            let fs = &states[i];
+            let ctx = SemCtx {
+                rel_path: &pf.rel,
+                ast: &pf.ast,
+                ws: &ws,
+            };
+            for f in (rule.check)(&ctx) {
+                found += 1;
+                if fs.in_test(f.line) || fs.is_allowed(f.line, rule.name) {
+                    continue;
+                }
+                per_file[i].push(Diagnostic {
+                    path: pf.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    rule: rule.name.to_string(),
+                    message: f.message,
+                });
+            }
+        }
+        let e = timings.entry(rule.name).or_default();
+        e.0 += t0.elapsed().as_micros();
+        e.1 += found;
+    }
+
+    let mut out = Vec::new();
+    for mut diags in per_file {
+        diags.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
+        out.extend(diags);
+    }
+    let timings = timings
+        .into_iter()
+        .map(|(name, (micros, findings))| RuleTiming {
+            name: name.to_string(),
+            micros,
+            findings,
+        })
+        .collect();
+    (out, timings)
 }
 
 /// Extracts `sbs-lint: allow(...)` suppressions from comments and
@@ -311,52 +466,85 @@ fn collect_rs_files(dir: &Path, skip: &[String], out: &mut Vec<PathBuf>) -> Resu
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root` under `cfg`.
-pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
-    let mut files = Vec::new();
+fn read_as_source(root: &Path, path: &Path) -> Result<SourceFile, String> {
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Ok(SourceFile { rel, source })
+}
+
+/// Collects the lint set and the reference-only set (tests, benches,
+/// examples — they feed the mention index but are not linted;
+/// fixtures and build output stay excluded from both).
+fn collect_workspace_sources(
+    root: &Path,
+    cfg: &LintConfig,
+) -> Result<(Vec<SourceFile>, Vec<SourceFile>), String> {
+    let mut lint_paths = Vec::new();
+    let reference_skip: Vec<String> = cfg
+        .skip_dirs
+        .iter()
+        .filter(|d| !matches!(d.as_str(), "tests" | "benches" | "examples"))
+        .cloned()
+        .collect();
+    let mut all_paths = Vec::new();
     for r in &cfg.roots {
         let dir = root.join(r);
         if dir.is_dir() {
-            collect_rs_files(&dir, &cfg.skip_dirs, &mut files)?;
+            collect_rs_files(&dir, &cfg.skip_dirs, &mut lint_paths)?;
+            collect_rs_files(&dir, &reference_skip, &mut all_paths)?;
         }
     }
-    let mut out = Vec::new();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = std::fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        out.extend(lint_source(&rel, &source, cfg));
+    let mut lint = Vec::with_capacity(lint_paths.len());
+    for p in &lint_paths {
+        lint.push(read_as_source(root, p)?);
     }
-    Ok(out)
+    let mut reference = Vec::new();
+    for p in all_paths {
+        if !lint_paths.contains(&p) {
+            reference.push(read_as_source(root, &p)?);
+        }
+    }
+    Ok((lint, reference))
+}
+
+/// Lints the whole workspace rooted at `root` under `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+    lint_workspace_timed(root, cfg).map(|(d, _)| d)
+}
+
+/// [`lint_workspace`], also returning per-rule wall time for the CI
+/// timing report.
+pub fn lint_workspace_timed(
+    root: &Path,
+    cfg: &LintConfig,
+) -> Result<(Vec<Diagnostic>, Vec<RuleTiming>), String> {
+    let (lint, reference) = collect_workspace_sources(root, cfg)?;
+    Ok(lint_sources_timed(&lint, &reference, cfg, true))
 }
 
 /// Lints explicit files (workspace-relative or absolute) under `cfg`.
+/// The workspace index covers only the named files, so cross-file rules
+/// stay silent.
 pub fn lint_files(
     root: &Path,
     files: &[PathBuf],
     cfg: &LintConfig,
 ) -> Result<Vec<Diagnostic>, String> {
-    let mut out = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for f in files {
         let abs = if f.is_absolute() {
             f.clone()
         } else {
             root.join(f)
         };
-        let rel = abs
-            .strip_prefix(root)
-            .unwrap_or(&abs)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = std::fs::read_to_string(&abs)
-            .map_err(|e| format!("cannot read {}: {e}", abs.display()))?;
-        out.extend(lint_source(&rel, &source, cfg));
+        sources.push(read_as_source(root, &abs)?);
     }
-    Ok(out)
+    Ok(lint_sources(&sources, cfg, false))
 }
 
 #[cfg(test)]

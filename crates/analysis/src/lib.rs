@@ -29,19 +29,32 @@
 //!
 //! Run it as `sbs lint` or `cargo run -p sbs-analysis -- --workspace`.
 
+pub mod baseline;
 pub mod config;
+pub mod emit;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod semrules;
+pub mod workspace;
 
+pub use baseline::Baseline;
 pub use config::{LintConfig, RuleConfig};
-pub use engine::{lint_files, lint_source, lint_workspace, Diagnostic};
+pub use engine::{
+    lint_files, lint_source, lint_sources, lint_sources_timed, lint_workspace,
+    lint_workspace_timed, Diagnostic, RuleTiming, SourceFile,
+};
 pub use rules::{rule_by_name, Finding, RuleDef, RULES};
+pub use semrules::{sem_rule_by_name, SemRuleDef, SEM_RULES};
 
 use std::path::{Path, PathBuf};
 
 /// Name of the workspace configuration file.
 pub const CONFIG_FILE: &str = "lint.toml";
+
+/// Name of the committed findings-ratchet file.
+pub const BASELINE_FILE: &str = "lint-baseline.toml";
 
 /// Walks upward from `start` to the first directory containing
 /// `lint.toml`.
@@ -61,4 +74,51 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 pub fn run_workspace_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let cfg = LintConfig::load(&root.join(CONFIG_FILE))?;
     lint_workspace(root, &cfg)
+}
+
+/// Applies the committed findings ratchet at `root` to a workspace
+/// run's diagnostics and returns the ones not covered by a pin.
+///
+/// Tightening hints (a pin whose count dropped, a pin with zero
+/// findings) go to stderr; with `update` the baseline file is rewritten
+/// to today's lower counts — pins only shrink or disappear, they are
+/// never added or grown.  Shared by the `sbs-analysis` binary and
+/// `sbs lint`.
+pub fn apply_workspace_ratchet(
+    root: &Path,
+    diags: &[Diagnostic],
+    update: bool,
+) -> Result<Vec<Diagnostic>, String> {
+    let baseline_path = root.join(BASELINE_FILE);
+    let baseline = Baseline::load(&baseline_path)?;
+    let outcome = baseline.apply(diags);
+    for (rule, file, pinned, found) in &outcome.improved {
+        eprintln!(
+            "ratchet: {rule} in {file} is down to {found} (pinned {pinned}); \
+             run `sbs lint --update-baseline` to lock it in"
+        );
+    }
+    for p in &outcome.stale {
+        eprintln!(
+            "ratchet: pin for {} in {} is stale (0 findings); \
+             run `sbs lint --update-baseline` to drop it",
+            p.rule, p.file
+        );
+    }
+    if update {
+        let shrunk = baseline.shrunk_to(diags);
+        if shrunk != baseline {
+            std::fs::write(&baseline_path, shrunk.render())
+                .map_err(|e| format!("cannot write {}: {e}", baseline_path.display()))?;
+            eprintln!(
+                "ratchet: {} rewritten ({} -> {} pin(s))",
+                baseline_path.display(),
+                baseline.pins.len(),
+                shrunk.pins.len()
+            );
+        } else {
+            eprintln!("ratchet: baseline already tight");
+        }
+    }
+    Ok(outcome.new)
 }

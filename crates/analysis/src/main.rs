@@ -6,11 +6,17 @@
 //! sbs-analysis --list-rules           show the rule set
 //! ```
 //!
-//! Exits 0 when clean, 1 on any diagnostic, 2 on usage/config errors.
-//! Diagnostics are grep-style `file:line:col rule message` lines on
-//! stdout, one per finding, sorted by file then position.
+//! Exits 0 when clean (modulo the committed `lint-baseline.toml`
+//! ratchet), 1 on any non-baselined diagnostic, 2 on usage/config
+//! errors.  The default output is grep-style `file:line:col rule
+//! message` lines on stdout; `--format json` and `--format sarif`
+//! switch to machine-readable layers (SARIF feeds the CI code-scanning
+//! upload).  `--update-baseline` rewrites the ratchet file with today's
+//! lower counts — it never adds or grows a pin.
 
-use sbs_analysis::{find_workspace_root, lint_files, LintConfig, CONFIG_FILE, RULES};
+use sbs_analysis::{
+    find_workspace_root, lint_files, Diagnostic, LintConfig, CONFIG_FILE, RULES, SEM_RULES,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -21,22 +27,35 @@ USAGE:
   sbs-analysis --workspace [--root DIR]     lint the whole workspace
   sbs-analysis [--root DIR] FILE...         lint specific files
   sbs-analysis --list-rules                 describe every rule
+
+OPTIONS:
+  --format grep|json|sarif   output layer (default: grep)
+  --update-baseline          shrink lint-baseline.toml to today's counts
+  --timings                  print per-rule wall time to stderr
+  --root DIR                 workspace root (default: nearest lint.toml)
 ";
+
+struct Options {
+    workspace: bool,
+    list_rules: bool,
+    update_baseline: bool,
+    timings: bool,
+    format: Format,
+    root: Option<PathBuf>,
+    files: Vec<PathBuf>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Grep,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                eprintln!("sbs-analysis: {} diagnostic(s)", diags.len());
-                ExitCode::FAILURE
-            }
-        }
+        Ok(code) => code,
         Err(e) => {
             eprintln!("sbs-analysis: {e}");
             eprint!("{USAGE}");
@@ -45,46 +64,106 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<Vec<sbs_analysis::Diagnostic>, String> {
-    let mut workspace = false;
-    let mut list_rules = false;
-    let mut root: Option<PathBuf> = None;
-    let mut files: Vec<PathBuf> = Vec::new();
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        workspace: false,
+        list_rules: false,
+        update_baseline: false,
+        timings: false,
+        format: Format::Grep,
+        root: None,
+        files: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--workspace" => workspace = true,
-            "--list-rules" => list_rules = true,
+            "--workspace" => o.workspace = true,
+            "--list-rules" => o.list_rules = true,
+            "--update-baseline" => o.update_baseline = true,
+            "--timings" => o.timings = true,
+            "--format" => {
+                o.format = match it.next().ok_or("--format needs a value")?.as_str() {
+                    "grep" => Format::Grep,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format {other:?} (grep|json|sarif)")),
+                }
+            }
             "--root" => {
-                root = Some(PathBuf::from(
+                o.root = Some(PathBuf::from(
                     it.next().ok_or("--root needs a value")?.clone(),
                 ))
             }
             "--help" | "-h" => return Err("help requested".to_string()),
             other if other.starts_with('-') => return Err(format!("unknown flag {other:?}")),
-            other => files.push(PathBuf::from(other)),
+            other => o.files.push(PathBuf::from(other)),
         }
     }
-    if list_rules {
+    Ok(o)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_options(args)?;
+    if o.list_rules {
         for r in RULES {
-            println!("{:<16} {}", r.name, r.summary);
+            println!("{:<20} {}", r.name, r.summary);
         }
-        return Ok(Vec::new());
+        for r in SEM_RULES {
+            println!("{:<20} {}", r.name, r.summary);
+        }
+        return Ok(ExitCode::SUCCESS);
     }
-    if !workspace && files.is_empty() {
+    if !o.workspace && o.files.is_empty() {
         return Err("nothing to lint: pass --workspace or file paths".to_string());
     }
 
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
-    let root = match root {
-        Some(r) => r,
+    let root = match &o.root {
+        Some(r) => r.clone(),
         None => find_workspace_root(&cwd)
             .ok_or_else(|| format!("no {CONFIG_FILE} found above {}", cwd.display()))?,
     };
     let cfg = LintConfig::load(&root.join(CONFIG_FILE))?;
-    if workspace {
-        sbs_analysis::lint_workspace(&root, &cfg)
+
+    let (diags, timings) = if o.workspace {
+        sbs_analysis::lint_workspace_timed(&root, &cfg)?
     } else {
-        lint_files(&root, &files, &cfg)
+        (lint_files(&root, &o.files, &cfg)?, Vec::new())
+    };
+
+    if o.timings {
+        let mut sorted = timings;
+        sorted.sort_by_key(|t| std::cmp::Reverse(t.micros));
+        for t in &sorted {
+            eprintln!(
+                "timing: {:<20} {:>8.1} ms  {:>4} finding(s)",
+                t.name,
+                t.micros as f64 / 1000.0,
+                t.findings
+            );
+        }
+    }
+
+    // The ratchet applies in workspace mode; ad-hoc file runs report raw.
+    let reported: Vec<Diagnostic> = if o.workspace {
+        sbs_analysis::apply_workspace_ratchet(&root, &diags, o.update_baseline)?
+    } else {
+        diags
+    };
+
+    match o.format {
+        Format::Grep => {
+            for d in &reported {
+                println!("{d}");
+            }
+        }
+        Format::Json => print!("{}", sbs_analysis::emit::to_json(&reported)),
+        Format::Sarif => print!("{}", sbs_analysis::emit::to_sarif(&reported)),
+    }
+    if reported.is_empty() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!("sbs-analysis: {} diagnostic(s)", reported.len());
+        Ok(ExitCode::FAILURE)
     }
 }

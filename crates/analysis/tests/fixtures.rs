@@ -5,7 +5,7 @@
 //! allowlists), so every rule applies to every fixture — exactly the
 //! worst case for false positives.
 
-use sbs_analysis::{lint_source, LintConfig};
+use sbs_analysis::{lint_source, lint_sources, Baseline, LintConfig, SourceFile};
 use std::collections::BTreeMap;
 
 fn bare_cfg() -> LintConfig {
@@ -109,6 +109,168 @@ fn forbid_unsafe_fires() {
 #[test]
 fn forbid_unsafe_suppressed() {
     assert_silent("unsafe_suppressed.rs");
+}
+
+/// Lints a set of fixtures as one cross-file workspace and returns
+/// `(file, line, rule)` triples.
+fn lint_fixtures_cross(names: &[&str]) -> Vec<(String, u32, String)> {
+    let files: Vec<SourceFile> = names
+        .iter()
+        .map(|n| SourceFile {
+            rel: (*n).to_string(),
+            source: fixture(n),
+        })
+        .collect();
+    lint_sources(&files, &bare_cfg(), true)
+        .into_iter()
+        .map(|d| (d.path, d.line, d.rule))
+        .collect()
+}
+
+#[test]
+fn cast_truncation_fires() {
+    assert_eq!(
+        lint_fixture("cast_truncation_fires.rs"),
+        vec![
+            (5, "cast-truncation".to_string()),
+            (9, "cast-truncation".to_string()),
+            (13, "cast-truncation".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn cast_truncation_suppressed() {
+    assert_silent("cast_truncation_suppressed.rs");
+}
+
+#[test]
+fn time_arith_fires() {
+    assert_eq!(
+        lint_fixture("time_arith_fires.rs"),
+        vec![
+            (5, "unchecked-time-arith".to_string()),
+            (9, "unchecked-time-arith".to_string()),
+            (13, "unchecked-time-arith".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn time_arith_suppressed() {
+    assert_silent("time_arith_suppressed.rs");
+}
+
+#[test]
+fn lock_ordering_fires() {
+    // Both sides of the inverted pair are flagged, at the inner
+    // acquisition of each.
+    assert_eq!(
+        lint_fixture("lock_ordering_fires.rs"),
+        vec![
+            (12, "lock-ordering".to_string()),
+            (19, "lock-ordering".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn lock_ordering_suppressed() {
+    assert_silent("lock_ordering_suppressed.rs");
+}
+
+#[test]
+fn result_dropped_fires() {
+    assert_eq!(
+        lint_fixture("result_dropped_fires.rs"),
+        vec![
+            (8, "result-dropped".to_string()),
+            (9, "result-dropped".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn result_dropped_suppressed() {
+    assert_silent("result_dropped_suppressed.rs");
+}
+
+#[test]
+fn pub_dead_item_fires() {
+    // `orphan` is never mentioned outside its file; `used` is kept
+    // alive by the consumer half.
+    assert_eq!(
+        lint_fixtures_cross(&["pub_dead_fires_a.rs", "pub_dead_fires_b.rs"]),
+        vec![(
+            "pub_dead_fires_a.rs".to_string(),
+            3,
+            "pub-dead-item".to_string()
+        )]
+    );
+}
+
+#[test]
+fn pub_dead_item_suppressed() {
+    let d = lint_fixtures_cross(&["pub_dead_suppressed_a.rs", "pub_dead_fires_b.rs"]);
+    assert!(d.is_empty(), "expected no diagnostics, got {d:?}");
+}
+
+/// Every new semantic rule can be pinned in the baseline: a pin at the
+/// firing count swallows the findings, and a reintroduction (count
+/// above the pin) surfaces them all again.
+#[test]
+fn new_rules_are_baseline_pinnable() {
+    let cases: [(&[&str], &str, u32); 5] = [
+        (&["cast_truncation_fires.rs"], "cast-truncation", 3),
+        (&["time_arith_fires.rs"], "unchecked-time-arith", 3),
+        (&["lock_ordering_fires.rs"], "lock-ordering", 2),
+        (&["result_dropped_fires.rs"], "result-dropped", 2),
+        (
+            &["pub_dead_fires_a.rs", "pub_dead_fires_b.rs"],
+            "pub-dead-item",
+            1,
+        ),
+    ];
+    for (names, rule, count) in cases {
+        let files: Vec<SourceFile> = names
+            .iter()
+            .map(|n| SourceFile {
+                rel: (*n).to_string(),
+                source: fixture(n),
+            })
+            .collect();
+        let diags = lint_sources(&files, &bare_cfg(), true);
+        assert_eq!(diags.len(), count as usize, "{rule}: unexpected findings");
+        let mut pins = String::new();
+        for name in names {
+            let n = diags.iter().filter(|d| d.path == *name).count();
+            if n > 0 {
+                pins.push_str(&format!(
+                    "[[pin]]\nrule = \"{rule}\"\nfile = \"{name}\"\ncount = {n}\n\
+                     reason = \"pre-existing findings pinned by the fixture test\"\n\n"
+                ));
+            }
+        }
+        let baseline = Baseline::parse(&pins).expect("pin syntax");
+        let outcome = baseline.apply(&diags);
+        assert!(
+            outcome.new.is_empty(),
+            "{rule}: pinned findings must not surface, got {:?}",
+            outcome.new
+        );
+        assert!(outcome.improved.is_empty() && outcome.stale.is_empty());
+
+        // One finding above the pin un-pins the whole (rule, file) pair.
+        let mut more = diags.clone();
+        let mut extra = diags[0].clone();
+        extra.line += 1000;
+        more.push(extra);
+        let outcome = baseline.apply(&more);
+        assert!(
+            !outcome.new.is_empty(),
+            "{rule}: findings above the pin must surface"
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,18 @@
+//! cast-truncation firing fixture: lossy `as` casts on known types.
+pub type Time = u64;
+
+pub fn narrow(x: u64) -> u32 {
+    x as u32
+}
+
+pub fn fraction(x: f64) -> Time {
+    x as Time
+}
+
+pub fn sign_change(x: i64) -> u64 {
+    x as u64
+}
+
+pub fn widen_is_fine(x: u32) -> u64 {
+    x as u64
+}

@@ -1,0 +1,13 @@
+//! cast-truncation suppressed fixture: every lossy cast carries a
+//! justified allow.
+pub type Time = u64;
+
+pub fn narrow(x: u64) -> u32 {
+    // sbs-lint: allow(cast-truncation): x is a node count bounded by the machine size
+    x as u32
+}
+
+pub fn fraction(x: f64) -> Time {
+    // sbs-lint: allow(cast-truncation): float-to-int `as` saturates deterministically here
+    x as Time
+}

@@ -1,0 +1,22 @@
+//! lock-ordering firing fixture: two functions acquire the same pair
+//! of locks in opposite orders while both guards are held.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let ga = s.a.lock();
+    let gb = s.b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(s: &S) {
+    let gb = s.b.lock();
+    let ga = s.a.lock();
+    drop(ga);
+    drop(gb);
+}

@@ -1,0 +1,25 @@
+//! lock-ordering suppressed fixture: the rule flags both sides of an
+//! inverted pair, so a deliberate inversion needs a justified allow at
+//! each conflicting acquisition.
+use std::sync::Mutex;
+
+pub struct S {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn forward(s: &S) {
+    let ga = s.a.lock();
+    // sbs-lint: allow(lock-ordering): startup path runs before worker threads exist
+    let gb = s.b.lock();
+    drop(gb);
+    drop(ga);
+}
+
+pub fn backward(s: &S) {
+    let gb = s.b.lock();
+    // sbs-lint: allow(lock-ordering): shutdown path runs single-threaded after workers joined
+    let ga = s.a.lock();
+    drop(ga);
+    drop(gb);
+}

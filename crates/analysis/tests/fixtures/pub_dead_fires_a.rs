@@ -1,0 +1,9 @@
+//! pub-dead-item firing fixture (definitions half): `orphan` is
+//! referenced by no other file, `used` is consumed by the b half.
+pub fn orphan() -> u32 {
+    1
+}
+
+pub fn used() -> u32 {
+    2
+}

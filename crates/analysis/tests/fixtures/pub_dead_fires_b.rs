@@ -1,0 +1,4 @@
+//! pub-dead-item firing fixture (consumer half).
+fn caller() -> u32 {
+    crate::used()
+}

@@ -1,0 +1,10 @@
+//! pub-dead-item suppressed fixture (definitions half): the orphan
+//! carries a justified allow.
+// sbs-lint: allow(pub-dead-item): deliberate API surface kept for downstream consumers
+pub fn orphan() -> u32 {
+    1
+}
+
+pub fn used() -> u32 {
+    2
+}

@@ -1,0 +1,10 @@
+//! result-dropped firing fixture: Results of a workspace fn discarded
+//! via `let _ =` and a bare statement.
+fn save() -> Result<(), String> {
+    Ok(())
+}
+
+pub fn go() {
+    let _ = save();
+    save();
+}

@@ -1,0 +1,15 @@
+//! result-dropped suppressed fixture: handled Results and a justified
+//! allow stay silent.
+fn save() -> Result<(), String> {
+    Ok(())
+}
+
+pub fn go() -> Result<(), String> {
+    save()?;
+    if save().is_err() {
+        return Ok(());
+    }
+    // sbs-lint: allow(result-dropped): proven best-effort path in this fixture
+    let _ = save();
+    Ok(())
+}

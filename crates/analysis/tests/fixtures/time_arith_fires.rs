@@ -1,0 +1,14 @@
+//! unchecked-time-arith firing fixture: raw +/-/* on Time values.
+pub type Time = u64;
+
+pub fn wait(start: Time, submit: Time) -> Time {
+    start - submit
+}
+
+pub fn extend(t: Time, d: Time) -> Time {
+    t + d
+}
+
+pub fn accumulate(total: &mut Time, t: Time) {
+    *total += t;
+}

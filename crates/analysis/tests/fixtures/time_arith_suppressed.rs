@@ -1,0 +1,19 @@
+//! unchecked-time-arith suppressed fixture: checked arithmetic and
+//! justified allows stay silent.
+pub type Time = u64;
+
+pub const HOUR: Time = 3600;
+
+pub fn wait(start: Time, submit: Time) -> Time {
+    start.saturating_sub(submit)
+}
+
+pub fn window() -> Time {
+    // Const-pair products are compile-time-checkable and not flagged.
+    7 * HOUR
+}
+
+pub fn extend(t: Time, d: Time) -> Time {
+    // sbs-lint: allow(unchecked-time-arith): both operands bounded by the trace span
+    t + d
+}

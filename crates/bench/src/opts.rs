@@ -37,6 +37,7 @@ impl Opts {
 
     /// A node budget scaled by `budget_scale` (minimum 50 nodes).
     pub fn budget(&self, paper_l: u64) -> u64 {
+        // sbs-lint: allow(cast-truncation): float-to-int `as` saturates deterministically; budgets are bounded by the paper's node limits
         ((paper_l as f64 * self.budget_scale) as u64).max(50)
     }
 }

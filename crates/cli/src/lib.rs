@@ -59,6 +59,11 @@ OPTIONS (lint):
   --root DIR          workspace root (default: nearest parent directory
                       containing lint.toml); FILE arguments restrict the
                       pass to those files
+  --format F          grep (default) | json | sarif; the machine formats
+                      print the document to stdout and keep the findings
+                      verdict in the exit code
+  --update-baseline   shrink lint-baseline.toml pins to today's counts
+                      (the ratchet never adds or grows a pin)
 
 OPTIONS (submit / queue):
   --host H            daemon host (default 127.0.0.1)
@@ -123,6 +128,22 @@ pub struct LintArgs {
     pub root: Option<String>,
     /// Specific files to lint; empty = the whole workspace.
     pub files: Vec<String>,
+    /// Output layer.
+    pub format: LintFormat,
+    /// Rewrite `lint-baseline.toml` with today's lower counts.
+    pub update_baseline: bool,
+}
+
+/// Output layer of `sbs lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintFormat {
+    /// `file:line:col rule message` lines (the default).
+    #[default]
+    Grep,
+    /// A JSON array of finding objects.
+    Json,
+    /// SARIF 2.1.0, as consumed by code-scanning CI uploads.
+    Sarif,
 }
 
 /// Connection coordinates for the client subcommands.
@@ -463,6 +484,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                                 .ok_or_else(|| "--root needs a value".to_string())?,
                         )
                     }
+                    "--format" => {
+                        let v = it
+                            .next()
+                            .ok_or_else(|| "--format needs a value".to_string())?;
+                        parsed.format = match v.as_str() {
+                            "grep" => LintFormat::Grep,
+                            "json" => LintFormat::Json,
+                            "sarif" => LintFormat::Sarif,
+                            other => {
+                                return Err(format!("unknown format {other:?} (grep|json|sarif)"))
+                            }
+                        };
+                    }
+                    "--update-baseline" => parsed.update_baseline = true,
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag {other:?}"))
                     }
@@ -525,6 +560,13 @@ pub fn run(cmd: Command) -> Result<String, String> {
 
 /// Runs the static-analysis pass; violations are an error (non-zero
 /// exit) whose text carries the grep-style diagnostics.
+///
+/// Whole-workspace runs apply the `lint-baseline.toml` ratchet:
+/// baselined findings are swallowed, anything beyond a pin fails, and
+/// `--update-baseline` rewrites the file with today's lower counts.
+/// With `--format json|sarif` the machine-readable document goes to
+/// stdout even when findings fail the run (CI captures the document
+/// and the exit code independently); grep stays the default.
 fn lint_cmd(args: LintArgs) -> Result<String, String> {
     let root = match &args.root {
         Some(r) => std::path::PathBuf::from(r),
@@ -540,22 +582,42 @@ fn lint_cmd(args: LintArgs) -> Result<String, String> {
         }
     };
     let diags = if args.files.is_empty() {
-        sbs_analysis::run_workspace_lint(&root)?
+        // Workspace mode: the committed ratchet applies.
+        let raw = sbs_analysis::run_workspace_lint(&root)?;
+        sbs_analysis::apply_workspace_ratchet(&root, &raw, args.update_baseline)?
     } else {
         let cfg = sbs_analysis::LintConfig::load(&root.join(sbs_analysis::CONFIG_FILE))?;
         let files: Vec<std::path::PathBuf> =
             args.files.iter().map(std::path::PathBuf::from).collect();
         sbs_analysis::lint_files(&root, &files, &cfg)?
     };
-    if diags.is_empty() {
-        Ok("lint clean\n".to_string())
-    } else {
-        let mut msg = format!("{} lint finding(s)\n", diags.len());
-        for d in &diags {
-            msg.push_str(&d.to_string());
-            msg.push('\n');
+    match args.format {
+        LintFormat::Grep => {
+            if diags.is_empty() {
+                Ok("lint clean\n".to_string())
+            } else {
+                let mut msg = format!("{} lint finding(s)\n", diags.len());
+                for d in &diags {
+                    msg.push_str(&d.to_string());
+                    msg.push('\n');
+                }
+                Err(msg)
+            }
         }
-        Err(msg)
+        LintFormat::Json | LintFormat::Sarif => {
+            let doc = match args.format {
+                LintFormat::Json => sbs_analysis::emit::to_json(&diags),
+                _ => sbs_analysis::emit::to_sarif(&diags),
+            };
+            if diags.is_empty() {
+                Ok(doc)
+            } else {
+                // The document still goes to stdout; the error text (and
+                // exit code) carries the verdict.
+                print!("{doc}");
+                Err(format!("{} lint finding(s)", diags.len()))
+            }
+        }
     }
 }
 
@@ -610,7 +672,7 @@ fn load_workload(args: &SimulateArgs) -> Result<Workload, String> {
         let mut w = swf::parse(&text, args.capacity).map_err(|e| e.to_string())?;
         // One-day warm-up for replays, when the trace is long enough.
         if w.window.1 - w.window.0 > 2 * DAY {
-            w.window.0 += DAY;
+            w.window.0 = w.window.0.saturating_add(DAY);
         }
         Ok(w)
     } else {
@@ -866,10 +928,41 @@ mod tests {
         let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
         let out = run(Command::Lint(LintArgs {
             root: Some(root),
-            files: Vec::new(),
+            ..LintArgs::default()
         }))
         .expect("the workspace must lint clean");
         assert_eq!(out, "lint clean\n");
+    }
+
+    #[test]
+    fn lint_format_flags_parse_and_emit_sarif() {
+        let Command::Lint(a) = parse("lint --format sarif --update-baseline").expect("parse")
+        else {
+            panic!("not lint")
+        };
+        assert_eq!(a.format, LintFormat::Sarif);
+        assert!(a.update_baseline);
+        assert!(parse("lint --format bogus").is_err());
+
+        // A clean workspace in sarif mode returns the (empty-results)
+        // document on stdout with a zero exit.
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        let out = run(Command::Lint(LintArgs {
+            root: Some(root.clone()),
+            format: LintFormat::Sarif,
+            ..LintArgs::default()
+        }))
+        .expect("clean workspace");
+        assert!(out.contains("\"version\": \"2.1.0\""), "{out}");
+        assert!(out.contains("sbs-analysis"), "{out}");
+
+        let out = run(Command::Lint(LintArgs {
+            root: Some(root),
+            format: LintFormat::Json,
+            ..LintArgs::default()
+        }))
+        .expect("clean workspace");
+        assert!(out.trim() == "[]", "{out}");
     }
 
     #[test]
@@ -886,7 +979,7 @@ mod tests {
         .expect("source");
         let err = run(Command::Lint(LintArgs {
             root: Some(dir.to_string_lossy().to_string()),
-            files: Vec::new(),
+            ..LintArgs::default()
         }))
         .expect_err("violation must fail the lint");
         assert!(err.contains("1 lint finding(s)"), "{err}");

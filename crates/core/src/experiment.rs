@@ -221,6 +221,7 @@ pub fn run_matrix(scenarios: &[Scenario], specs: &[PolicySpec]) -> Vec<RunResult
 
 /// Convenience: all ten months under `mk` against `specs`, in
 /// month-major order.
+// sbs-lint: allow(pub-dead-item): deliberate API surface — the full-paper replication entry point for downstream experiment drivers
 pub fn run_all_months(
     mk: impl Fn(Month) -> Scenario + Sync,
     specs: &[PolicySpec],

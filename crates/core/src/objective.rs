@@ -134,6 +134,7 @@ pub struct RuntimeScaledBound {
 impl Objective for RuntimeScaledBound {
     fn job_cost(&self, job: &WaitingJob, start: Time, omega: Time) -> ObjectiveCost {
         let wait = start.saturating_sub(job.job.submit);
+        // sbs-lint: allow(cast-truncation): float-to-int `as` saturates deterministically; a saturated bound is the intended "effectively unbounded" behaviour
         let per_job = omega.max((self.factor * job.r_star as f64) as Time);
         ObjectiveCost {
             excess: wait.saturating_sub(per_job),

@@ -76,7 +76,7 @@ impl<'a> ScheduleProblem<'a> {
         let n = order.len();
         // Circular doubly-linked list over order positions with sentinel
         // index n: initially every position is unplaced, in order.
-        let sentinel = n as u32;
+        let sentinel = u32::try_from(n).expect("queue length exceeds u32 range");
         let mut next = vec![0u32; n + 1];
         let mut prev = vec![0u32; n + 1];
         for i in 0..=n {
@@ -105,6 +105,12 @@ impl<'a> ScheduleProblem<'a> {
             placed: Vec::with_capacity(n),
             cost: ObjectiveCost::ZERO,
         }
+    }
+
+    /// The linked-list sentinel index (`order.len()`, validated to fit
+    /// u32 in [`Self::new`], so the fallback never triggers).
+    fn sentinel(&self) -> u32 {
+        u32::try_from(self.order.len()).unwrap_or(u32::MAX)
     }
 
     /// Restricts the root branch set (parallel root-splitting); `subset`
@@ -151,7 +157,7 @@ impl SearchProblem for ScheduleProblem<'_> {
             }
         }
         // Walk the unplaced linked list in heuristic order.
-        let sentinel = self.order.len() as u32;
+        let sentinel = self.sentinel();
         let mut pos = self.next[sentinel as usize];
         while pos != sentinel {
             out.push(self.order[pos as usize]);
@@ -188,10 +194,11 @@ impl SearchProblem for ScheduleProblem<'_> {
         self.profile.release(p.start, w.r_star.max(1), w.job.nodes);
         self.used[p.job as usize] = false;
         // Relink (valid because ascends mirror descends in LIFO order).
-        let pos = self.pos_of[p.job as usize] as usize;
+        let pos32 = self.pos_of[p.job as usize];
+        let pos = pos32 as usize;
         let (pr, nx) = (self.prev[pos], self.next[pos]);
-        self.next[pr as usize] = pos as u32;
-        self.prev[nx as usize] = pos as u32;
+        self.next[pr as usize] = pos32;
+        self.prev[nx as usize] = pos32;
         self.cost = p.prev_cost;
     }
 
@@ -220,7 +227,7 @@ impl SearchProblem for ScheduleProblem<'_> {
                 return subset.iter().copied().find(|&j| !self.used[j as usize]);
             }
         }
-        let sentinel = self.order.len() as u32;
+        let sentinel = self.sentinel();
         let first = self.next[sentinel as usize];
         (first != sentinel).then(|| self.order[first as usize])
     }

@@ -87,8 +87,10 @@ pub struct Budget {
     /// Maximum tree nodes to visit; `None` = unbounded.
     pub node_limit: Option<u64>,
     /// Maximum wall-clock time to search; `None` = unbounded.  Checked
-    /// every [`DEADLINE_CHECK_INTERVAL`] nodes, so short deadlines still
-    /// admit that many nodes.
+    /// every [`DEADLINE_CHECK_INTERVAL`] nodes and on the final node the
+    /// node limit admits, so short deadlines still admit up to an
+    /// interval of nodes but an expiry is always reported — even when
+    /// the node limit is smaller than one interval.
     pub deadline: Option<std::time::Duration>,
 }
 
@@ -271,16 +273,21 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
         // first check happens after one full interval, so even an
         // already-expired deadline admits that many nodes — enough for
         // the heuristic descent to reach a leaf on realistic queues,
-        // preserving the anytime guarantee.
-        if self.deadline.armed()
-            && self.outcome.stats.nodes > 0
+        // preserving the anytime guarantee.  The final node the node
+        // limit admits is also checked: a budget smaller than one
+        // interval would otherwise never read the clock, and a search
+        // that was cut short by real time must say so in its stats.
+        let interval_check = self.outcome.stats.nodes > 0
             && self
                 .outcome
                 .stats
                 .nodes
-                .is_multiple_of(DEADLINE_CHECK_INTERVAL)
-            && self.deadline.expired()
-        {
+                .is_multiple_of(DEADLINE_CHECK_INTERVAL);
+        let final_node = self
+            .cfg
+            .node_limit
+            .is_some_and(|limit| self.outcome.stats.nodes + 1 >= limit);
+        if self.deadline.armed() && (interval_check || final_node) && self.deadline.expired() {
             self.outcome.stats.budget_hit = true;
             self.outcome.stats.deadline_hit = true;
             return Err(BudgetExhausted);

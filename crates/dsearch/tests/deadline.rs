@@ -80,6 +80,47 @@ fn expired_incumbent_is_never_better_than_the_optimum() {
 }
 
 #[test]
+fn tiny_node_budget_still_reports_an_expired_deadline() {
+    // Regression: with a node limit below DEADLINE_CHECK_INTERVAL the
+    // amortized multiple-of-interval check never fires, so an expired
+    // deadline used to go unreported (and unenforced) for the whole
+    // search.  The final admitted node must also read the clock.
+    for limit in [1, 5, 100] {
+        assert!(limit < DEADLINE_CHECK_INTERVAL);
+        let budget = Budget::nodes(limit).with_deadline(Duration::ZERO);
+        let out = dds(&mut problem(), SearchConfig::with_budget(budget));
+        assert!(
+            out.stats.deadline_hit,
+            "limit {limit}: expired deadline must be reported"
+        );
+        assert!(out.stats.budget_hit);
+        assert!(
+            out.stats.nodes < limit,
+            "limit {limit}: the deadline must cut the search before the \
+             node budget, visited {}",
+            out.stats.nodes
+        );
+    }
+}
+
+#[test]
+fn tiny_node_budget_with_generous_deadline_is_unperturbed() {
+    // The final-node clock read must only stop the search when the
+    // deadline has actually expired.
+    let plain = dds(
+        &mut problem(),
+        SearchConfig::with_budget(Budget::nodes(100)),
+    );
+    let timed = dds(
+        &mut problem(),
+        SearchConfig::with_budget(Budget::nodes(100).with_deadline(Duration::from_secs(3600))),
+    );
+    assert!(!timed.stats.deadline_hit);
+    assert_eq!(timed.stats.nodes, plain.stats.nodes);
+    assert_eq!(timed.best, plain.best);
+}
+
+#[test]
 fn budget_constructors_compose() {
     let b = Budget::nodes(500).with_deadline(Duration::from_millis(50));
     assert_eq!(b.node_limit, Some(500));

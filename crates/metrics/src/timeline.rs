@@ -33,20 +33,30 @@ pub fn utilization_sparkline(
             continue;
         }
         // Buckets the job overlaps.
-        let first = ((lo - w0) as u128 * width as u128 / span) as usize;
-        let last = (((hi - w0) as u128 - 1) * width as u128 / span) as usize;
+        // Bucket indices are provably < width (lo, hi lie inside the
+        // window), so the fallbacks never trigger.
+        let first = usize::try_from(lo.saturating_sub(w0) as u128 * width as u128 / span)
+            .unwrap_or(usize::MAX);
+        let last = usize::try_from((hi.saturating_sub(w0) as u128 - 1) * width as u128 / span)
+            .unwrap_or(usize::MAX);
         for (b, slot) in busy
             .iter_mut()
             .enumerate()
             .take(last.min(width - 1) + 1)
             .skip(first)
         {
-            let b_start = w0 + (span * b as u128 / width as u128) as Time;
-            let b_end = w0 + (span * (b as u128 + 1) / width as u128) as Time;
+            // Bucket edges are offsets within `span`, which itself came
+            // from a u64 difference, so they always fit back in Time.
+            let b_start = w0.saturating_add(
+                Time::try_from(span * b as u128 / width as u128).unwrap_or(Time::MAX),
+            );
+            let b_end = w0.saturating_add(
+                Time::try_from(span * (b as u128 + 1) / width as u128).unwrap_or(Time::MAX),
+            );
             let o_lo = lo.max(b_start);
             let o_hi = hi.min(b_end);
             if o_hi > o_lo {
-                *slot += (o_hi - o_lo) as u128 * r.nodes as u128;
+                *slot += o_hi.saturating_sub(o_lo) as u128 * r.nodes as u128;
             }
         }
     }
@@ -82,7 +92,7 @@ pub fn utilization_panel(
             let lo = r.start.max(window.0);
             let hi = r.end.min(window.1);
             if hi > lo {
-                (hi - lo) as u128 * r.nodes as u128
+                hi.saturating_sub(lo) as u128 * r.nodes as u128
             } else {
                 0
             }

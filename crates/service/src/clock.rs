@@ -41,7 +41,7 @@ impl WallClock {
 
 impl Clock for WallClock {
     fn now(&self) -> Time {
-        self.origin + self.epoch.elapsed().as_secs()
+        self.origin.saturating_add(self.epoch.elapsed().as_secs())
     }
 
     fn advance_to(&self, _: Time) -> bool {

@@ -113,6 +113,7 @@ impl Server {
         self.shutdown.store(true, Ordering::SeqCst);
         {
             let mut d = lock_daemon(&self.daemon);
+            // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
             let _ = d.save_snapshot();
         }
         for w in workers {

@@ -40,9 +40,9 @@ impl CompletedStats {
     /// Folds one completed job in.
     pub fn absorb(&mut self, wait: Time, excess: Time) {
         self.count += 1;
-        self.total_wait += wait;
+        self.total_wait = self.total_wait.saturating_add(wait);
         self.max_wait = self.max_wait.max(wait);
-        self.total_excess += excess;
+        self.total_excess = self.total_excess.saturating_add(excess);
         self.max_excess = self.max_excess.max(excess);
     }
 }

@@ -56,8 +56,8 @@ impl AvailabilityProfile {
     ) -> Self {
         let mut p = Self::new(base, capacity);
         for (pred_end, nodes) in running {
-            let end = pred_end.max(base + 1);
-            p.reserve(base, end - base, nodes);
+            let end = pred_end.max(base.saturating_add(1));
+            p.reserve(base, end.saturating_sub(base), nodes);
         }
         p
     }
@@ -137,7 +137,7 @@ impl AvailabilityProfile {
     fn adjust(&mut self, start: Time, duration: Time, nodes: u32, take: bool) {
         assert!(duration > 0, "zero-length reservation");
         let start = start.max(self.base());
-        let end = start + duration;
+        let end = start.saturating_add(duration);
         let lo = self.split_at(start);
         let hi = self.split_at(end);
         for seg in &mut self.segs[lo..hi] {

@@ -22,7 +22,7 @@ pub struct RunningJob {
 impl RunningJob {
     /// Actual completion time.
     pub fn end(&self) -> Time {
-        self.start + self.job.runtime
+        self.start.saturating_add(self.job.runtime)
     }
 }
 
@@ -71,7 +71,7 @@ impl Cluster {
     pub fn advance_to(&mut self, now: Time) {
         debug_assert!(now >= self.last_advance, "time went backwards");
         let busy = (self.capacity - self.free) as u64;
-        self.busy_node_seconds += busy * (now - self.last_advance);
+        self.busy_node_seconds += busy.saturating_mul(now.saturating_sub(self.last_advance));
         self.last_advance = now;
     }
 
@@ -98,7 +98,7 @@ impl Cluster {
         self.running.push(RunningJob {
             job,
             start: now,
-            pred_end: now + r_star,
+            pred_end: now.saturating_add(r_star),
         });
     }
 

@@ -149,7 +149,7 @@ impl SchedulerCore {
                 nodes: done.job.nodes,
                 runtime: done.job.runtime,
                 requested: done.job.requested,
-                r_star: done.pred_end - done.start,
+                r_star: done.pred_end.saturating_sub(done.start),
                 user: done.job.user,
                 in_window: done.job.submit >= w0 && done.job.submit < w1,
             });
@@ -240,7 +240,7 @@ impl SchedulerCore {
     pub fn restore_running(&mut self, job: Job, start: Time, pred_end: Time) {
         self.cluster.admit(job, start, pred_end);
         self.departures
-            .push(Reverse((start + job.runtime, job.id.0)));
+            .push(Reverse((start.saturating_add(job.runtime), job.id.0)));
     }
 
     /// Tears the core down into `(records, decisions, policy_nanos)`.

@@ -121,7 +121,7 @@ pub fn simulate(workload: &Workload, mut policy: impl Policy, cfg: SimConfig) ->
         let lo = last_t.max(w0);
         let hi = now.min(w1);
         if hi > lo {
-            queue_area += core.queue().len() as u128 * (hi - lo) as u128;
+            queue_area += core.queue().len() as u128 * hi.saturating_sub(lo) as u128;
         }
         core.advance_to(now);
         last_t = now;
@@ -155,7 +155,7 @@ pub fn simulate(workload: &Workload, mut policy: impl Policy, cfg: SimConfig) ->
             let lo = r.start.max(w0);
             let hi = r.end.min(w1);
             if hi > lo {
-                (hi - lo) as u128 * r.nodes as u128
+                hi.saturating_sub(lo) as u128 * r.nodes as u128
             } else {
                 0
             }

@@ -74,8 +74,10 @@ impl RuntimePredictor for RecentUserAverage {
         let prediction = match self.history.get(&job.user) {
             Some(recent) if !recent.is_empty() => {
                 let sum: u128 = recent.iter().map(|&t| t as u128).sum();
-                (sum / recent.len() as u128) as Time
+                // A mean of u64 samples always fits back in u64.
+                Time::try_from(sum / recent.len() as u128).unwrap_or(Time::MAX)
             }
+            // sbs-lint: allow(cast-truncation): float-to-int `as` saturates deterministically and the result is clamped to [1, requested] below
             _ => (job.requested as f64 * self.fallback_frac) as Time,
         };
         prediction.clamp(1, job.requested)

@@ -36,12 +36,12 @@ pub struct JobRecord {
 impl JobRecord {
     /// Wait time (`start - submit`).
     pub fn wait(&self) -> Time {
-        self.start - self.submit
+        self.start.saturating_sub(self.submit)
     }
 
     /// Turnaround (`end - submit`).
     pub fn turnaround(&self) -> Time {
-        self.end - self.submit
+        self.end.saturating_sub(self.submit)
     }
 
     /// The paper's bounded slowdown (1-minute runtime floor).

@@ -209,7 +209,10 @@ impl WorkloadBuilder {
         let month_secs = ((p.month.seconds() as f64) * self.span_scale).round() as Time;
         let monthly_jobs = ((p.total_jobs as f64) * self.span_scale).round().max(1.0);
         let limit = p.month.runtime_limit();
-        let span = self.warmup + month_secs + self.cooldown;
+        let span = self
+            .warmup
+            .saturating_add(month_secs)
+            .saturating_add(self.cooldown);
 
         // Total job count over the whole span at the month's arrival rate.
         let n_total = (monthly_jobs * (span as f64 / month_secs as f64)).round() as usize;
@@ -260,7 +263,10 @@ impl WorkloadBuilder {
             None => 1.0,
         };
         let scale = |t: Time| (t as f64 * compress).round() as Time;
-        let window = (scale(self.warmup), scale(self.warmup + month_secs));
+        let window = (
+            scale(self.warmup),
+            scale(self.warmup.saturating_add(month_secs)),
+        );
 
         // User population: a Zipf-like distribution (a few heavy users
         // dominate, as in real traces); user ids start at 1.
@@ -275,7 +281,7 @@ impl WorkloadBuilder {
             .map(|(i, (arrival, (nodes, runtime)))| {
                 let requested = sample_requested(&mut rng, runtime, limit);
                 let mut pick = rng.gen::<f64>() * weight_sum;
-                let mut user = n_users as u32;
+                let mut user = u32::try_from(n_users).unwrap_or(u32::MAX);
                 for (k, w) in user_weights.iter().enumerate() {
                     pick -= w;
                     if pick <= 0.0 {

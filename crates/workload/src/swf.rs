@@ -131,15 +131,14 @@ pub fn parse(text: &str, capacity: u32) -> Result<Workload, SwfError> {
             continue;
         }
         let runtime = runtime as Time;
-        let requested = if requested_time >= runtime as i64 {
-            requested_time as Time
-        } else {
-            runtime
-        };
+        let requested = Time::try_from(requested_time)
+            .ok()
+            .filter(|&rt| rt >= runtime)
+            .unwrap_or(runtime);
         max_requested = max_requested.max(requested);
         jobs.push(
             Job::new(
-                JobId(jobs.len() as u32),
+                JobId(u32::try_from(jobs.len()).unwrap_or(u32::MAX)),
                 submit as Time,
                 (procs as u32).min(capacity),
                 runtime,
@@ -153,7 +152,7 @@ pub fn parse(text: &str, capacity: u32) -> Result<Workload, SwfError> {
         j.id = JobId(i as u32);
     }
     let window = match (jobs.first(), jobs.last()) {
-        (Some(a), Some(b)) => (a.submit, b.submit + 1),
+        (Some(a), Some(b)) => (a.submit, b.submit.saturating_add(1)),
         _ => (0, 0),
     };
     Ok(Workload {
@@ -279,6 +278,66 @@ mod tests {
         assert_eq!(header_capacity(text), None);
         let err = parse_auto(text).unwrap_err();
         assert!(err.message.contains("MaxNodes/MaxProcs"));
+    }
+
+    #[test]
+    fn malformed_header_values_fall_through() {
+        // A MaxNodes that does not parse (or is zero) must not shadow a
+        // usable MaxProcs, and vice versa.
+        assert_eq!(
+            header_capacity("; MaxNodes: abc\n; MaxProcs: 128\n"),
+            Some(128)
+        );
+        assert_eq!(
+            header_capacity("; MaxNodes: 0\n; MaxProcs: 128\n"),
+            Some(128)
+        );
+        assert_eq!(
+            header_capacity("; MaxNodes: -64\n; MaxProcs: 128\n"),
+            Some(128)
+        );
+        assert_eq!(
+            header_capacity("; MaxNodes: 64\n; MaxProcs: abc\n"),
+            Some(64)
+        );
+        // Nothing usable at all: no capacity.
+        assert_eq!(header_capacity("; MaxNodes: ?\n; MaxProcs:\n"), None);
+        let err = parse_auto("; MaxProcs: zero\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("explicitly"), "{}", err.message);
+    }
+
+    #[test]
+    fn header_values_tolerate_archive_spacing() {
+        // Archive headers vary in whitespace around the colon.
+        assert_eq!(header_capacity(";MaxNodes:64\n"), Some(64));
+        assert_eq!(header_capacity(";   MaxNodes  :   64\n"), Some(64));
+        assert_eq!(header_capacity("; MaxProcs\t: 128\n"), Some(128));
+    }
+
+    #[test]
+    fn repeated_header_lines_keep_the_last_valid_value() {
+        // Some concatenated traces repeat header lines; a later valid
+        // MaxProcs wins, a later malformed one is ignored.
+        assert_eq!(
+            header_capacity("; MaxProcs: 64\n; MaxProcs: 128\n"),
+            Some(128)
+        );
+        assert_eq!(
+            header_capacity("; MaxProcs: 64\n; MaxProcs: oops\n"),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn headerless_trace_parses_with_explicit_capacity() {
+        // The documented fallback when parse_auto refuses: give the
+        // machine size explicitly via parse().
+        let text = "1 100 -1 60 1 -1 -1 1 60 -1 -1 -1 -1 -1 -1 -1 -1 -1\n";
+        assert!(parse_auto(text).is_err());
+        let w = parse(text, 32).expect("explicit capacity");
+        assert_eq!(w.capacity, 32);
+        assert_eq!(w.jobs.len(), 1);
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Month {
     /// Length of the month in seconds — the simulator's measurement
     /// window.
     pub fn seconds(self) -> Time {
-        self.days() * DAY
+        self.days().saturating_mul(DAY)
     }
 
     /// Queue runtime limit in force during the month (Table 2: raised

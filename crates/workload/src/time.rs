@@ -40,11 +40,6 @@ pub fn to_hours(t: Time) -> f64 {
     t as f64 / HOUR as f64
 }
 
-/// Converts seconds to fractional minutes.
-pub fn to_minutes(t: Time) -> f64 {
-    t as f64 / MINUTE as f64
-}
-
 /// Renders a duration as a compact human-readable string (`"2h30m"`,
 /// `"45s"`, `"3d04h"`), used by report tables and examples.
 pub fn fmt_duration(t: Time) -> String {
