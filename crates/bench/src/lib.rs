@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod opts;
+pub mod perf;
 pub mod report;
 pub mod tables;
 

@@ -1,0 +1,502 @@
+//! `bench-perf`: the search hot-path performance harness.
+//!
+//! Runs a pinned matrix — DDS/LDS x fcfs/lxf x node budgets — against
+//! frozen decision points captured from fixed synthetic months, and
+//! reports throughput (nodes/sec, ns/node) next to the deterministic
+//! search outcome (nodes, leaves, best cost).  The output is written as
+//! `BENCH_search.json` at the repo root in a stable schema so every PR
+//! extends one perf trajectory; [`check`] compares a fresh run against a
+//! committed baseline and fails on throughput regressions beyond a
+//! tolerance.
+//!
+//! Everything except the timings is deterministic: the months, seeds,
+//! capture policy and search configurations are pinned, so `nodes`,
+//! `leaves` and the best costs must be identical across machines — those
+//! fields double as a cheap cross-check that a perf PR did not silently
+//! change search *behavior* (the golden-trace tests pin full schedules).
+
+use sbs_core::objective::HierarchicalObjective;
+use sbs_core::{Branching, ObjectiveCost, PolicySpec, ScheduleProblem, SearchAlgo};
+use sbs_dsearch::{dds, lds, SearchConfig, SearchOutcome};
+use sbs_sim::avail::AvailabilityProfile;
+use sbs_sim::engine::{simulate, SimConfig};
+use sbs_sim::policy::{Policy, SchedContext, WaitingJob};
+use sbs_workload::generator::WorkloadBuilder;
+use sbs_workload::job::JobId;
+use sbs_workload::system::Month;
+use sbs_workload::time::{to_hours, Time};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema identifier stamped into every emitted document.
+pub const SCHEMA: &str = "sbs-bench-perf/v1";
+
+/// The pinned months decision points are captured from: one from each
+/// runtime-limit regime plus the October load peak.
+pub const MONTHS: [Month; 3] = [Month::Jun03, Month::Oct03, Month::Feb04];
+
+/// The pinned per-decision node budgets (the paper's `L` sweep).
+pub const BUDGETS: [u64; 3] = [1_000, 10_000, 100_000];
+
+/// Workload seed used for every capture (arbitrary but frozen).
+const CAPTURE_SEED: u64 = 42;
+
+/// Span fraction simulated during capture; enough events to find a deep
+/// queue while keeping the capture itself cheap.
+const CAPTURE_SCALE: f64 = 0.12;
+
+/// Harness options.
+#[derive(Debug, Clone)]
+pub struct PerfOpts {
+    /// Smoke mode: drop the 100K budget and run one timing repeat.
+    pub quick: bool,
+    /// Timing repeats per cell (the fastest is reported).
+    pub repeats: u32,
+}
+
+impl Default for PerfOpts {
+    fn default() -> Self {
+        PerfOpts {
+            quick: false,
+            repeats: 3,
+        }
+    }
+}
+
+impl PerfOpts {
+    /// The smoke configuration used by `--quick` and CI.
+    pub fn quick() -> Self {
+        PerfOpts {
+            quick: true,
+            repeats: 1,
+        }
+    }
+
+    /// The budget column of the matrix under these options.
+    pub fn budgets(&self) -> &'static [u64] {
+        if self.quick {
+            &BUDGETS[..2]
+        } else {
+            &BUDGETS[..]
+        }
+    }
+}
+
+/// A frozen decision point: everything needed to rebuild the search
+/// problem a policy would solve at that instant.
+pub struct DecisionSnapshot {
+    /// Month the snapshot came from.
+    pub month: Month,
+    /// Decision time.
+    pub now: Time,
+    /// Machine size.
+    pub capacity: u32,
+    /// The waiting queue, arrival order.
+    pub queue: Vec<WaitingJob>,
+    /// Running set as `(predicted_end, nodes)` pairs.
+    pub running: Vec<(Time, u32)>,
+    /// The resolved dynamic target bound (longest current wait).
+    pub omega: Time,
+}
+
+impl DecisionSnapshot {
+    /// The availability profile at the decision point.
+    pub fn profile(&self) -> AvailabilityProfile {
+        AvailabilityProfile::from_running(self.now, self.capacity, self.running.iter().copied())
+    }
+
+    /// Builds the ordering-tree search problem for `branching`.
+    pub fn problem(&self, branching: Branching) -> ScheduleProblem<'_> {
+        let profile = self.profile();
+        let ctx = SchedContext {
+            now: self.now,
+            capacity: self.capacity,
+            free_nodes: profile.free_at(self.now),
+            queue: &self.queue,
+            running: &[],
+        };
+        ScheduleProblem::new(
+            &self.queue,
+            self.now,
+            profile,
+            branching.order(&ctx),
+            self.omega,
+            Arc::new(HierarchicalObjective),
+        )
+    }
+}
+
+/// Capture policy: delegates every decision to LXF-backfill while
+/// remembering the decision point with the deepest queue.
+struct DeepestQueueProbe {
+    inner: Box<dyn Policy + Send>,
+    best: Option<DecisionSnapshot>,
+    month: Month,
+}
+
+impl Policy for DeepestQueueProbe {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId> {
+        let depth = ctx.queue.len();
+        let deeper = match &self.best {
+            None => depth > 0,
+            Some(s) => depth > s.queue.len(),
+        };
+        if deeper {
+            self.best = Some(DecisionSnapshot {
+                month: self.month,
+                now: ctx.now,
+                capacity: ctx.capacity,
+                queue: ctx.queue.to_vec(),
+                running: ctx
+                    .running
+                    .iter()
+                    .map(|r| (r.pred_end, r.job.nodes))
+                    .collect(),
+                omega: ctx.longest_wait(),
+            });
+        }
+        self.inner.decide(ctx)
+    }
+}
+
+/// Captures the deepest-queue decision point of `month`'s pinned
+/// workload under LXF-backfill.
+pub fn capture(month: Month) -> DecisionSnapshot {
+    let workload = WorkloadBuilder::month(month)
+        .seed(CAPTURE_SEED)
+        .span_scale(CAPTURE_SCALE)
+        .build();
+    let mut probe = DeepestQueueProbe {
+        inner: PolicySpec::LxfBackfill.build(),
+        best: None,
+        month,
+    };
+    simulate(&workload, &mut probe, SimConfig::default());
+    probe
+        .best
+        .expect("every pinned month has at least one non-empty decision point")
+}
+
+/// One cell of the matrix: deterministic outcome plus the fastest of
+/// `repeats` timed runs.
+pub struct CellResult {
+    /// Cell month.
+    pub month: Month,
+    /// Search algorithm.
+    pub algo: SearchAlgo,
+    /// Branching heuristic.
+    pub branching: Branching,
+    /// Node budget `L`.
+    pub budget: u64,
+    /// Deterministic outcome of the search.
+    pub outcome: SearchOutcome<u32, ObjectiveCost>,
+    /// Fastest elapsed wall time over the repeats, in nanoseconds.
+    pub elapsed_ns: u128,
+}
+
+impl CellResult {
+    /// Stable identifier of the cell inside the document.
+    pub fn id(&self) -> String {
+        format!(
+            "{}/{}/{}/L{}",
+            self.month.label(),
+            self.algo.label(),
+            self.branching.label(),
+            self.budget
+        )
+    }
+
+    /// Visited tree nodes per second.
+    pub fn nodes_per_sec(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.outcome.stats.nodes as f64 / (self.elapsed_ns as f64 / 1e9)
+        }
+    }
+
+    /// Nanoseconds per visited tree node.
+    pub fn ns_per_node(&self) -> f64 {
+        if self.outcome.stats.nodes == 0 {
+            0.0
+        } else {
+            self.elapsed_ns as f64 / self.outcome.stats.nodes as f64
+        }
+    }
+}
+
+/// Runs one cell: `repeats` timed searches on a fresh problem each time.
+/// Searches are pure, so the outcome must be identical across repeats —
+/// asserted here as a sanity check on the harness itself.
+pub fn run_cell(
+    snapshot: &DecisionSnapshot,
+    algo: SearchAlgo,
+    branching: Branching,
+    budget: u64,
+    repeats: u32,
+) -> CellResult {
+    let cfg = SearchConfig::with_limit(budget);
+    let mut best_elapsed: Option<u128> = None;
+    let mut outcome = None;
+    for _ in 0..repeats.max(1) {
+        let mut problem = snapshot.problem(branching);
+        let t0 = Instant::now();
+        let out = match algo {
+            SearchAlgo::Lds => lds(&mut problem, cfg),
+            SearchAlgo::Dds => dds(&mut problem, cfg),
+            _ => unreachable!("the perf matrix pins LDS and DDS only"),
+        };
+        let elapsed = t0.elapsed().as_nanos();
+        best_elapsed = Some(best_elapsed.map_or(elapsed, |b: u128| b.min(elapsed)));
+        if let Some(prev) = &outcome {
+            assert_outcomes_agree(prev, &out);
+        }
+        outcome = Some(out);
+    }
+    CellResult {
+        month: snapshot.month,
+        algo,
+        branching,
+        budget,
+        outcome: outcome.expect("at least one repeat"),
+        elapsed_ns: best_elapsed.expect("at least one repeat"),
+    }
+}
+
+fn assert_outcomes_agree(
+    a: &SearchOutcome<u32, ObjectiveCost>,
+    b: &SearchOutcome<u32, ObjectiveCost>,
+) {
+    assert_eq!(a.stats.nodes, b.stats.nodes, "repeat changed node count");
+    assert_eq!(a.stats.leaves, b.stats.leaves, "repeat changed leaf count");
+    assert_eq!(
+        a.best_cost().map(|c| (c.excess, c.bsld_sum.to_bits())),
+        b.best_cost().map(|c| (c.excess, c.bsld_sum.to_bits())),
+        "repeat changed the best cost"
+    );
+}
+
+/// Runs the full pinned matrix and collects the report.
+pub fn run_matrix(opts: &PerfOpts) -> PerfReport {
+    let snapshots: Vec<DecisionSnapshot> = MONTHS.iter().map(|&m| capture(m)).collect();
+    let mut cells = Vec::new();
+    for snapshot in &snapshots {
+        for algo in [SearchAlgo::Dds, SearchAlgo::Lds] {
+            for branching in [Branching::Fcfs, Branching::Lxf] {
+                for &budget in opts.budgets() {
+                    cells.push(run_cell(snapshot, algo, branching, budget, opts.repeats));
+                }
+            }
+        }
+    }
+    PerfReport { snapshots, cells }
+}
+
+/// The harness output: snapshots plus every matrix cell.
+pub struct PerfReport {
+    /// The captured decision points, one per pinned month.
+    pub snapshots: Vec<DecisionSnapshot>,
+    /// All matrix cells in a fixed order.
+    pub cells: Vec<CellResult>,
+}
+
+impl PerfReport {
+    /// The machine-readable `BENCH_search.json` document.
+    pub fn to_json(&self) -> Value {
+        let months: Vec<&str> = self.snapshots.iter().map(|s| s.month.label()).collect();
+        let budgets = self
+            .cells
+            .iter()
+            .map(|c| c.budget)
+            .fold(Vec::new(), |mut v: Vec<u64>, b| {
+                if !v.contains(&b) {
+                    v.push(b);
+                }
+                v
+            });
+        let snapshots: Vec<Value> = self
+            .snapshots
+            .iter()
+            .map(|s| {
+                json!({
+                    "month": s.month.label(),
+                    "queue_depth": s.queue.len(),
+                    "running_jobs": s.running.len(),
+                    "omega_s": s.omega,
+                })
+            })
+            .collect();
+        let results: Vec<Value> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let best = c.outcome.best_cost();
+                json!({
+                    "id": c.id(),
+                    "month": c.month.label(),
+                    "algo": c.algo.label(),
+                    "branching": c.branching.label(),
+                    "budget": c.budget,
+                    "nodes": c.outcome.stats.nodes,
+                    "leaves": c.outcome.stats.leaves,
+                    "iterations": c.outcome.stats.iterations,
+                    "exhausted": c.outcome.stats.exhausted,
+                    // sbs-lint: allow(cast-truncation): nanoseconds of one search fit u64
+                    "elapsed_ns": c.elapsed_ns as u64,
+                    "nodes_per_sec": c.nodes_per_sec(),
+                    "ns_per_node": c.ns_per_node(),
+                    "best_excess_s": best.map(|b| b.excess),
+                    "best_bsld_sum": best.map(|b| b.bsld_sum),
+                })
+            })
+            .collect();
+        json!({
+            "schema": SCHEMA,
+            "matrix": json!({
+                "months": months,
+                "algos": json!(["DDS", "LDS"]),
+                "branchings": json!(["fcfs", "lxf"]),
+                "budgets": budgets,
+                "capture_seed": CAPTURE_SEED,
+                "capture_scale": CAPTURE_SCALE,
+            }),
+            "snapshots": snapshots,
+            "results": results,
+        })
+    }
+
+    /// Fixed-width text table for the terminal.
+    pub fn render(&self) -> String {
+        let mut out = String::from("search hot-path throughput (pinned matrix)\n\n");
+        for s in &self.snapshots {
+            out.push_str(&format!(
+                "  {}: queue depth {}, {} running, omega {:.1} h\n",
+                s.month.label(),
+                s.queue.len(),
+                s.running.len(),
+                to_hours(s.omega),
+            ));
+        }
+        out.push('\n');
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>8} {:>12} {:>9} {:>12} {:>12}\n",
+            "cell", "nodes", "leaves", "nodes/sec", "ns/node", "best excess", "best bsld"
+        ));
+        for c in &self.cells {
+            let best = c.outcome.best_cost();
+            out.push_str(&format!(
+                "{:<22} {:>9} {:>8} {:>12.0} {:>9.1} {:>12} {:>12.3}\n",
+                c.id(),
+                c.outcome.stats.nodes,
+                c.outcome.stats.leaves,
+                c.nodes_per_sec(),
+                c.ns_per_node(),
+                best.map_or_else(|| "-".into(), |b| b.excess.to_string()),
+                best.map_or(f64::NAN, |b| b.bsld_sum),
+            ));
+        }
+        out
+    }
+}
+
+/// One throughput regression found by [`check`].
+#[derive(Debug)]
+pub struct Regression {
+    /// Cell id.
+    pub id: String,
+    /// Baseline nodes/sec.
+    pub baseline: f64,
+    /// Current nodes/sec.
+    pub current: f64,
+}
+
+/// Compares `current` against a `baseline` document: every cell id
+/// present in both must keep `nodes_per_sec >= baseline * (1 -
+/// tolerance)`.  Cells present in only one document are ignored (the
+/// matrix may grow).  Returns the regressions; empty = pass.
+pub fn check(current: &Value, baseline: &Value, tolerance: f64) -> Vec<Regression> {
+    let index = |doc: &Value| -> Vec<(String, f64)> {
+        doc["results"]
+            .as_array()
+            .map(|rows| {
+                rows.iter()
+                    .filter_map(|r| {
+                        Some((r["id"].as_str()?.to_string(), r["nodes_per_sec"].as_f64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let base = index(baseline);
+    let mut regressions = Vec::new();
+    for (id, cur) in index(current) {
+        if let Some((_, b)) = base.iter().find(|(bid, _)| *bid == id) {
+            if cur < b * (1.0 - tolerance) {
+                regressions.push(Regression {
+                    id,
+                    baseline: *b,
+                    current: cur,
+                });
+            }
+        }
+    }
+    regressions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_is_deterministic_and_non_trivial() {
+        let a = capture(Month::Jun03);
+        let b = capture(Month::Jun03);
+        assert_eq!(a.now, b.now);
+        assert_eq!(a.queue, b.queue);
+        assert_eq!(a.running, b.running);
+        assert_eq!(a.omega, b.omega);
+        assert!(
+            a.queue.len() >= 4,
+            "queue depth {} too shallow for a meaningful search",
+            a.queue.len()
+        );
+    }
+
+    #[test]
+    fn cell_outcomes_are_repeatable_and_budget_bounded() {
+        let snap = capture(Month::Jun03);
+        let a = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 2);
+        let b = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 1);
+        assert!(a.outcome.stats.nodes <= 1_000);
+        assert_eq!(a.outcome.stats.nodes, b.outcome.stats.nodes);
+        assert_eq!(a.outcome.stats.leaves, b.outcome.stats.leaves);
+        assert!(a.nodes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn check_flags_only_regressions_beyond_tolerance() {
+        let doc = |speed: f64| {
+            json!({
+                "results": vec![
+                    json!({"id": "a", "nodes_per_sec": speed}),
+                    json!({"id": "b", "nodes_per_sec": 100.0}),
+                ],
+            })
+        };
+        assert!(check(&doc(100.0), &doc(100.0), 0.5).is_empty());
+        assert!(check(&doc(51.0), &doc(100.0), 0.5).is_empty());
+        let r = check(&doc(49.0), &doc(100.0), 0.5);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].id, "a");
+        // Ids absent from the baseline never fail.
+        let fresh = json!({
+            "results": vec![json!({"id": "new", "nodes_per_sec": 1.0})],
+        });
+        assert!(check(&fresh, &doc(100.0), 0.5).is_empty());
+    }
+}

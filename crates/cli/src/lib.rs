@@ -27,6 +27,7 @@ USAGE:
   sbs submit [options]    submit a job to a running daemon
   sbs queue [options]     show a running daemon's queue
   sbs lint [FILE...]      run the workspace static-analysis pass
+  sbs bench-perf          run the search hot-path perf matrix
   sbs policies            list available policy names
   sbs months              list the study months
   sbs help                this text
@@ -65,6 +66,16 @@ OPTIONS (lint):
   --update-baseline   shrink lint-baseline.toml pins to today's counts
                       (the ratchet never adds or grows a pin)
 
+OPTIONS (bench-perf):
+  --quick             smoke mode: drop the 100K budget, 1 timing repeat
+  --repeats N         timed repeats per cell, fastest wins (default 3)
+  --out FILE          where to write the JSON document (default
+                      BENCH_search.json; \"-\" skips the file)
+  --check BASELINE    compare nodes/sec against a baseline document and
+                      fail on regressions beyond the tolerance
+  --tolerance F       allowed fractional slowdown for --check
+                      (default 0.5 — generous, CI machines vary)
+
 OPTIONS (submit / queue):
   --host H            daemon host (default 127.0.0.1)
   --port P            daemon port (default 7070)
@@ -91,6 +102,8 @@ pub enum Command {
     Queue(ConnectArgs),
     /// Run the static-analysis pass.
     Lint(LintArgs),
+    /// Run the search hot-path performance matrix.
+    BenchPerf(BenchPerfArgs),
     /// List policy names.
     Policies,
     /// List study months.
@@ -144,6 +157,33 @@ pub enum LintFormat {
     Json,
     /// SARIF 2.1.0, as consumed by code-scanning CI uploads.
     Sarif,
+}
+
+/// Arguments of `sbs bench-perf`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchPerfArgs {
+    /// Smoke mode (drop the 100K budget, one repeat).
+    pub quick: bool,
+    /// Timed repeats per matrix cell; `None` = the mode's default.
+    pub repeats: Option<u32>,
+    /// Output path for the JSON document; `"-"` = don't write a file.
+    pub out: String,
+    /// Baseline document to `--check` nodes/sec against.
+    pub check: Option<String>,
+    /// Allowed fractional nodes/sec slowdown before `--check` fails.
+    pub tolerance: f64,
+}
+
+impl Default for BenchPerfArgs {
+    fn default() -> Self {
+        BenchPerfArgs {
+            quick: false,
+            repeats: None,
+            out: "BENCH_search.json".to_string(),
+            check: None,
+            tolerance: 0.5,
+        }
+    }
 }
 
 /// Connection coordinates for the client subcommands.
@@ -506,6 +546,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Lint(parsed))
         }
+        "bench-perf" => {
+            let mut parsed = BenchPerfArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--quick" => parsed.quick = true,
+                    "--repeats" => {
+                        parsed.repeats =
+                            Some(value()?.parse().map_err(|_| "bad --repeats".to_string())?)
+                    }
+                    "--out" => parsed.out = value()?,
+                    "--check" => parsed.check = Some(value()?),
+                    "--tolerance" => {
+                        parsed.tolerance = value()?
+                            .parse()
+                            .map_err(|_| "bad --tolerance".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if !(0.0..1.0).contains(&parsed.tolerance) {
+                return Err("--tolerance must be in [0, 1)".to_string());
+            }
+            Ok(Command::BenchPerf(parsed))
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -555,7 +624,60 @@ pub fn run(cmd: Command) -> Result<String, String> {
         }
         Command::Queue(connect) => client_round_trip(&connect, r#"{"op":"queue"}"#),
         Command::Lint(args) => lint_cmd(args),
+        Command::BenchPerf(args) => bench_perf_cmd(args),
     }
+}
+
+/// Runs the pinned search-throughput matrix, writes `BENCH_search.json`
+/// and optionally enforces a nodes/sec baseline (`--check`).
+fn bench_perf_cmd(args: BenchPerfArgs) -> Result<String, String> {
+    use sbs_bench::perf;
+    let mut opts = if args.quick {
+        perf::PerfOpts::quick()
+    } else {
+        perf::PerfOpts::default()
+    };
+    if let Some(r) = args.repeats {
+        opts.repeats = r.max(1);
+    }
+    let report = perf::run_matrix(&opts);
+    let doc = report.to_json();
+    let mut out = report.render();
+    if args.out != "-" {
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&doc).expect("serialize")
+        );
+        std::fs::write(&args.out, text).map_err(|e| format!("{}: {e}", args.out))?;
+        out.push_str(&format!("\nwrote {}\n", args.out));
+    }
+    if let Some(baseline_path) = &args.check {
+        let text =
+            std::fs::read_to_string(baseline_path).map_err(|e| format!("{baseline_path}: {e}"))?;
+        let baseline: serde_json::Value = serde_json::from_str(&text)
+            .map_err(|e| format!("{baseline_path}: malformed baseline: {e}"))?;
+        let regressions = perf::check(&doc, &baseline, args.tolerance);
+        if regressions.is_empty() {
+            out.push_str(&format!(
+                "check vs {baseline_path}: ok (tolerance {:.0}%)\n",
+                args.tolerance * 100.0
+            ));
+        } else {
+            let mut msg = format!(
+                "{} nodes/sec regression(s) vs {baseline_path} (tolerance {:.0}%):\n",
+                regressions.len(),
+                args.tolerance * 100.0
+            );
+            for r in &regressions {
+                msg.push_str(&format!(
+                    "  {}: {:.0} -> {:.0} nodes/sec\n",
+                    r.id, r.baseline, r.current
+                ));
+            }
+            return Err(msg);
+        }
+    }
+    Ok(out)
 }
 
 /// Runs the static-analysis pass; violations are an error (non-zero

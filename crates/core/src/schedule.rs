@@ -15,7 +15,7 @@
 
 use crate::objective::{Objective, ObjectiveCost};
 use sbs_dsearch::SearchProblem;
-use sbs_sim::avail::AvailabilityProfile;
+use sbs_sim::avail::{AvailabilityProfile, UndoLog};
 use sbs_sim::policy::WaitingJob;
 use sbs_workload::job::JobId;
 use sbs_workload::time::Time;
@@ -30,6 +30,9 @@ pub struct Placement {
     pub start: Time,
     /// Objective cost *before* this placement, for exact undo.
     prev_cost: ObjectiveCost,
+    /// Remaining-jobs lower bound *before* this placement, for exact
+    /// undo (floating-point subtraction is not exactly reversible).
+    prev_lb: ObjectiveCost,
 }
 
 /// The search problem over orderings of one decision point's queue.
@@ -53,8 +56,18 @@ pub struct ScheduleProblem<'a> {
     /// Position in `order` of each job index.
     pos_of: Vec<u32>,
     profile: AvailabilityProfile,
+    /// Journal of profile edits, one frame per placement; ascend pops a
+    /// frame to restore the profile exactly (no re-search, no re-merge).
+    undo: UndoLog,
     placed: Vec<Placement>,
     cost: ObjectiveCost,
+    /// Per-job cost floor `job_cost(w, now, omega)` — every start is at
+    /// or after `now` and all objectives are monotone in the start time,
+    /// so this never exceeds the job's eventual contribution.
+    base_cost: Vec<ObjectiveCost>,
+    /// Sum of `base_cost` over the *unplaced* jobs: an admissible lower
+    /// bound on what the rest of the path must still add to `cost`.
+    remaining_lb: ObjectiveCost,
 }
 
 impl<'a> ScheduleProblem<'a> {
@@ -90,6 +103,16 @@ impl<'a> ScheduleProblem<'a> {
         for (pos, &job) in order.iter().enumerate() {
             pos_of[job as usize] = pos as u32;
         }
+        let base_cost: Vec<ObjectiveCost> = jobs
+            .iter()
+            .map(|w| objective.job_cost(w, now, omega))
+            .collect();
+        let remaining_lb = base_cost
+            .iter()
+            .fold(ObjectiveCost::ZERO, |acc, c| ObjectiveCost {
+                excess: acc.excess + c.excess,
+                bsld_sum: acc.bsld_sum + c.bsld_sum,
+            });
         ScheduleProblem {
             jobs,
             now,
@@ -102,8 +125,11 @@ impl<'a> ScheduleProblem<'a> {
             prev,
             pos_of,
             profile,
+            undo: UndoLog::new(),
             placed: Vec::with_capacity(n),
             cost: ObjectiveCost::ZERO,
+            base_cost,
+            remaining_lb,
         }
     }
 
@@ -170,8 +196,7 @@ impl SearchProblem for ScheduleProblem<'_> {
         debug_assert!(!self.used[branch as usize], "job placed twice");
         let start = self
             .profile
-            .earliest_start(w.job.nodes, w.r_star.max(1), self.now);
-        self.profile.reserve(start, w.r_star.max(1), w.job.nodes);
+            .place(w.job.nodes, w.r_star.max(1), self.now, &mut self.undo);
         self.used[branch as usize] = true;
         // Unlink the position from the unplaced list.
         let pos = self.pos_of[branch as usize] as usize;
@@ -183,15 +208,18 @@ impl SearchProblem for ScheduleProblem<'_> {
             job: branch,
             start,
             prev_cost: self.cost,
+            prev_lb: self.remaining_lb,
         });
         self.cost.excess += contribution.excess;
         self.cost.bsld_sum += contribution.bsld_sum;
+        let base = self.base_cost[branch as usize];
+        self.remaining_lb.excess -= base.excess;
+        self.remaining_lb.bsld_sum -= base.bsld_sum;
     }
 
     fn ascend(&mut self) {
         let p = self.placed.pop().expect("ascend above root");
-        let w = &self.jobs[p.job as usize];
-        self.profile.release(p.start, w.r_star.max(1), w.job.nodes);
+        self.profile.unplace(&mut self.undo);
         self.used[p.job as usize] = false;
         // Relink (valid because ascends mirror descends in LIFO order).
         let pos32 = self.pos_of[p.job as usize];
@@ -200,6 +228,7 @@ impl SearchProblem for ScheduleProblem<'_> {
         self.next[pr as usize] = pos32;
         self.prev[nx as usize] = pos32;
         self.cost = p.prev_cost;
+        self.remaining_lb = p.prev_lb;
     }
 
     fn leaf_cost(&self) -> ObjectiveCost {
@@ -207,9 +236,18 @@ impl SearchProblem for ScheduleProblem<'_> {
     }
 
     fn prune_bound(&self) -> Option<ObjectiveCost> {
-        // Both components only grow as jobs are added, so the partial
-        // cost lower-bounds every completion (lexicographically).
-        Some(self.cost)
+        // The partial cost only grows as jobs are added, and every
+        // unplaced job must still contribute at least its `now`-floor
+        // (starts never precede `now`; objectives are monotone in start
+        // time), so prefix + remaining floor lower-bounds every
+        // completion lexicographically.  The slowdown component of the
+        // running floor is maintained by floating-point subtraction and
+        // may drift by an ulp; the excess component — the level that
+        // decides almost all comparisons — is exact integer arithmetic.
+        Some(ObjectiveCost {
+            excess: self.cost.excess + self.remaining_lb.excess,
+            bsld_sum: self.cost.bsld_sum + self.remaining_lb.bsld_sum,
+        })
     }
 
     fn branch_count(&self) -> usize {
@@ -236,10 +274,12 @@ impl SearchProblem for ScheduleProblem<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::objective::HierarchicalObjective;
+    use crate::objective::{FairshareObjective, HierarchicalObjective, RuntimeScaledBound};
+    use proptest::prelude::*;
     use sbs_dsearch::{dfs, SearchConfig};
     use sbs_workload::job::Job;
     use sbs_workload::time::HOUR;
+    use std::collections::BTreeMap;
 
     fn waiting(id: u32, submit: Time, nodes: u32, r_star: Time) -> WaitingJob {
         WaitingJob {
@@ -361,6 +401,34 @@ mod tests {
     }
 
     #[test]
+    fn pruning_keeps_the_optimum_and_skips_subtrees() {
+        // omega = 0 and an overloaded 2-node machine: every ordering
+        // accrues excess, so the tightened bound (prefix cost + the
+        // unplaced jobs' now-floors) prunes once an incumbent exists.
+        let jobs = [
+            waiting(0, 0, 2, 3 * HOUR),
+            waiting(1, 10, 1, 2 * HOUR),
+            waiting(2, 20, 2, HOUR),
+            waiting(3, 30, 1, HOUR),
+            waiting(4, 40, 2, 2 * HOUR),
+        ];
+        let full = dfs(&mut problem(&jobs, 50, 2, 0), SearchConfig::default());
+        let pruned = dfs(
+            &mut problem(&jobs, 50, 2, 0),
+            SearchConfig {
+                prune: true,
+                ..Default::default()
+            },
+        );
+        let full_best = full.best.expect("full").0;
+        let pruned_best = pruned.best.expect("pruned").0;
+        assert_eq!(full_best.excess, pruned_best.excess);
+        assert!((full_best.bsld_sum - pruned_best.bsld_sum).abs() < 1e-9);
+        assert!(pruned.stats.pruned > 0, "bound never fired");
+        assert!(pruned.stats.nodes < full.stats.nodes);
+    }
+
+    #[test]
     fn root_subset_restricts_only_the_root() {
         let jobs = [
             waiting(0, 0, 1, HOUR),
@@ -377,5 +445,90 @@ mod tests {
         );
         assert_eq!(out.leaves.len(), 2); // 2 orderings below root=2
         assert!(out.leaves.iter().all(|l| l[0] == 2));
+    }
+
+    proptest! {
+        /// The incrementally maintained path cost read by `leaf_cost`
+        /// equals a from-scratch recompute via [`Objective::job_cost`]
+        /// over the leaf's placements — bit-for-bit — for all three
+        /// shipped objectives under both omega modes (a fixed bound and
+        /// the dynamic bound resolved to the longest current wait), and
+        /// the cost returns exactly to zero after unwinding to the root.
+        #[test]
+        fn incremental_leaf_cost_matches_from_scratch(
+            specs in proptest::collection::vec(
+                (0u64..7200, 1u32..5, 1u64..(4 * 3600)), 1..5,
+            ),
+            fixed_omega in 0u8..2,
+        ) {
+            let now = 2 * 3600u64;
+            let jobs: Vec<WaitingJob> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, &(submit, nodes, r_star))| WaitingJob {
+                    job: Job::new(JobId(i as u32), submit.min(now), nodes, r_star, r_star)
+                        .with_user(i as u32 % 2),
+                    r_star,
+                })
+                .collect();
+            let omega = if fixed_omega == 1 {
+                2 * 3600
+            } else {
+                // What TargetBound::Dynamic resolves to at this point.
+                jobs.iter()
+                    .map(|w| now.saturating_sub(w.job.submit))
+                    .max()
+                    .unwrap_or(0)
+            };
+            let objectives: Vec<Arc<dyn Objective>> = vec![
+                Arc::new(HierarchicalObjective),
+                Arc::new(RuntimeScaledBound { factor: 1.5 }),
+                Arc::new(FairshareObjective::new(BTreeMap::from([
+                    (0, 0.5),
+                    (1, 2.0),
+                ]))),
+            ];
+            for objective in objectives {
+                let order: Vec<u32> = (0..jobs.len() as u32).collect();
+                let mut p = ScheduleProblem::new(
+                    &jobs,
+                    now,
+                    AvailabilityProfile::new(now, 4),
+                    order,
+                    omega,
+                    Arc::clone(&objective),
+                );
+                let out = dfs(
+                    &mut p,
+                    SearchConfig {
+                        record_leaves: true,
+                        ..Default::default()
+                    },
+                );
+                prop_assert!(out.stats.exhausted);
+                for leaf in &out.leaves {
+                    for &j in leaf {
+                        p.descend(j);
+                    }
+                    // From scratch, summing in path order so the float
+                    // accumulation order matches the incremental one.
+                    let mut scratch = ObjectiveCost::ZERO;
+                    for pl in p.placements() {
+                        let c = objective.job_cost(&jobs[pl.job as usize], pl.start, omega);
+                        scratch.excess += c.excess;
+                        scratch.bsld_sum += c.bsld_sum;
+                    }
+                    let inc = p.leaf_cost();
+                    prop_assert_eq!(inc.excess, scratch.excess);
+                    prop_assert_eq!(inc.bsld_sum.to_bits(), scratch.bsld_sum.to_bits());
+                    for _ in leaf {
+                        p.ascend();
+                    }
+                }
+                let root = p.leaf_cost();
+                prop_assert_eq!(root.excess, 0);
+                prop_assert_eq!(root.bsld_sum.to_bits(), 0.0f64.to_bits());
+            }
+        }
     }
 }

@@ -62,10 +62,9 @@ pub fn greedy<P: SearchProblem>(
     let mut driver = Driver::new(problem, cfg);
     let mut depth = 0usize;
     loop {
-        let branches = driver.take_branches();
-        let first = branches.first().copied();
-        driver.put_branches(branches);
-        let Some(branch) = first else {
+        // O(1) per node: no need to materialize the full branch list
+        // just to take its head.
+        let Some(branch) = driver.problem.heuristic_branch() else {
             driver.visit_leaf();
             break;
         };
