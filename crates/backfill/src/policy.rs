@@ -1,6 +1,7 @@
 //! The generic priority-backfill engine.
 
 use crate::priority::PriorityOrder;
+use sbs_obs::{BackfillTrace, PolicyTrace, SpanStack};
 use sbs_sim::policy::{Policy, SchedContext};
 use sbs_workload::job::JobId;
 
@@ -21,6 +22,8 @@ use sbs_workload::job::JobId;
 pub struct BackfillPolicy {
     order: PriorityOrder,
     reservations: usize,
+    tracing: bool,
+    last_trace: Option<PolicyTrace>,
 }
 
 impl BackfillPolicy {
@@ -32,6 +35,8 @@ impl BackfillPolicy {
         BackfillPolicy {
             order,
             reservations,
+            tracing: false,
+            last_trace: None,
         }
     }
 
@@ -59,6 +64,7 @@ impl Policy for BackfillPolicy {
         let mut profile = ctx.profile();
         let mut starts = Vec::new();
         let mut reserved = 0usize;
+        let mut blocked = 0u32;
         for idx in self.order.order(ctx.queue, ctx.now) {
             let w = &ctx.queue[idx];
             let start = profile.earliest_start(w.job.nodes, w.r_star, ctx.now);
@@ -68,11 +74,43 @@ impl Policy for BackfillPolicy {
             } else if reserved < self.reservations {
                 profile.reserve(start, w.r_star, w.job.nodes);
                 reserved += 1;
+            } else {
+                // Blocked and unreserved; may backfill at a later
+                // decision point.
+                blocked += 1;
             }
-            // else: blocked and unreserved; may backfill at a later
-            // decision point.
+        }
+        if self.tracing {
+            let clamp = |n: usize| u32::try_from(n).unwrap_or(u32::MAX);
+            let examined = clamp(ctx.queue.len());
+            let mut spans = SpanStack::new();
+            spans.enter("decide");
+            spans.enter("backfill");
+            spans.exit(u64::from(examined));
+            spans.exit(0);
+            self.last_trace = Some(PolicyTrace {
+                search: None,
+                backfill: Some(BackfillTrace {
+                    examined,
+                    started: clamp(starts.len()),
+                    reserved: clamp(reserved),
+                    blocked,
+                }),
+                spans: spans.finish(),
+            });
         }
         starts
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<PolicyTrace> {
+        self.last_trace.take()
     }
 }
 
@@ -237,6 +275,27 @@ mod tests {
     #[should_panic(expected = "at least one reservation")]
     fn zero_reservations_rejected() {
         let _ = BackfillPolicy::new(PriorityOrder::Fcfs, 0);
+    }
+
+    #[test]
+    fn tracing_counts_backfill_outcomes() {
+        // Same scenario as `backfills_around_the_reservation`: the
+        // narrow job hole-fills, the wide head gets the reservation.
+        let run = [running(100, 6, 0, 1_000)];
+        let q = [waiting(0, 10, 8, HOUR), waiting(1, 20, 2, 900)];
+        let mut p = fcfs_backfill();
+        let _ = p.decide(&ctx(50, 8, 2, &q, &run));
+        assert!(p.take_trace().is_none(), "tracing is off by default");
+        p.set_tracing(true);
+        let _ = p.decide(&ctx(50, 8, 2, &q, &run));
+        let t = p.take_trace().expect("trace recorded");
+        let bf = t.backfill.expect("backfill counters");
+        assert_eq!(
+            (bf.examined, bf.started, bf.reserved, bf.blocked),
+            (2, 1, 1, 0)
+        );
+        assert_eq!(t.spans, vec![("decide;backfill".to_string(), 2)]);
+        assert!(p.take_trace().is_none(), "take_trace drains the slot");
     }
 
     fn full_sim(policy: BackfillPolicy, seed: u64) -> (Workload, sbs_sim::SimResult) {

@@ -18,8 +18,9 @@
 use sbs_core::objective::HierarchicalObjective;
 use sbs_core::{Branching, ObjectiveCost, PolicySpec, ScheduleProblem, SearchAlgo};
 use sbs_dsearch::{dds, lds, SearchConfig, SearchOutcome};
+use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
 use sbs_sim::avail::AvailabilityProfile;
-use sbs_sim::engine::{simulate, SimConfig};
+use sbs_sim::engine::{simulate, simulate_traced, SimConfig};
 use sbs_sim::policy::{Policy, SchedContext, WaitingJob};
 use sbs_workload::generator::WorkloadBuilder;
 use sbs_workload::job::JobId;
@@ -45,6 +46,13 @@ const CAPTURE_SEED: u64 = 42;
 /// Span fraction simulated during capture; enough events to find a deep
 /// queue while keeping the capture itself cheap.
 const CAPTURE_SCALE: f64 = 0.12;
+
+/// Span fraction for the recorder-overhead probe (short — the probe
+/// times three full simulations per repeat).
+const OVERHEAD_SCALE: f64 = 0.05;
+
+/// Node budget for the overhead probe's search policy.
+const OVERHEAD_BUDGET: u64 = 500;
 
 /// Harness options.
 #[derive(Debug, Clone)]
@@ -294,7 +302,115 @@ pub fn run_matrix(opts: &PerfOpts) -> PerfReport {
             }
         }
     }
-    PerfReport { snapshots, cells }
+    let overhead = run_overhead(opts.repeats);
+    PerfReport {
+        snapshots,
+        cells,
+        overhead,
+    }
+}
+
+/// Timings from the recorder-overhead probe: one pinned short
+/// simulation run three ways — (a) the plain [`simulate`] entry point,
+/// (b) [`simulate_traced`] with an explicitly disabled
+/// [`sbs_obs::NullRecorder`], and (c) a fully enabled in-memory
+/// [`TraceRecorder`].  (a) and (b) staying within noise of each other
+/// is the recorder's "zero cost when disabled" claim; the harness tests
+/// assert it with [`OverheadReport::disabled_within`].
+pub struct OverheadReport {
+    /// Fastest plain-`simulate` run, nanoseconds.
+    pub baseline_ns: u128,
+    /// Fastest disabled-recorder run, nanoseconds.
+    pub disabled_ns: u128,
+    /// Fastest enabled-recorder run, nanoseconds.
+    pub enabled_ns: u128,
+    /// Decisions per run (identical across variants by construction).
+    pub decisions: u64,
+}
+
+impl OverheadReport {
+    /// Disabled-recorder time relative to the plain baseline (1.0 =
+    /// identical).
+    pub fn disabled_ratio(&self) -> f64 {
+        self.disabled_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Enabled-recorder time relative to the plain baseline.
+    pub fn enabled_ratio(&self) -> f64 {
+        self.enabled_ns as f64 / self.baseline_ns.max(1) as f64
+    }
+
+    /// Whether the disabled-recorder run stayed within `tolerance`
+    /// fractional slowdown of the no-recorder baseline.
+    pub fn disabled_within(&self, tolerance: f64) -> bool {
+        self.disabled_ratio() <= 1.0 + tolerance
+    }
+
+    /// The `overhead` object of the JSON document.
+    pub fn to_json(&self) -> Value {
+        json!({
+            // sbs-lint: allow(cast-truncation): nanoseconds of one short simulation fit u64
+            "baseline_ns": self.baseline_ns as u64,
+            // sbs-lint: allow(cast-truncation): nanoseconds of one short simulation fit u64
+            "disabled_recorder_ns": self.disabled_ns as u64,
+            // sbs-lint: allow(cast-truncation): nanoseconds of one short simulation fit u64
+            "enabled_recorder_ns": self.enabled_ns as u64,
+            "disabled_ratio": self.disabled_ratio(),
+            "enabled_ratio": self.enabled_ratio(),
+            "decisions": self.decisions,
+        })
+    }
+}
+
+/// Runs the recorder-overhead probe: the Jun03 workload at a short span
+/// scale under the headline search policy, fastest of `repeats` per
+/// variant.
+pub fn run_overhead(repeats: u32) -> OverheadReport {
+    let workload = WorkloadBuilder::month(Month::Jun03)
+        .seed(CAPTURE_SEED)
+        .span_scale(OVERHEAD_SCALE)
+        .build();
+    let policy =
+        || PolicySpec::search_dynb(SearchAlgo::Dds, Branching::Lxf, OVERHEAD_BUDGET).build();
+    let mut decisions = 0u64;
+    let mut time = |run: &mut dyn FnMut() -> u64| -> u128 {
+        let mut best = u128::MAX;
+        for _ in 0..repeats.max(1) {
+            let t0 = Instant::now();
+            let d = run();
+            best = best.min(t0.elapsed().as_nanos());
+            decisions = d;
+        }
+        best
+    };
+    let baseline_ns = time(&mut || simulate(&workload, policy(), SimConfig::default()).decisions);
+    let disabled_ns = time(&mut || {
+        simulate_traced(
+            &workload,
+            policy(),
+            SimConfig::default(),
+            &mut sbs_obs::NullRecorder,
+        )
+        .decisions
+    });
+    let enabled_ns = time(&mut || {
+        let mut recorder = TraceRecorder::new(
+            TimeMode::Virtual,
+            TraceMeta {
+                mode: String::new(),
+                policy: "overhead probe".into(),
+                capacity: workload.capacity,
+                source: "bench-perf overhead".into(),
+            },
+        );
+        simulate_traced(&workload, policy(), SimConfig::default(), &mut recorder).decisions
+    });
+    OverheadReport {
+        baseline_ns,
+        disabled_ns,
+        enabled_ns,
+        decisions,
+    }
 }
 
 /// The harness output: snapshots plus every matrix cell.
@@ -303,6 +419,8 @@ pub struct PerfReport {
     pub snapshots: Vec<DecisionSnapshot>,
     /// All matrix cells in a fixed order.
     pub cells: Vec<CellResult>,
+    /// The recorder-overhead probe timings.
+    pub overhead: OverheadReport,
 }
 
 impl PerfReport {
@@ -346,6 +464,9 @@ impl PerfReport {
                     "leaves": c.outcome.stats.leaves,
                     "iterations": c.outcome.stats.iterations,
                     "exhausted": c.outcome.stats.exhausted,
+                    "budget_hit": c.outcome.stats.budget_hit,
+                    "deadline_hit": c.outcome.stats.deadline_hit,
+                    "nodes_left_at_deadline": c.outcome.stats.nodes_left_at_deadline,
                     // sbs-lint: allow(cast-truncation): nanoseconds of one search fit u64
                     "elapsed_ns": c.elapsed_ns as u64,
                     "nodes_per_sec": c.nodes_per_sec(),
@@ -367,6 +488,7 @@ impl PerfReport {
             }),
             "snapshots": snapshots,
             "results": results,
+            "overhead": self.overhead.to_json(),
         })
     }
 
@@ -400,6 +522,12 @@ impl PerfReport {
                 best.map_or(f64::NAN, |b| b.bsld_sum),
             ));
         }
+        out.push_str(&format!(
+            "\nrecorder overhead ({} decisions): disabled {:.2}x, enabled {:.2}x of the no-recorder baseline\n",
+            self.overhead.decisions,
+            self.overhead.disabled_ratio(),
+            self.overhead.enabled_ratio(),
+        ));
         out
     }
 }
@@ -476,6 +604,21 @@ mod tests {
         assert_eq!(a.outcome.stats.nodes, b.outcome.stats.nodes);
         assert_eq!(a.outcome.stats.leaves, b.outcome.stats.leaves);
         assert!(a.nodes_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn disabled_recorder_stays_within_tolerance_of_the_baseline() {
+        let o = run_overhead(3);
+        assert!(o.decisions > 0, "the probe must make scheduling decisions");
+        assert!(o.baseline_ns > 0 && o.disabled_ns > 0 && o.enabled_ns > 0);
+        // The disabled-recorder path compiles down to the plain path
+        // plus one cold branch per decision; fastest-of-3 timings of an
+        // identical workload must land well inside a 50% envelope.
+        assert!(
+            o.disabled_within(0.5),
+            "disabled recorder cost {:.2}x the no-recorder baseline",
+            o.disabled_ratio()
+        );
     }
 
     #[test]

@@ -23,9 +23,11 @@ sbs — search-based job scheduling simulator
 
 USAGE:
   sbs simulate (--month M | --trace FILE) [options]
+                          (alias: sbs sim)
   sbs serve [options]     run the online scheduler daemon
   sbs submit [options]    submit a job to a running daemon
   sbs queue [options]     show a running daemon's queue
+  sbs trace FILE [opts]   explore an sbs-trace/v1 JSONL decision log
   sbs lint [FILE...]      run the workspace static-analysis pass
   sbs bench-perf          run the search hot-path perf matrix
   sbs policies            list available policy names
@@ -45,6 +47,8 @@ OPTIONS (simulate):
   --seed N            workload RNG seed
   --timeline          print an ASCII utilization timeline
   --json              machine-readable output
+  --trace-log FILE    write an sbs-trace/v1 JSONL decision log
+                      (identical runs produce byte-identical files)
 
 OPTIONS (serve):
   --port P            TCP port (default 7070; 0 picks a free port)
@@ -55,6 +59,13 @@ OPTIONS (serve):
   --snapshot FILE     snapshot state to FILE (recovers from it on start)
   --snapshot-every N  auto-snapshot every N decisions (default 16)
   --virtual-clock     time advances only with submitted events (testing)
+  --trace-log FILE    append an sbs-trace/v1 JSONL decision log
+  --compat-metrics    serve the legacy all-gauge /metrics text
+
+OPTIONS (trace):
+  --collapsed OUT     also write a collapsed-stack span-weight file
+                      (flamegraph.pl / speedscope input)
+  --json              print the aggregates as JSON instead of tables
 
 OPTIONS (lint):
   --root DIR          workspace root (default: nearest parent directory
@@ -100,6 +111,8 @@ pub enum Command {
     Submit(SubmitArgs),
     /// Show a running daemon's queue.
     Queue(ConnectArgs),
+    /// Explore an `sbs-trace/v1` decision log offline.
+    Trace(TraceArgs),
     /// Run the static-analysis pass.
     Lint(LintArgs),
     /// Run the search hot-path performance matrix.
@@ -131,6 +144,21 @@ pub struct ServeArgs {
     pub snapshot_every: u64,
     /// Drive time from submitted events instead of the wall clock.
     pub virtual_clock: bool,
+    /// Append an `sbs-trace/v1` JSONL decision log here.
+    pub trace_log: Option<String>,
+    /// Serve the legacy all-gauge `/metrics` exposition.
+    pub compat_metrics: bool,
+}
+
+/// Arguments of `sbs trace`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// The `sbs-trace/v1` JSONL file to aggregate.
+    pub file: String,
+    /// Also write a collapsed-stack span-weight file here.
+    pub collapsed: Option<String>,
+    /// Print the aggregates as JSON instead of tables.
+    pub json: bool,
 }
 
 /// Arguments of `sbs lint`.
@@ -237,6 +265,8 @@ pub struct SimulateArgs {
     pub timeline: bool,
     /// Emit JSON instead of tables.
     pub json: bool,
+    /// Write an `sbs-trace/v1` JSONL decision log here.
+    pub trace_log: Option<String>,
 }
 
 /// The `--knowledge` choices.
@@ -319,7 +349,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "policies" => Ok(Command::Policies),
         "months" => Ok(Command::Months),
-        "simulate" => {
+        "simulate" | "sim" => {
             let mut parsed = SimulateArgs {
                 month: None,
                 trace: None,
@@ -332,6 +362,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 seed: None,
                 timeline: false,
                 json: false,
+                trace_log: None,
             };
             while let Some(flag) = it.next() {
                 let mut value = || {
@@ -373,6 +404,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     }
                     "--timeline" => parsed.timeline = true,
                     "--json" => parsed.json = true,
+                    "--trace-log" => parsed.trace_log = Some(value()?),
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -400,6 +432,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 snapshot: None,
                 snapshot_every: 16,
                 virtual_clock: false,
+                trace_log: None,
+                compat_metrics: false,
             };
             while let Some(flag) = it.next() {
                 let mut value = || {
@@ -433,6 +467,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|_| "bad --snapshot-every".to_string())?
                     }
                     "--virtual-clock" => parsed.virtual_clock = true,
+                    "--trace-log" => parsed.trace_log = Some(value()?),
+                    "--compat-metrics" => parsed.compat_metrics = true,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -443,6 +479,35 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 ));
             }
             Ok(Command::Serve(parsed))
+        }
+        "trace" => {
+            let mut file = None;
+            let mut collapsed = None;
+            let mut json = false;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--collapsed" => collapsed = Some(value()?),
+                    "--json" => json = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown flag {other:?}"))
+                    }
+                    positional => {
+                        if file.replace(positional.to_string()).is_some() {
+                            return Err("trace takes exactly one FILE".to_string());
+                        }
+                    }
+                }
+            }
+            Ok(Command::Trace(TraceArgs {
+                file: file.ok_or("trace needs a FILE argument")?,
+                collapsed,
+                json,
+            }))
         }
         "submit" => {
             let mut connect = ConnectArgs {
@@ -623,6 +688,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
             client_round_trip(&args.connect, &req)
         }
         Command::Queue(connect) => client_round_trip(&connect, r#"{"op":"queue"}"#),
+        Command::Trace(args) => trace_cmd(args),
         Command::Lint(args) => lint_cmd(args),
         Command::BenchPerf(args) => bench_perf_cmd(args),
     }
@@ -763,6 +829,27 @@ fn client_round_trip(connect: &ConnectArgs, request: &str) -> Result<String, Str
     ))
 }
 
+/// Aggregates an `sbs-trace/v1` JSONL decision log into per-decision
+/// tables (or JSON), optionally writing the collapsed-stack span file.
+fn trace_cmd(args: TraceArgs) -> Result<String, String> {
+    use sbs_obs::TraceReport;
+    let text = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
+    let report = TraceReport::from_lines(&text).map_err(|e| format!("{}: {e}", args.file))?;
+    let mut out = if args.json {
+        format!(
+            "{}\n",
+            serde_json::to_string_pretty(&report.to_json()).expect("serialize")
+        )
+    } else {
+        report.render()
+    };
+    if let Some(path) = &args.collapsed {
+        std::fs::write(path, report.collapsed()).map_err(|e| format!("{path}: {e}"))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
+}
+
 fn serve_cmd(args: ServeArgs) -> Result<String, String> {
     use sbs_service::{Daemon, Server, ServiceConfig, VirtualClock, WallClock};
     let spec = policy_by_name(&args.policy, args.budget).expect("validated by parse_args");
@@ -772,6 +859,12 @@ fn serve_cmd(args: ServeArgs) -> Result<String, String> {
     }
     if let Some(path) = args.snapshot {
         cfg = cfg.with_snapshots(path.into(), args.snapshot_every);
+    }
+    if let Some(path) = args.trace_log {
+        cfg = cfg.with_trace_log(path.into());
+    }
+    if args.compat_metrics {
+        cfg = cfg.with_compat_metrics(true);
     }
     let daemon = Daemon::new(cfg)?;
     let origin = daemon.now();
@@ -829,7 +922,34 @@ fn simulate_cmd(args: SimulateArgs) -> Result<String, String> {
             .then(|| PredictorSpec::RecentUserAverage.build()),
         ..Default::default()
     };
-    let result = simulate(&workload, spec.build(), cfg);
+    let policy = spec.build();
+    let result = if let Some(path) = &args.trace_log {
+        use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
+        let mut recorder = TraceRecorder::new(
+            TimeMode::Virtual,
+            TraceMeta {
+                mode: String::new(),
+                policy: policy.name(),
+                capacity: workload.capacity,
+                source: match (&args.month, &args.trace) {
+                    (Some(m), _) => format!("month {}", m.label()),
+                    (None, Some(t)) => format!("trace {t}"),
+                    (None, None) => unreachable!("validated by parse_args"),
+                },
+            },
+        );
+        // `File::create` truncates: rerunning with the same seed
+        // rewrites a byte-identical log instead of appending.
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        recorder
+            .attach_sink(Box::new(std::io::BufWriter::new(file)))
+            .map_err(|e| format!("{path}: {e}"))?;
+        let result = sbs_sim::simulate_traced(&workload, policy, cfg, &mut recorder);
+        recorder.flush().map_err(|e| format!("{path}: {e}"))?;
+        result
+    } else {
+        simulate(&workload, policy, cfg)
+    };
     let records: Vec<JobRecord> = result.in_window().copied().collect();
     let stats = WaitStats::over(&records);
     let p98 = percentile_wait(&records, 98.0);
@@ -1106,6 +1226,76 @@ mod tests {
         .expect_err("violation must fail the lint");
         assert!(err.contains("1 lint finding(s)"), "{err}");
         assert!(err.contains("crates/x/src/lib.rs:2:16 wall-clock"), "{err}");
+    }
+
+    #[test]
+    fn sim_alias_and_trace_flags_parse() {
+        let Command::Simulate(a) = parse("sim --month 9/03 --trace-log out.jsonl").expect("parse")
+        else {
+            panic!("not simulate")
+        };
+        assert_eq!(a.trace_log.as_deref(), Some("out.jsonl"));
+
+        let Command::Serve(s) = parse("serve --trace-log d.jsonl --compat-metrics").expect("parse")
+        else {
+            panic!("not serve")
+        };
+        assert_eq!(s.trace_log.as_deref(), Some("d.jsonl"));
+        assert!(s.compat_metrics);
+
+        let Command::Trace(t) =
+            parse("trace run.jsonl --collapsed run.collapsed --json").expect("parse")
+        else {
+            panic!("not trace")
+        };
+        assert_eq!(t.file, "run.jsonl");
+        assert_eq!(t.collapsed.as_deref(), Some("run.collapsed"));
+        assert!(t.json);
+
+        assert!(parse("trace").is_err(), "FILE is required");
+        assert!(parse("trace a.jsonl b.jsonl").is_err(), "one FILE only");
+        assert!(parse("trace a.jsonl --bogus").is_err());
+    }
+
+    #[test]
+    fn sim_trace_log_feeds_the_trace_explorer() {
+        let log = std::env::temp_dir().join("sbs_cli_test_trace_log.jsonl");
+        let collapsed = std::env::temp_dir().join("sbs_cli_test_trace_log.collapsed");
+        let cmd = parse(&format!(
+            "sim --month 9/03 --scale 0.03 --budget 200 --trace-log {}",
+            log.display()
+        ))
+        .expect("parse");
+        run(cmd).expect("traced simulate");
+        let text = std::fs::read_to_string(&log).expect("trace log written");
+        assert!(text.starts_with("{\"capacity\""), "sorted-key meta line");
+        assert!(text.contains("\"schema\":\"sbs-trace/v1\""));
+        assert!(text.lines().count() > 1, "decision lines recorded");
+
+        let out = run(Command::Trace(TraceArgs {
+            file: log.display().to_string(),
+            collapsed: Some(collapsed.display().to_string()),
+            json: false,
+        }))
+        .expect("trace explorer");
+        assert!(out.contains("decisions"), "{out}");
+        assert!(out.contains("depth"), "{out}");
+        let stacks = std::fs::read_to_string(&collapsed).expect("collapsed file written");
+        assert!(stacks.contains("decide;search"), "{stacks}");
+
+        let out = run(Command::Trace(TraceArgs {
+            file: log.display().to_string(),
+            collapsed: None,
+            json: true,
+        }))
+        .expect("trace --json");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v["decisions"].as_u64().unwrap_or(0) > 0, "{out}");
+
+        // sbs-lint: allow(result-dropped): proven best-effort path — temp-file cleanup
+        let _ = std::fs::remove_file(&log);
+        // sbs-lint: allow(result-dropped): proven best-effort path — temp-file cleanup
+        let _ = std::fs::remove_file(&collapsed);
     }
 
     #[test]

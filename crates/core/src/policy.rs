@@ -10,6 +10,7 @@ use crate::objective::{HierarchicalObjective, Objective, TargetBound};
 use crate::schedule::ScheduleProblem;
 use sbs_backfill::PriorityOrder;
 use sbs_dsearch::{beam, dds, greedy, hill_climb, lds, random_sampling, SearchConfig};
+use sbs_obs::{PolicyTrace, SearchTrace, SpanStack};
 use sbs_sim::policy::{Policy, SchedContext};
 use sbs_workload::job::JobId;
 use std::sync::Arc;
@@ -91,6 +92,12 @@ pub struct SearchTotals {
     /// Decision points where the budget did not cover even one complete
     /// path and the policy fell back to the unbudgeted heuristic path.
     pub fallbacks: u64,
+    /// Decision points whose search the wall-clock deadline cut short
+    /// with node budget still unspent (see
+    /// [`sbs_dsearch::SearchStats::nodes_left_at_deadline`]).
+    pub deadline_truncations: u64,
+    /// Total budget left unspent across all deadline truncations.
+    pub deadline_nodes_left: u64,
 }
 
 /// A goal-oriented search-based scheduling policy.
@@ -114,6 +121,8 @@ pub struct SearchPolicy {
     pub deadline: Option<std::time::Duration>,
     objective: Arc<dyn Objective>,
     totals: SearchTotals,
+    tracing: bool,
+    last_trace: Option<PolicyTrace>,
 }
 
 impl SearchPolicy {
@@ -135,6 +144,8 @@ impl SearchPolicy {
             deadline: None,
             objective: Arc::new(HierarchicalObjective),
             totals: SearchTotals::default(),
+            tracing: false,
+            last_trace: None,
         }
     }
 
@@ -236,36 +247,46 @@ impl Policy for SearchPolicy {
             }
             SearchAlgo::Beam(w) => beam(&mut problem, w as usize, cfg),
         };
+        let stats = outcome.stats;
         self.totals.decisions += 1;
-        self.totals.nodes += outcome.stats.nodes;
-        self.totals.leaves += outcome.stats.leaves;
-        self.totals.exhausted += u64::from(outcome.stats.exhausted);
+        self.totals.nodes += stats.nodes;
+        self.totals.leaves += stats.leaves;
+        self.totals.exhausted += u64::from(stats.exhausted);
+        if stats.deadline_hit {
+            self.totals.deadline_truncations += u64::from(stats.nodes_left_at_deadline > 0);
+            self.totals.deadline_nodes_left += stats.nodes_left_at_deadline;
+        }
 
         // Spend whatever the tree search left of L on hill climbing from
         // its incumbent (no-op when local_frac = 0 or the tree was
         // exhausted within budget anyway).
+        let mut local_nodes = 0u64;
+        let mut chosen: Option<Vec<u32>> = None;
         if self.local_frac > 0.0 {
             if let Some((cost, path)) = outcome.best.clone() {
-                let leftover = self.node_limit.saturating_sub(outcome.stats.nodes);
-                if leftover as usize >= path.len() && !outcome.stats.exhausted {
+                let leftover = self.node_limit.saturating_sub(stats.nodes);
+                if leftover as usize >= path.len() && !stats.exhausted {
                     let climbed =
                         hill_climb(&mut problem, path, cost, SearchConfig::with_limit(leftover));
                     if let Some((_, best_path)) = climbed.best {
+                        local_nodes = climbed.stats.nodes;
                         self.totals.nodes += climbed.stats.nodes;
                         self.totals.leaves += climbed.stats.leaves;
-                        return problem.starts_now(&best_path);
+                        chosen = Some(best_path);
                     }
                 }
             }
         }
 
-        let path = match outcome.best {
-            Some((_, path)) => path,
+        let mut fallback = false;
+        let path = match chosen.or_else(|| outcome.best.map(|(_, path)| path)) {
+            Some(path) => path,
             None => {
                 // Budget smaller than the queue: not even the heuristic
                 // path completed.  Take it unbudgeted so the policy
                 // degrades to the greedy priority scheduler rather than
                 // stalling.
+                fallback = true;
                 self.totals.fallbacks += 1;
                 greedy(&mut problem, SearchConfig::default())
                     .best
@@ -273,7 +294,63 @@ impl Policy for SearchPolicy {
                     .1
             }
         };
+
+        if self.tracing {
+            let mut spans = SpanStack::new();
+            spans.enter("decide");
+            spans.enter("search");
+            if local_nodes > 0 {
+                spans.enter("local");
+                spans.exit(local_nodes);
+            }
+            spans.exit(stats.nodes);
+            if fallback {
+                spans.enter("fallback");
+                spans.exit(path.len() as u64);
+            }
+            spans.exit(0);
+            let mut leaf_iters = stats.leaf_iters.to_vec();
+            while leaf_iters.last() == Some(&0) {
+                leaf_iters.pop();
+            }
+            self.last_trace = Some(PolicyTrace {
+                search: Some(SearchTrace {
+                    algo: self.algo.label(),
+                    branching: self.branching.label().to_string(),
+                    omega,
+                    budget: tree_budget,
+                    nodes: stats.nodes,
+                    leaves: stats.leaves,
+                    iterations: stats.iterations,
+                    improvements: stats.improvements,
+                    nodes_to_best: stats.nodes_to_best,
+                    best_iteration: stats.best_iteration,
+                    best_depth: stats.best_depth,
+                    exhausted: stats.exhausted,
+                    budget_hit: stats.budget_hit,
+                    deadline_hit: stats.deadline_hit,
+                    nodes_left_at_deadline: stats.nodes_left_at_deadline,
+                    pruned: stats.pruned,
+                    fallback,
+                    local_nodes,
+                    leaf_iters,
+                }),
+                backfill: None,
+                spans: spans.finish(),
+            });
+        }
         problem.starts_now(&path)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<PolicyTrace> {
+        self.last_trace.take()
     }
 }
 
@@ -438,6 +515,90 @@ mod tests {
     #[should_panic(expected = "local fraction")]
     fn local_fraction_must_be_sub_unit() {
         let _ = SearchPolicy::dds_lxf_dynb(100).with_local_search(1.0);
+    }
+
+    #[test]
+    fn tracing_captures_the_search_anatomy() {
+        let q = [
+            waiting(0, 0, 4, 4 * HOUR),
+            waiting(1, 0, 1, HOUR),
+            waiting(2, 0, 1, HOUR),
+        ];
+        let ctx = SchedContext {
+            now: 0,
+            capacity: 4,
+            free_nodes: 4,
+            queue: &q,
+            running: &[],
+        };
+        let mut p = SearchPolicy::dds_lxf_dynb(10_000);
+        assert!(p.take_trace().is_none(), "tracing is off by default");
+        let _ = p.decide(&ctx);
+        assert!(p.take_trace().is_none(), "no trace accumulates while off");
+
+        p.set_tracing(true);
+        let _ = p.decide(&ctx);
+        let trace = p.take_trace().expect("trace recorded while tracing");
+        assert!(p.take_trace().is_none(), "take_trace drains");
+        let search = trace.search.expect("search policies record a search");
+        assert_eq!(search.algo, "DDS");
+        assert_eq!(search.branching, "lxf");
+        assert_eq!(search.budget, 10_000);
+        assert!(search.nodes > 0 && search.leaves > 0);
+        assert!(search.improvements >= 1);
+        assert!(search.nodes_to_best <= search.nodes);
+        assert!(!search.fallback);
+        assert_eq!(search.local_nodes, 0);
+        assert_eq!(search.leaf_iters.iter().sum::<u64>(), search.leaves);
+        assert_eq!(
+            trace.spans,
+            vec![("decide;search".to_string(), search.nodes)]
+        );
+    }
+
+    #[test]
+    fn tracing_marks_the_greedy_fallback() {
+        let q: Vec<WaitingJob> = (0..6).map(|i| waiting(i, 0, 1, HOUR)).collect();
+        let mut p = SearchPolicy::dds_lxf_dynb(2);
+        p.set_tracing(true);
+        let ctx = SchedContext {
+            now: 0,
+            capacity: 8,
+            free_nodes: 8,
+            queue: &q,
+            running: &[],
+        };
+        let _ = p.decide(&ctx);
+        let trace = p.take_trace().expect("trace");
+        let search = trace.search.expect("search");
+        assert!(search.fallback);
+        assert!(search.budget_hit);
+        assert!(
+            trace
+                .spans
+                .iter()
+                .any(|(path, _)| path == "decide;fallback"),
+            "fallback span recorded: {:?}",
+            trace.spans
+        );
+    }
+
+    #[test]
+    fn deadline_truncation_feeds_the_totals() {
+        let q: Vec<WaitingJob> = (0..9).map(|i| waiting(i, 0, 1, HOUR)).collect();
+        let mut p = SearchPolicy::dds_lxf_dynb(100_000).with_deadline(std::time::Duration::ZERO);
+        let ctx = SchedContext {
+            now: 0,
+            capacity: 16,
+            free_nodes: 16,
+            queue: &q,
+            running: &[],
+        };
+        let _ = p.decide(&ctx);
+        let t = p.totals();
+        assert_eq!(t.deadline_truncations, 1);
+        assert!(t.deadline_nodes_left > 0);
+        assert_eq!(t.deadline_nodes_left, 100_000 - t.nodes);
     }
 
     #[test]

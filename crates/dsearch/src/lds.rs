@@ -355,4 +355,77 @@ mod tests {
         assert!(out.stats.nodes <= 60);
         assert!(out.best.is_some());
     }
+
+    #[test]
+    fn leaf_iteration_histogram_matches_the_discrepancy_structure() {
+        // Same tree as `iteration_structure_matches_figure_1`: the
+        // per-iteration leaf buckets must reproduce the 1/6/11/6 split
+        // without recording leaves at all.
+        let mut p = PermutationProblem::constant(4);
+        let out = lds(&mut p, SearchConfig::default());
+        assert_eq!(out.stats.leaf_iters[..4], [1, 6, 11, 6]);
+        assert_eq!(
+            out.stats.leaf_iters.iter().sum::<u64>(),
+            out.stats.leaves,
+            "every leaf lands in exactly one iteration bucket"
+        );
+    }
+
+    #[test]
+    fn incumbent_telemetry_points_at_the_winning_leaf() {
+        // Identity-order heuristic is pessimal for this cost, so the
+        // optimum needs discrepancies: the improvement trail must end
+        // at a later iteration than 0.
+        let cost = |perm: &[usize]| -> f64 {
+            // Ascending-with-ascending is maximal (rearrangement
+            // inequality), so the identity heuristic leaf is pessimal.
+            perm.iter()
+                .enumerate()
+                .map(|(i, &x)| ((i + 1) * x) as f64)
+                .sum()
+        };
+        let out = lds(
+            &mut PermutationProblem::from_fn(4, cost),
+            SearchConfig::default(),
+        );
+        let stats = out.stats;
+        assert!(
+            stats.improvements >= 1,
+            "heuristic leaf always improves on None"
+        );
+        assert!(stats.nodes_to_best <= stats.nodes);
+        assert!(
+            stats.best_iteration > 0,
+            "optimum is off the heuristic path"
+        );
+        assert_eq!(stats.best_depth, 4, "permutation leaves sit at depth n");
+    }
+
+    #[test]
+    fn deadline_truncation_reports_unspent_budget() {
+        use std::time::Duration;
+        // An already-expired deadline cuts the search at the first
+        // amortized check (node 256); the 10K budget leaves the rest
+        // on the table, and the stats must say so.
+        let mut p = PermutationProblem::from_fn(9, |perm| perm[0] as f64);
+        let cfg = SearchConfig {
+            node_limit: Some(10_000),
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let out = lds(&mut p, cfg);
+        assert!(out.stats.deadline_hit);
+        assert!(out.stats.budget_hit);
+        assert_eq!(
+            out.stats.nodes_left_at_deadline,
+            10_000 - out.stats.nodes,
+            "unspent budget at expiry is recorded"
+        );
+        assert!(out.stats.nodes_left_at_deadline > 0);
+        // A budget-only exhaustion leaves the field at zero.
+        let mut p2 = PermutationProblem::from_fn(9, |perm| perm[0] as f64);
+        let out2 = lds(&mut p2, SearchConfig::with_limit(300));
+        assert!(out2.stats.budget_hit && !out2.stats.deadline_hit);
+        assert_eq!(out2.stats.nodes_left_at_deadline, 0);
+    }
 }

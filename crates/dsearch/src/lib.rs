@@ -50,5 +50,6 @@ pub use lds::{lds, lds_original};
 pub use local::hill_climb;
 pub use problem::{
     Budget, SearchConfig, SearchOutcome, SearchProblem, SearchStats, DEADLINE_CHECK_INTERVAL,
+    LEAF_ITER_BUCKETS,
 };
 pub use random::random_sampling;

@@ -165,6 +165,10 @@ impl From<Budget> for SearchConfig {
     }
 }
 
+/// Number of per-iteration leaf buckets kept in [`SearchStats`]; the
+/// last bucket absorbs all deeper iterations.
+pub const LEAF_ITER_BUCKETS: usize = 16;
+
 /// Counters describing a finished search.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -181,8 +185,27 @@ pub struct SearchStats {
     pub budget_hit: bool,
     /// The wall-clock deadline expired (implies `budget_hit`).
     pub deadline_hit: bool,
+    /// Budget still unspent when the deadline expired: a deadline cut
+    /// with nodes to spare is *truncation*, distinguishable from
+    /// natural budget exhaustion (where this stays 0).
+    pub nodes_left_at_deadline: u64,
     /// Subtrees pruned by branch-and-bound.
     pub pruned: u64,
+    /// Incumbent improvements (times a new best leaf was adopted).
+    pub improvements: u64,
+    /// Node count at which the final incumbent was found.
+    pub nodes_to_best: u64,
+    /// Iteration during which the final incumbent was found.  For LDS
+    /// this is the leaf's discrepancy count; for DDS the mandated
+    /// discrepancy depth.
+    pub best_iteration: u32,
+    /// Depth (path length) of the final incumbent leaf.
+    pub best_depth: u32,
+    /// Leaves evaluated per iteration (bucket = iteration index,
+    /// clamped to the last bucket).  During LDS/DDS probes the current
+    /// iteration equals the discrepancy parameter, so this is the
+    /// discrepancy-depth histogram of evaluated leaves.
+    pub leaf_iters: [u64; LEAF_ITER_BUCKETS],
 }
 
 /// Result of a search: the best leaf found (cost and root-to-leaf branch
@@ -290,6 +313,12 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
         if self.deadline.armed() && (interval_check || final_node) && self.deadline.expired() {
             self.outcome.stats.budget_hit = true;
             self.outcome.stats.deadline_hit = true;
+            // Record how much budget the deadline left on the table so
+            // truncation is distinguishable from natural exhaustion.
+            self.outcome.stats.nodes_left_at_deadline = self
+                .cfg
+                .node_limit
+                .map_or(0, |limit| limit.saturating_sub(self.outcome.stats.nodes));
             return Err(BudgetExhausted);
         }
         self.outcome.stats.nodes += 1;
@@ -306,7 +335,13 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
 
     /// Evaluates the current leaf, updating the incumbent.
     pub fn visit_leaf(&mut self) {
-        self.outcome.stats.leaves += 1;
+        let stats = &mut self.outcome.stats;
+        stats.leaves += 1;
+        // During an LDS/DDS probe `iterations` still holds the probe's
+        // discrepancy parameter (it is bumped only after the iteration
+        // completes), so this buckets leaves by discrepancy depth.
+        let bucket = (stats.iterations as usize).min(LEAF_ITER_BUCKETS - 1);
+        stats.leaf_iters[bucket] += 1;
         let cost = self.problem.leaf_cost();
         if self.cfg.record_leaves {
             self.outcome.leaves.push(self.path.clone());
@@ -316,6 +351,11 @@ impl<'a, P: SearchProblem> Driver<'a, P> {
             Some((best, _)) => cost < *best,
         };
         if better {
+            let stats = &mut self.outcome.stats;
+            stats.improvements += 1;
+            stats.nodes_to_best = stats.nodes;
+            stats.best_iteration = stats.iterations;
+            stats.best_depth = u32::try_from(self.path.len()).unwrap_or(u32::MAX);
             self.outcome.best = Some((cost, self.path.clone()));
         }
     }

@@ -1,0 +1,330 @@
+//! Offline trace exploration: aggregate a `sbs-trace/v1` JSONL log
+//! into per-decision tables and a collapsed-stack file (`sbs trace`).
+
+use crate::record::{DecisionTrace, TraceMeta};
+use crate::span::render_collapsed;
+use serde_json::{Map, Value};
+use std::collections::BTreeMap;
+
+/// Number of budget-utilization deciles in the report.
+const UTIL_BUCKETS: usize = 10;
+
+/// Aggregates computed from one trace log.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// The log's meta header.
+    pub meta: TraceMeta,
+    /// Decisions in the log.
+    pub decisions: u64,
+    /// Decisions carrying a search trace.
+    pub searched: u64,
+    /// Total jobs started.
+    pub started_jobs: u64,
+    /// Total search nodes expanded.
+    pub nodes: u64,
+    /// Total leaves evaluated.
+    pub leaves: u64,
+    /// Total prune-bound subtree cuts.
+    pub pruned: u64,
+    /// Decisions whose tree was fully enumerated.
+    pub exhausted: u64,
+    /// Decisions stopped by the node budget.
+    pub budget_hits: u64,
+    /// Decisions truncated by the wall-clock deadline.
+    pub deadline_hits: u64,
+    /// Budget left unspent across all deadline truncations.
+    pub deadline_nodes_left: u64,
+    /// Decisions that fell back to the greedy schedule.
+    pub fallbacks: u64,
+    /// Leaves per iteration bucket, summed over all decisions.
+    pub leaf_iters: Vec<u64>,
+    /// Improvements per iteration bucket (iteration that produced each
+    /// decision's final incumbent).
+    pub best_iters: Vec<u64>,
+    /// Decisions per budget-utilization decile (nodes/budget).
+    pub budget_util: [u64; UTIL_BUCKETS],
+    /// Decisions per time-to-incumbent decile (nodes_to_best/nodes).
+    pub incumbent_at: [u64; UTIL_BUCKETS],
+    /// Merged span weights, for the collapsed-stack output.
+    pub spans: BTreeMap<String, u64>,
+    /// Backfill totals `(examined, started, reserved, blocked)`.
+    pub backfill: (u64, u64, u64, u64),
+}
+
+impl TraceReport {
+    /// Parses and aggregates a whole JSONL log.
+    ///
+    /// The first line must be an `sbs-trace/v1` meta header; malformed
+    /// decision lines are an error (the format is ours end to end).
+    pub fn from_lines(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let head = lines.next().ok_or("empty trace log")?;
+        let head_value: Value =
+            serde_json::from_str(head).map_err(|e| format!("meta line: {e}"))?;
+        let meta = TraceMeta::from_value(&head_value)?;
+        let mut report = TraceReport {
+            meta,
+            ..Default::default()
+        };
+        for (i, line) in lines.enumerate() {
+            let v: Value =
+                serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
+            report.fold(&DecisionTrace::from_value(&v));
+        }
+        Ok(report)
+    }
+
+    fn fold(&mut self, d: &DecisionTrace) {
+        self.decisions += 1;
+        self.started_jobs += d.started.len() as u64;
+        let Some(p) = &d.policy else { return };
+        for (path, weight) in &p.spans {
+            *self.spans.entry(path.clone()).or_insert(0) += weight;
+        }
+        if let Some(s) = &p.search {
+            self.searched += 1;
+            self.nodes += s.nodes;
+            self.leaves += s.leaves;
+            self.pruned += s.pruned;
+            if s.exhausted {
+                self.exhausted += 1;
+            }
+            if s.budget_hit {
+                self.budget_hits += 1;
+            }
+            if s.deadline_hit {
+                self.deadline_hits += 1;
+                self.deadline_nodes_left += s.nodes_left_at_deadline;
+            }
+            if s.fallback {
+                self.fallbacks += 1;
+            }
+            for (i, &count) in s.leaf_iters.iter().enumerate() {
+                if self.leaf_iters.len() <= i {
+                    self.leaf_iters.resize(i + 1, 0);
+                }
+                self.leaf_iters[i] += count;
+            }
+            if s.improvements > 0 {
+                let i = s.best_iteration as usize;
+                if self.best_iters.len() <= i {
+                    self.best_iters.resize(i + 1, 0);
+                }
+                self.best_iters[i] += 1;
+                self.incumbent_at[decile(s.nodes_to_best, s.nodes)] += 1;
+            }
+            self.budget_util[decile(s.nodes, s.budget)] += 1;
+        }
+        if let Some(b) = &p.backfill {
+            self.backfill.0 += u64::from(b.examined);
+            self.backfill.1 += u64::from(b.started);
+            self.backfill.2 += u64::from(b.reserved);
+            self.backfill.3 += u64::from(b.blocked);
+        }
+    }
+
+    /// Renders the human-readable report tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let m = &self.meta;
+        out.push_str(&format!(
+            "trace: {} | mode {} | policy {} | capacity {}\n",
+            m.source, m.mode, m.policy, m.capacity
+        ));
+        out.push_str(&format!(
+            "decisions {} | searched {} | jobs started {}\n\n",
+            self.decisions, self.searched, self.started_jobs
+        ));
+
+        if self.searched > 0 {
+            out.push_str("search totals\n");
+            out.push_str(&format!(
+                "  nodes {} | leaves {} | pruned {}\n",
+                self.nodes, self.leaves, self.pruned
+            ));
+            out.push_str(&format!(
+                "  exhausted {} | budget-hit {} | deadline-truncated {} (nodes left {}) | greedy fallback {}\n\n",
+                self.exhausted,
+                self.budget_hits,
+                self.deadline_hits,
+                self.deadline_nodes_left,
+                self.fallbacks
+            ));
+
+            out.push_str("depth vs improvement (per discrepancy iteration)\n");
+            out.push_str("  iter       leaves    best-found\n");
+            let rows = self.leaf_iters.len().max(self.best_iters.len());
+            for i in 0..rows {
+                let leaves = self.leaf_iters.get(i).copied().unwrap_or(0);
+                let best = self.best_iters.get(i).copied().unwrap_or(0);
+                out.push_str(&format!("  {i:<4} {leaves:>12} {best:>13}\n"));
+            }
+            out.push('\n');
+
+            out.push_str("budget utilization (nodes used / budget, per decision)\n");
+            out.push_str(&decile_table(&self.budget_util));
+            out.push('\n');
+
+            out.push_str("time to incumbent (nodes at final best / nodes expanded)\n");
+            out.push_str(&decile_table(&self.incumbent_at));
+            out.push('\n');
+        }
+
+        if self.backfill != (0, 0, 0, 0) {
+            let (examined, started, reserved, blocked) = self.backfill;
+            out.push_str("backfill outcomes\n");
+            out.push_str(&format!(
+                "  examined {examined} | hole-filled/started {started} | reserved {reserved} | blocked {blocked}\n\n"
+            ));
+        }
+
+        if !self.spans.is_empty() {
+            out.push_str("span weights (deterministic node counts)\n");
+            for (path, weight) in &self.spans {
+                out.push_str(&format!("  {path} {weight}\n"));
+            }
+        }
+        out
+    }
+
+    /// Renders the merged collapsed-stack file (flamegraph input).
+    pub fn collapsed(&self) -> String {
+        render_collapsed(self.spans.iter().map(|(p, &w)| (p.as_str(), w)))
+    }
+
+    /// Machine-readable aggregate (sorted keys, deterministic).
+    pub fn to_json(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), crate::record::TRACE_SCHEMA.into());
+        m.insert("mode".into(), self.meta.mode.as_str().into());
+        m.insert("policy".into(), self.meta.policy.as_str().into());
+        m.insert("source".into(), self.meta.source.as_str().into());
+        m.insert("decisions".into(), self.decisions.into());
+        m.insert("searched".into(), self.searched.into());
+        m.insert("started_jobs".into(), self.started_jobs.into());
+        m.insert("nodes".into(), self.nodes.into());
+        m.insert("leaves".into(), self.leaves.into());
+        m.insert("pruned".into(), self.pruned.into());
+        m.insert("exhausted".into(), self.exhausted.into());
+        m.insert("budget_hits".into(), self.budget_hits.into());
+        m.insert("deadline_hits".into(), self.deadline_hits.into());
+        m.insert(
+            "deadline_nodes_left".into(),
+            self.deadline_nodes_left.into(),
+        );
+        m.insert("fallbacks".into(), self.fallbacks.into());
+        m.insert("leaf_iters".into(), self.leaf_iters.as_slice().into());
+        m.insert("best_iters".into(), self.best_iters.as_slice().into());
+        m.insert("budget_util".into(), self.budget_util.into());
+        m.insert("incumbent_at".into(), self.incumbent_at.into());
+        let mut bf = Map::new();
+        bf.insert("examined".into(), self.backfill.0.into());
+        bf.insert("started".into(), self.backfill.1.into());
+        bf.insert("reserved".into(), self.backfill.2.into());
+        bf.insert("blocked".into(), self.backfill.3.into());
+        m.insert("backfill".into(), Value::Object(bf));
+        Value::Object(m)
+    }
+}
+
+/// Maps `part/whole` to a decile index 0..=9 (0 when `whole` is 0).
+fn decile(part: u64, whole: u64) -> usize {
+    if whole == 0 {
+        return 0;
+    }
+    let pct = part.saturating_mul(100) / whole;
+    usize::try_from((pct / 10).min(UTIL_BUCKETS as u64 - 1)).unwrap_or(0)
+}
+
+fn decile_table(buckets: &[u64; UTIL_BUCKETS]) -> String {
+    let mut out = String::from("  range       decisions\n");
+    for (i, &count) in buckets.iter().enumerate() {
+        let lo = i * 10;
+        let hi = if i == UTIL_BUCKETS - 1 { 100 } else { lo + 9 };
+        out.push_str(&format!("  {lo:>3}-{hi:<3}% {count:>12}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{PolicyTrace, SearchTrace};
+    use crate::sink::{TimeMode, TraceRecorder};
+    use crate::Recorder;
+
+    fn log_text() -> String {
+        let mut r = TraceRecorder::new(
+            TimeMode::Virtual,
+            TraceMeta {
+                policy: "DDS/lxf".into(),
+                capacity: 128,
+                source: "unit".into(),
+                ..Default::default()
+            },
+        );
+        let mut lines = vec![serde_json::to_string(&r.meta().to_value()).expect("meta")];
+        for seq in 1..=3u64 {
+            let d = DecisionTrace {
+                seq,
+                now: seq * 60,
+                queue_depth: 2,
+                running: 1,
+                free_nodes: 32,
+                capacity: 128,
+                started: vec![u32::try_from(seq).unwrap_or(0)],
+                policy: Some(PolicyTrace {
+                    search: Some(SearchTrace {
+                        algo: "DDS".into(),
+                        branching: "lxf".into(),
+                        budget: 1000,
+                        nodes: 900,
+                        leaves: 30,
+                        improvements: 2,
+                        nodes_to_best: 450,
+                        best_iteration: 1,
+                        leaf_iters: vec![1, 29],
+                        deadline_hit: seq == 3,
+                        nodes_left_at_deadline: if seq == 3 { 100 } else { 0 },
+                        ..Default::default()
+                    }),
+                    backfill: None,
+                    spans: vec![("decide;search".into(), 900)],
+                }),
+                wall_ns: 0,
+            };
+            r.record_decision(&d);
+            lines.push(serde_json::to_string(&d.to_value(false)).expect("line"));
+        }
+        lines.join("\n") + "\n"
+    }
+
+    #[test]
+    fn aggregates_a_log_end_to_end() {
+        let report = TraceReport::from_lines(&log_text()).expect("parse");
+        assert_eq!(report.decisions, 3);
+        assert_eq!(report.searched, 3);
+        assert_eq!(report.nodes, 2700);
+        assert_eq!(report.leaf_iters, vec![3, 87]);
+        assert_eq!(report.best_iters, vec![0, 3]);
+        assert_eq!(report.deadline_hits, 1);
+        assert_eq!(report.deadline_nodes_left, 100);
+        // 900/1000 and 450/900 both land in the 90% and 50% deciles.
+        assert_eq!(report.budget_util[9], 3);
+        assert_eq!(report.incumbent_at[5], 3);
+        let rendered = report.render();
+        assert!(rendered.contains("depth vs improvement"));
+        assert!(rendered.contains("budget utilization"));
+        assert!(rendered.contains("time to incumbent"));
+        assert_eq!(report.collapsed(), "decide;search 2700\n");
+        let json = report.to_json();
+        assert_eq!(json["decisions"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn rejects_logs_without_a_valid_meta_header() {
+        assert!(TraceReport::from_lines("").is_err());
+        assert!(TraceReport::from_lines("{\"seq\":1}\n").is_err());
+        assert!(TraceReport::from_lines("not json\n").is_err());
+    }
+}

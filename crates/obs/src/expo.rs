@@ -1,0 +1,394 @@
+//! Prometheus text exposition: typed rendering, parsing, validation.
+//!
+//! The renderer emits real `counter` and `histogram` families (with
+//! `_bucket`/`_sum`/`_count` series) instead of gauges-only text; the
+//! parser and [`validate`] exist so the service can roundtrip-test its
+//! own `/metrics` output: HELP/TYPE pairing, `_total` naming for
+//! counters, bucket monotonicity and cumulative counts, and absence of
+//! duplicate series.
+
+use crate::hist::Histogram;
+
+/// The value payload of one metric family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FamilyData {
+    /// A monotone counter; the name must end in `_total`.  The value is
+    /// pre-formatted so callers control decimal precision.
+    Counter(String),
+    /// A point-in-time gauge (pre-formatted value).
+    Gauge(String),
+    /// A cumulative histogram over `u64` observations.
+    Histogram(Histogram),
+}
+
+/// One named family: HELP text plus data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    /// Metric family name.
+    pub name: String,
+    /// HELP line text.
+    pub help: String,
+    /// The samples.
+    pub data: FamilyData,
+}
+
+/// An ordered set of families rendering to exposition text.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    families: Vec<Family>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Exposition::default()
+    }
+
+    /// Appends a counter family (name must end in `_total`).
+    pub fn counter(&mut self, name: &str, help: &str, value: impl std::fmt::Display) {
+        debug_assert!(
+            name.ends_with("_total"),
+            "counter {name} must end in _total"
+        );
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            data: FamilyData::Counter(value.to_string()),
+        });
+    }
+
+    /// Appends a gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: impl std::fmt::Display) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            data: FamilyData::Gauge(value.to_string()),
+        });
+    }
+
+    /// Appends a histogram family.
+    pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram) {
+        self.families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            data: FamilyData::Histogram(hist.clone()),
+        });
+    }
+
+    /// The families appended so far.
+    pub fn families(&self) -> &[Family] {
+        &self.families
+    }
+
+    /// Renders the exposition text (trailing newline included).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            out.push_str("# HELP ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(&f.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&f.name);
+            out.push(' ');
+            out.push_str(match f.data {
+                FamilyData::Counter(_) => "counter",
+                FamilyData::Gauge(_) => "gauge",
+                FamilyData::Histogram(_) => "histogram",
+            });
+            out.push('\n');
+            match &f.data {
+                FamilyData::Counter(v) | FamilyData::Gauge(v) => {
+                    out.push_str(&f.name);
+                    out.push(' ');
+                    out.push_str(v);
+                    out.push('\n');
+                }
+                FamilyData::Histogram(h) => {
+                    let cumulative = h.cumulative();
+                    for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                        out.push_str(&format!("{}_bucket{{le=\"{bound}\"}} {cum}\n", f.name));
+                    }
+                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", f.name, h.count()));
+                    out.push_str(&format!("{}_sum {}\n", f.name, h.sum()));
+                    out.push_str(&format!("{}_count {}\n", f.name, h.count()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name (family name plus any `_bucket`/`_sum`/`_count`
+    /// suffix).
+    pub name: String,
+    /// Label pairs in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// One parsed family: HELP + TYPE + samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFamily {
+    /// Family name from the HELP/TYPE lines.
+    pub name: String,
+    /// HELP text.
+    pub help: String,
+    /// TYPE string (`counter` / `gauge` / `histogram`).
+    pub kind: String,
+    /// The family's samples in source order.
+    pub samples: Vec<ParsedSample>,
+}
+
+/// Parses exposition text into families.
+///
+/// Strict enough for roundtrip-testing our own renderer: every sample
+/// must follow a `# HELP` + `# TYPE` pair for its family, and HELP must
+/// precede TYPE.
+pub fn parse(text: &str) -> Result<Vec<ParsedFamily>, String> {
+    let mut families: Vec<ParsedFamily> = Vec::new();
+    let mut pending_help: Option<(String, String)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').ok_or_else(|| err("malformed HELP"))?;
+            if pending_help.is_some() {
+                return Err(err("HELP without a following TYPE"));
+            }
+            pending_help = Some((name.to_string(), help.to_string()));
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| err("malformed TYPE"))?;
+            let (help_name, help) = pending_help
+                .take()
+                .ok_or_else(|| err("TYPE without a preceding HELP"))?;
+            if help_name != name {
+                return Err(err("HELP/TYPE name mismatch"));
+            }
+            families.push(ParsedFamily {
+                name: name.to_string(),
+                help,
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+        } else if line.starts_with('#') {
+            continue; // comment
+        } else {
+            let sample = parse_sample(line).map_err(|m| err(&m))?;
+            let family = families
+                .last_mut()
+                .filter(|f| belongs_to(&sample.name, &f.name))
+                .ok_or_else(|| err("sample outside its HELP/TYPE family"))?;
+            family.samples.push(sample);
+        }
+    }
+    if pending_help.is_some() {
+        return Err("trailing HELP without TYPE".to_string());
+    }
+    Ok(families)
+}
+
+fn belongs_to(sample: &str, family: &str) -> bool {
+    sample == family
+        || sample
+            .strip_prefix(family)
+            .is_some_and(|suffix| matches!(suffix, "_bucket" | "_sum" | "_count"))
+}
+
+fn parse_sample(line: &str) -> Result<ParsedSample, String> {
+    let (name_part, value_part) = match line.find('{') {
+        Some(open) => {
+            let close = line[open..]
+                .find('}')
+                .map(|i| open + i)
+                .ok_or("unclosed label set")?;
+            (line[..close + 1].to_string(), line[close + 1..].trim())
+        }
+        None => {
+            let (n, v) = line.split_once(' ').ok_or("missing value")?;
+            (n.to_string(), v.trim())
+        }
+    };
+    let (name, labels) = match name_part.split_once('{') {
+        Some((n, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unclosed label set")?;
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair.split_once('=').ok_or("malformed label")?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or("unquoted label value")?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            (n.to_string(), labels)
+        }
+        None => (name_part, Vec::new()),
+    };
+    let value: f64 = match value_part {
+        "+Inf" => f64::INFINITY,
+        v => v.parse().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(ParsedSample {
+        name,
+        labels,
+        value,
+    })
+}
+
+/// Parses and cross-checks exposition text.
+///
+/// Checks: HELP/TYPE pairing per family, known TYPE strings, counter
+/// `_total` naming and non-negative values, no duplicate series
+/// (name + label set), and for histograms: `_bucket`/`_sum`/`_count`
+/// presence, monotone nondecreasing cumulative bucket counts, and the
+/// `+Inf` bucket equalling `_count`.
+pub fn validate(text: &str) -> Result<Vec<ParsedFamily>, String> {
+    let families = parse(text)?;
+    let mut seen_families = std::collections::BTreeSet::new();
+    let mut seen_series = std::collections::BTreeSet::new();
+    for f in &families {
+        if !seen_families.insert(f.name.clone()) {
+            return Err(format!("duplicate family {}", f.name));
+        }
+        for s in &f.samples {
+            let series = format!("{}{:?}", s.name, s.labels);
+            if !seen_series.insert(series) {
+                return Err(format!("duplicate series {} in {}", s.name, f.name));
+            }
+        }
+        match f.kind.as_str() {
+            "gauge" => {
+                if f.samples.len() != 1 || f.samples[0].name != f.name {
+                    return Err(format!("gauge {} must have exactly one sample", f.name));
+                }
+            }
+            "counter" => {
+                if !f.name.ends_with("_total") {
+                    return Err(format!("counter {} does not end in _total", f.name));
+                }
+                if f.samples.len() != 1 || f.samples[0].name != f.name {
+                    return Err(format!("counter {} must have exactly one sample", f.name));
+                }
+                if f.samples[0].value < 0.0 {
+                    return Err(format!("counter {} is negative", f.name));
+                }
+            }
+            "histogram" => validate_histogram(f)?,
+            other => return Err(format!("family {} has unknown TYPE {other}", f.name)),
+        }
+    }
+    Ok(families)
+}
+
+fn validate_histogram(f: &ParsedFamily) -> Result<(), String> {
+    let bucket_name = format!("{}_bucket", f.name);
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    let mut sum = None;
+    let mut count = None;
+    for s in &f.samples {
+        if s.name == bucket_name {
+            let le = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("{} bucket without le label", f.name))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .map_err(|_| format!("{} has bad le {le:?}", f.name))?
+            };
+            buckets.push((bound, s.value));
+        } else if s.name == format!("{}_sum", f.name) {
+            sum = Some(s.value);
+        } else if s.name == format!("{}_count", f.name) {
+            count = Some(s.value);
+        } else {
+            return Err(format!("histogram {} has stray sample {}", f.name, s.name));
+        }
+    }
+    let count = count.ok_or_else(|| format!("histogram {} missing _count", f.name))?;
+    if sum.is_none() {
+        return Err(format!("histogram {} missing _sum", f.name));
+    }
+    if buckets.is_empty() {
+        return Err(format!("histogram {} has no buckets", f.name));
+    }
+    for w in buckets.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err(format!("histogram {} bucket bounds not increasing", f.name));
+        }
+        if w[1].1 < w[0].1 {
+            return Err(format!("histogram {} bucket counts not cumulative", f.name));
+        }
+    }
+    let last = buckets.last().expect("non-empty");
+    if !last.0.is_infinite() {
+        return Err(format!("histogram {} missing +Inf bucket", f.name));
+    }
+    if last.1 != count {
+        return Err(format!("histogram {} +Inf bucket != _count", f.name));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_exposition() -> Exposition {
+        let mut e = Exposition::new();
+        e.gauge("up", "Whether the scraper is happy.", 1);
+        e.counter("requests_total", "Requests served.", 42);
+        let mut h = Histogram::new(&[1, 10, 100]);
+        for v in [0, 5, 5, 50, 500] {
+            h.observe(v);
+        }
+        e.histogram("latency", "Latency distribution.", &h);
+        e
+    }
+
+    #[test]
+    fn render_parse_validate_roundtrip() {
+        let text = sample_exposition().render();
+        let families = validate(&text).expect("valid exposition");
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[1].kind, "counter");
+        assert_eq!(families[1].samples[0].value, 42.0);
+        let hist = &families[2];
+        assert_eq!(hist.kind, "histogram");
+        // buckets: le=1 -> 1, le=10 -> 3, le=100 -> 4, +Inf -> 5
+        let values: Vec<f64> = hist.samples.iter().map(|s| s.value).collect();
+        assert_eq!(values, vec![1.0, 3.0, 4.0, 5.0, 560.0, 5.0]);
+    }
+
+    #[test]
+    fn validation_rejects_broken_text() {
+        // TYPE without HELP
+        assert!(validate("# TYPE x gauge\nx 1\n").is_err());
+        // counter not ending in _total
+        assert!(validate("# HELP c x\n# TYPE c counter\nc 1\n").is_err());
+        // duplicate series
+        assert!(validate("# HELP g x\n# TYPE g gauge\ng 1\ng 2\n").is_err());
+        // non-cumulative buckets
+        let bad = "# HELP h x\n# TYPE h histogram\n\
+                   h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n";
+        assert!(validate(bad).is_err());
+        // +Inf bucket must equal _count
+        let bad2 = "# HELP h x\n# TYPE h histogram\n\
+                    h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 4\n";
+        assert!(validate(bad2).is_err());
+        // sample outside its family
+        assert!(validate("# HELP a x\n# TYPE a gauge\nb 1\n").is_err());
+    }
+}

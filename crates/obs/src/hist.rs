@@ -1,0 +1,112 @@
+//! Fixed-bucket cumulative histogram over `u64` observations.
+//!
+//! Bucket bounds are chosen at construction and never change, so two
+//! runs that observe the same sequence of values produce identical
+//! histograms — no adaptive resizing, no floating-point accumulation.
+
+/// A histogram with fixed upper bounds.
+///
+/// `counts[i]` is the number of observations `<= bounds[i]`; the last
+/// slot (`counts[bounds.len()]`) is the overflow bucket (`+Inf`).
+/// Counts are *per-bucket* internally; cumulative counts are derived
+/// when rendering Prometheus `_bucket` series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u128,
+    count: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given strictly increasing upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Exponential bounds `start, start*factor, ...` (`len` of them).
+    pub fn exponential(start: u64, factor: u64, len: usize) -> Self {
+        let mut bounds = Vec::with_capacity(len);
+        let mut b = start.max(1);
+        for _ in 0..len {
+            bounds.push(b);
+            b = b.saturating_mul(factor.max(2));
+        }
+        bounds.dedup();
+        Histogram::new(&bounds)
+    }
+
+    /// Folds one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.sum += u128::from(value);
+        self.count += 1;
+    }
+
+    /// The configured upper bounds (exclusive of `+Inf`).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket (non-cumulative) counts; last slot is `+Inf`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Cumulative counts aligned with [`Histogram::bounds`] plus a
+    /// final `+Inf` entry equal to [`Histogram::count`].
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1, 10, 100]);
+        for v in [0, 1, 2, 10, 11, 100, 101, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.bucket_counts(), &[2, 2, 2, 2]);
+        assert_eq!(h.cumulative(), vec![2, 4, 6, 8]);
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 5225u128);
+    }
+
+    #[test]
+    fn exponential_bounds_saturate_without_panicking() {
+        let h = Histogram::exponential(1, 10, 25);
+        assert!(h.bounds().windows(2).all(|w| w[0] < w[1]));
+        let mut h2 = Histogram::exponential(1, 10, 6);
+        assert_eq!(h2.bounds(), &[1, 10, 100, 1_000, 10_000, 100_000]);
+        h2.observe(u64::MAX);
+        assert_eq!(h2.bucket_counts()[6], 1);
+    }
+}

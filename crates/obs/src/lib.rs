@@ -1,0 +1,86 @@
+//! Deterministic telemetry for the search-based scheduler.
+//!
+//! The crate is std-only and never reads a clock: every timestamp and
+//! weight it handles is *injected* by the caller (virtual simulation
+//! time from the engine, wall time from the daemon's sanctioned clock
+//! sites).  That is what keeps recording compatible with the repo's
+//! determinism contract — with a [`TraceRecorder`] in
+//! [`TimeMode::Virtual`] mode, two identical simulation runs fold and
+//! serialize byte-identical telemetry.
+//!
+//! Layers, bottom to top:
+//!
+//! - [`Histogram`]: fixed-bucket cumulative histogram over `u64` values.
+//! - [`RingBuffer`]: bounded in-memory window of recent decisions.
+//! - [`SpanStack`]: nested spans collapsing to flamegraph stacks whose
+//!   weights are deterministic node counts, not time.
+//! - [`DecisionTrace`] et al.: the schema-versioned (`sbs-trace/v1`)
+//!   per-decision record, JSONL-encodable.
+//! - [`Recorder`]: the zero-cost-when-disabled hook the scheduler core
+//!   calls once per decision; [`NullRecorder`] is the disabled impl.
+//! - [`TraceRecorder`]: the real sink — counters, histograms, ring
+//!   buffer, optional JSONL writer.
+//! - [`expo`]: Prometheus text exposition (render, parse, validate).
+//! - [`explore`]: offline aggregation of a JSONL log into tables and a
+//!   collapsed-stack file (`sbs trace`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod expo;
+mod hist;
+mod record;
+mod ring;
+mod sink;
+mod span;
+
+pub use explore::TraceReport;
+pub use hist::Histogram;
+pub use record::{BackfillTrace, DecisionTrace, PolicyTrace, SearchTrace, TraceMeta, TRACE_SCHEMA};
+pub use ring::RingBuffer;
+pub use sink::{TimeMode, TraceRecorder};
+pub use span::{render_collapsed, SpanStack};
+
+/// Per-decision telemetry hook.
+///
+/// The scheduler core calls [`Recorder::record_decision`] exactly once
+/// per decision point; producers gate all trace *assembly* on
+/// [`Recorder::enabled`], so with a [`NullRecorder`] the hot path pays
+/// one branch and nothing else.
+pub trait Recorder {
+    /// Whether this recorder wants traces at all.  Callers must skip
+    /// trace assembly when this is `false`.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Folds one completed decision into the recorder.
+    fn record_decision(&mut self, _decision: &DecisionTrace) {}
+
+    /// Adds `delta` to the named monotone counter.
+    fn add(&mut self, _name: &'static str, _delta: u64) {}
+
+    /// Folds `value` into the named histogram.
+    fn observe(&mut self, _name: &'static str, _value: u64) {}
+}
+
+/// The disabled recorder: every method is a no-op and
+/// [`Recorder::enabled`] is `false`.
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        let mut r = NullRecorder;
+        assert!(!r.enabled());
+        r.add("x", 1);
+        r.observe("y", 2);
+        r.record_decision(&DecisionTrace::default());
+    }
+}

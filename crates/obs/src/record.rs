@@ -1,0 +1,393 @@
+//! The `sbs-trace/v1` record format.
+//!
+//! One JSONL file is a meta line (schema, mode, policy, capacity)
+//! followed by one [`DecisionTrace`] object per scheduler decision.
+//! Encoding goes through the workspace `serde_json` shim, whose object
+//! keys are a `BTreeMap` — rendering is sorted-key and therefore
+//! byte-deterministic.
+
+use serde_json::{Map, Value};
+
+/// Schema identifier stamped into every trace file's meta line.
+pub const TRACE_SCHEMA: &str = "sbs-trace/v1";
+
+/// File-level metadata, written once as the first JSONL line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// `"virtual"` (simulation) or `"wall"` (daemon).
+    pub mode: String,
+    /// Policy label, e.g. `"DDS/lxf/dynB(L=1000)"`.
+    pub policy: String,
+    /// Cluster capacity in nodes.
+    pub capacity: u32,
+    /// Free-form source description (month spec, trace path, port).
+    pub source: String,
+}
+
+impl TraceMeta {
+    /// Encodes the meta line (includes the `schema` field).
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("schema".into(), TRACE_SCHEMA.into());
+        m.insert("mode".into(), self.mode.as_str().into());
+        m.insert("policy".into(), self.policy.as_str().into());
+        m.insert("capacity".into(), self.capacity.into());
+        m.insert("source".into(), self.source.as_str().into());
+        Value::Object(m)
+    }
+
+    /// Decodes a meta line, verifying the schema identifier.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        let schema = v["schema"].as_str().unwrap_or_default();
+        if schema != TRACE_SCHEMA {
+            return Err(format!(
+                "unsupported trace schema {schema:?} (expected {TRACE_SCHEMA:?})"
+            ));
+        }
+        Ok(TraceMeta {
+            mode: v["mode"].as_str().unwrap_or_default().to_string(),
+            policy: v["policy"].as_str().unwrap_or_default().to_string(),
+            capacity: u32::try_from(v["capacity"].as_u64().unwrap_or(0)).unwrap_or(u32::MAX),
+            source: v["source"].as_str().unwrap_or_default().to_string(),
+        })
+    }
+}
+
+/// Telemetry from one tree-search invocation inside a decision.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchTrace {
+    /// Algorithm label (`"DDS"`, `"LDS"`, `"beam(w)"`, ...).
+    pub algo: String,
+    /// Branching-order label (`"fcfs"` or `"lxf"`).
+    pub branching: String,
+    /// Resolved scheduling horizon omega (seconds).
+    pub omega: u64,
+    /// Node budget granted to the tree search.
+    pub budget: u64,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Leaves evaluated.
+    pub leaves: u64,
+    /// Iterations (discrepancy levels / beam levels / samples) completed.
+    pub iterations: u32,
+    /// Incumbent improvements observed.
+    pub improvements: u64,
+    /// Node count at which the final incumbent was found.
+    pub nodes_to_best: u64,
+    /// Iteration during which the final incumbent was found.
+    pub best_iteration: u32,
+    /// Depth of the final incumbent leaf.
+    pub best_depth: u32,
+    /// Whether the tree was fully enumerated.
+    pub exhausted: bool,
+    /// Whether the node budget stopped the search.
+    pub budget_hit: bool,
+    /// Whether the wall-clock deadline stopped the search.
+    pub deadline_hit: bool,
+    /// Unspent budget when the deadline fired (0 otherwise).
+    pub nodes_left_at_deadline: u64,
+    /// Subtrees cut by the admissible prune bound.
+    pub pruned: u64,
+    /// Whether the greedy fallback produced the schedule.
+    pub fallback: bool,
+    /// Nodes spent in the hill-climbing refinement phase.
+    pub local_nodes: u64,
+    /// Leaves per iteration bucket (bucket = discrepancy count for LDS,
+    /// mandated discrepancy depth for DDS); trailing zeros trimmed.
+    pub leaf_iters: Vec<u64>,
+}
+
+impl SearchTrace {
+    fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("algo".into(), self.algo.as_str().into());
+        m.insert("branching".into(), self.branching.as_str().into());
+        m.insert("omega".into(), self.omega.into());
+        m.insert("budget".into(), self.budget.into());
+        m.insert("nodes".into(), self.nodes.into());
+        m.insert("leaves".into(), self.leaves.into());
+        m.insert("iterations".into(), self.iterations.into());
+        m.insert("improvements".into(), self.improvements.into());
+        m.insert("nodes_to_best".into(), self.nodes_to_best.into());
+        m.insert("best_iteration".into(), self.best_iteration.into());
+        m.insert("best_depth".into(), self.best_depth.into());
+        m.insert("exhausted".into(), self.exhausted.into());
+        m.insert("budget_hit".into(), self.budget_hit.into());
+        m.insert("deadline_hit".into(), self.deadline_hit.into());
+        m.insert(
+            "nodes_left_at_deadline".into(),
+            self.nodes_left_at_deadline.into(),
+        );
+        m.insert("pruned".into(), self.pruned.into());
+        m.insert("fallback".into(), self.fallback.into());
+        m.insert("local_nodes".into(), self.local_nodes.into());
+        m.insert("leaf_iters".into(), self.leaf_iters.as_slice().into());
+        Value::Object(m)
+    }
+
+    fn from_value(v: &Value) -> Self {
+        SearchTrace {
+            algo: v["algo"].as_str().unwrap_or_default().to_string(),
+            branching: v["branching"].as_str().unwrap_or_default().to_string(),
+            omega: v["omega"].as_u64().unwrap_or(0),
+            budget: v["budget"].as_u64().unwrap_or(0),
+            nodes: v["nodes"].as_u64().unwrap_or(0),
+            leaves: v["leaves"].as_u64().unwrap_or(0),
+            iterations: narrow(&v["iterations"]),
+            improvements: v["improvements"].as_u64().unwrap_or(0),
+            nodes_to_best: v["nodes_to_best"].as_u64().unwrap_or(0),
+            best_iteration: narrow(&v["best_iteration"]),
+            best_depth: narrow(&v["best_depth"]),
+            exhausted: v["exhausted"].as_bool().unwrap_or(false),
+            budget_hit: v["budget_hit"].as_bool().unwrap_or(false),
+            deadline_hit: v["deadline_hit"].as_bool().unwrap_or(false),
+            nodes_left_at_deadline: v["nodes_left_at_deadline"].as_u64().unwrap_or(0),
+            pruned: v["pruned"].as_u64().unwrap_or(0),
+            fallback: v["fallback"].as_bool().unwrap_or(false),
+            local_nodes: v["local_nodes"].as_u64().unwrap_or(0),
+            leaf_iters: v["leaf_iters"]
+                .as_array()
+                .map(|a| a.iter().map(|x| x.as_u64().unwrap_or(0)).collect())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+/// Telemetry from one backfill pass inside a decision.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackfillTrace {
+    /// Queue entries examined in priority order.
+    pub examined: u32,
+    /// Jobs started immediately (hole fills included).
+    pub started: u32,
+    /// Jobs granted a future reservation.
+    pub reserved: u32,
+    /// Jobs skipped with no reservation (blocked).
+    pub blocked: u32,
+}
+
+impl BackfillTrace {
+    fn to_value(self) -> Value {
+        let mut m = Map::new();
+        m.insert("examined".into(), self.examined.into());
+        m.insert("started".into(), self.started.into());
+        m.insert("reserved".into(), self.reserved.into());
+        m.insert("blocked".into(), self.blocked.into());
+        Value::Object(m)
+    }
+
+    fn from_value(v: &Value) -> Self {
+        BackfillTrace {
+            examined: narrow(&v["examined"]),
+            started: narrow(&v["started"]),
+            reserved: narrow(&v["reserved"]),
+            blocked: narrow(&v["blocked"]),
+        }
+    }
+}
+
+/// What the policy itself observed during one `decide()` call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PolicyTrace {
+    /// Tree-search telemetry (search policies only).
+    pub search: Option<SearchTrace>,
+    /// Backfill telemetry (backfill policies only).
+    pub backfill: Option<BackfillTrace>,
+    /// Collapsed-stack spans: `(path, weight)` where weight is a
+    /// deterministic node count.
+    pub spans: Vec<(String, u64)>,
+}
+
+/// One scheduler decision point, the unit record of `sbs-trace/v1`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DecisionTrace {
+    /// 1-based decision sequence number.
+    pub seq: u64,
+    /// Virtual time (seconds) of the decision.
+    pub now: u64,
+    /// Queue depth before any starts were applied.
+    pub queue_depth: u32,
+    /// Running jobs before the decision.
+    pub running: u32,
+    /// Free nodes before the decision.
+    pub free_nodes: u32,
+    /// Cluster capacity.
+    pub capacity: u32,
+    /// Job ids started by this decision.
+    pub started: Vec<u32>,
+    /// Policy-internal telemetry, when the policy produces any.
+    pub policy: Option<PolicyTrace>,
+    /// Wall-clock nanoseconds spent in `decide()`.  Serialized only in
+    /// wall mode — virtual-mode logs omit it for determinism.
+    pub wall_ns: u64,
+}
+
+impl DecisionTrace {
+    /// Encodes one JSONL line.  `include_wall` must be `false` in
+    /// virtual mode so the bytes stay run-to-run identical.
+    pub fn to_value(&self, include_wall: bool) -> Value {
+        let mut m = Map::new();
+        m.insert("seq".into(), self.seq.into());
+        m.insert("now".into(), self.now.into());
+        m.insert("queue_depth".into(), self.queue_depth.into());
+        m.insert("running".into(), self.running.into());
+        m.insert("free_nodes".into(), self.free_nodes.into());
+        m.insert("capacity".into(), self.capacity.into());
+        m.insert("started".into(), self.started.as_slice().into());
+        if let Some(p) = &self.policy {
+            if let Some(s) = &p.search {
+                m.insert("search".into(), s.to_value());
+            }
+            if let Some(b) = &p.backfill {
+                m.insert("backfill".into(), b.to_value());
+            }
+            if !p.spans.is_empty() {
+                let spans: Vec<Value> = p
+                    .spans
+                    .iter()
+                    .map(|(path, weight)| {
+                        Value::Array(vec![path.as_str().into(), (*weight).into()])
+                    })
+                    .collect();
+                m.insert("spans".into(), Value::Array(spans));
+            }
+        }
+        if include_wall {
+            m.insert("wall_ns".into(), self.wall_ns.into());
+        }
+        Value::Object(m)
+    }
+
+    /// Decodes one JSONL line (tolerant: missing fields default).
+    pub fn from_value(v: &Value) -> Self {
+        let search = match &v["search"] {
+            Value::Object(_) => Some(SearchTrace::from_value(&v["search"])),
+            _ => None,
+        };
+        let backfill = match &v["backfill"] {
+            Value::Object(_) => Some(BackfillTrace::from_value(&v["backfill"])),
+            _ => None,
+        };
+        let spans: Vec<(String, u64)> = v["spans"]
+            .as_array()
+            .map(|a| {
+                a.iter()
+                    .filter_map(|pair| {
+                        Some((pair[0].as_str()?.to_string(), pair[1].as_u64().unwrap_or(0)))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let policy = if search.is_some() || backfill.is_some() || !spans.is_empty() {
+            Some(PolicyTrace {
+                search,
+                backfill,
+                spans,
+            })
+        } else {
+            None
+        };
+        DecisionTrace {
+            seq: v["seq"].as_u64().unwrap_or(0),
+            now: v["now"].as_u64().unwrap_or(0),
+            queue_depth: narrow(&v["queue_depth"]),
+            running: narrow(&v["running"]),
+            free_nodes: narrow(&v["free_nodes"]),
+            capacity: narrow(&v["capacity"]),
+            started: v["started"]
+                .as_array()
+                .map(|a| a.iter().filter_map(|x| x.as_u64()).map(clamp32).collect())
+                .unwrap_or_default(),
+            policy,
+            wall_ns: v["wall_ns"].as_u64().unwrap_or(0),
+        }
+    }
+}
+
+fn narrow(v: &Value) -> u32 {
+    clamp32(v.as_u64().unwrap_or(0))
+}
+
+fn clamp32(v: u64) -> u32 {
+    u32::try_from(v).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DecisionTrace {
+        DecisionTrace {
+            seq: 7,
+            now: 3600,
+            queue_depth: 4,
+            running: 2,
+            free_nodes: 96,
+            capacity: 128,
+            started: vec![11, 12],
+            policy: Some(PolicyTrace {
+                search: Some(SearchTrace {
+                    algo: "DDS".into(),
+                    branching: "lxf".into(),
+                    omega: 7200,
+                    budget: 1000,
+                    nodes: 940,
+                    leaves: 31,
+                    iterations: 5,
+                    improvements: 3,
+                    nodes_to_best: 512,
+                    best_iteration: 2,
+                    best_depth: 4,
+                    exhausted: false,
+                    budget_hit: true,
+                    deadline_hit: true,
+                    nodes_left_at_deadline: 60,
+                    pruned: 17,
+                    fallback: false,
+                    local_nodes: 12,
+                    leaf_iters: vec![1, 8, 22],
+                }),
+                backfill: Some(BackfillTrace {
+                    examined: 4,
+                    started: 2,
+                    reserved: 1,
+                    blocked: 1,
+                }),
+                spans: vec![("decide;search".into(), 940)],
+            }),
+            wall_ns: 123_456,
+        }
+    }
+
+    #[test]
+    fn decision_round_trips_through_json() {
+        let d = sample();
+        let line = serde_json::to_string(&d.to_value(true)).expect("render");
+        let back = DecisionTrace::from_value(&serde_json::from_str(&line).expect("parse"));
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn virtual_mode_omits_wall_time() {
+        let d = sample();
+        let line = serde_json::to_string(&d.to_value(false)).expect("render");
+        assert!(!line.contains("wall_ns"));
+        let back = DecisionTrace::from_value(&serde_json::from_str(&line).expect("parse"));
+        assert_eq!(back.wall_ns, 0);
+    }
+
+    #[test]
+    fn meta_round_trips_and_rejects_foreign_schemas() {
+        let meta = TraceMeta {
+            mode: "virtual".into(),
+            policy: "DDS/lxf/dynB(L=1000)".into(),
+            capacity: 128,
+            source: "month 6/03".into(),
+        };
+        let v = meta.to_value();
+        assert_eq!(v["schema"].as_str(), Some(TRACE_SCHEMA));
+        assert_eq!(TraceMeta::from_value(&v).expect("roundtrip"), meta);
+        let bad = serde_json::from_str("{\"schema\":\"other/v9\"}").expect("parse");
+        assert!(TraceMeta::from_value(&bad).is_err());
+    }
+}

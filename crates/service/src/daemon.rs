@@ -23,6 +23,7 @@ use crate::metrics::MetricsView;
 use crate::protocol::{error_response, Request};
 use crate::snapshot::{CompletedStats, RunningEntry, Snapshot, WaitingEntry};
 use sbs_core::{PolicySpec, SearchPolicy};
+use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
 use sbs_sim::{Policy, SchedulerCore};
 use sbs_workload::job::{Job, JobId, RuntimeKnowledge};
 use sbs_workload::time::Time;
@@ -49,6 +50,12 @@ pub struct ServiceConfig {
     /// Auto-snapshot every N decision points (0 = only on demand and at
     /// shutdown).
     pub snapshot_every: u64,
+    /// Append `sbs-trace/v1` JSONL decision traces here; `None` keeps
+    /// telemetry in memory only.
+    pub trace_log: Option<PathBuf>,
+    /// Serve the pre-typing all-gauge `/metrics` text instead of the
+    /// typed counter/histogram exposition.
+    pub compat_metrics: bool,
 }
 
 impl ServiceConfig {
@@ -62,6 +69,8 @@ impl ServiceConfig {
             excess_threshold: 0,
             snapshot_path: None,
             snapshot_every: 0,
+            trace_log: None,
+            compat_metrics: false,
         }
     }
 
@@ -77,29 +86,45 @@ impl ServiceConfig {
         self.snapshot_every = every;
         self
     }
+
+    /// Appends decision traces to `path` as `sbs-trace/v1` JSONL.
+    pub fn with_trace_log(mut self, path: PathBuf) -> Self {
+        self.trace_log = Some(path);
+        self
+    }
+
+    /// Serves the legacy all-gauge metrics text.
+    pub fn with_compat_metrics(mut self, on: bool) -> Self {
+        self.compat_metrics = on;
+        self
+    }
 }
 
 /// The built policy, kept concrete for search so the daemon can read
 /// [`SearchPolicy::totals`] for the metrics endpoint.
 enum DaemonPolicy {
-    Search(SearchPolicy),
+    Search(Box<SearchPolicy>),
     Other(Box<dyn Policy + Send>),
 }
 
 impl DaemonPolicy {
     fn build(spec: &PolicySpec, deadline: Option<Duration>) -> Self {
-        match spec.build_search() {
-            Some(search) => DaemonPolicy::Search(match deadline {
+        let mut policy = match spec.build_search() {
+            Some(search) => DaemonPolicy::Search(Box::new(match deadline {
                 Some(d) => search.with_deadline(d),
                 None => search,
-            }),
+            })),
             None => DaemonPolicy::Other(spec.build()),
-        }
+        };
+        // The daemon always records telemetry (it feeds /metrics), so
+        // policies trace from the first decision on.
+        policy.as_dyn().set_tracing(true);
+        policy
     }
 
     fn as_dyn(&mut self) -> &mut dyn Policy {
         match self {
-            DaemonPolicy::Search(p) => p,
+            DaemonPolicy::Search(p) => p.as_mut(),
             DaemonPolicy::Other(p) => p.as_mut(),
         }
     }
@@ -120,6 +145,7 @@ impl DaemonPolicy {
 pub struct Daemon {
     core: SchedulerCore,
     policy: DaemonPolicy,
+    recorder: TraceRecorder,
     cfg: ServiceConfig,
     next_id: u32,
     completed: CompletedStats,
@@ -145,12 +171,45 @@ impl Daemon {
         }
     }
 
+    /// Builds the daemon's wall-clock recorder, attaching the JSONL
+    /// trace sink when one is configured.  Sink failures are reported
+    /// and telemetry degrades to in-memory aggregation — a bad trace
+    /// path must not stop the scheduler.
+    fn build_recorder(
+        cfg: &ServiceConfig,
+        policy: &mut DaemonPolicy,
+        capacity: u32,
+    ) -> TraceRecorder {
+        let mut recorder = TraceRecorder::new(
+            TimeMode::Wall,
+            TraceMeta {
+                mode: String::new(),
+                policy: policy.name(),
+                capacity,
+                source: "daemon".into(),
+            },
+        );
+        if let Some(path) = &cfg.trace_log {
+            let opened = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .and_then(|f| recorder.attach_sink(Box::new(f)));
+            if let Err(e) = opened {
+                eprintln!("trace log {} unavailable: {e}", path.display());
+            }
+        }
+        recorder
+    }
+
     /// A daemon starting from an empty machine at time 0.
     pub fn fresh(cfg: ServiceConfig) -> Self {
-        let policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        let mut policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        let recorder = Self::build_recorder(&cfg, &mut policy, cfg.capacity);
         Daemon {
             core: SchedulerCore::new(cfg.capacity, cfg.knowledge, (0, Time::MAX)),
             policy,
+            recorder,
             cfg,
             next_id: 0,
             completed: CompletedStats::default(),
@@ -180,10 +239,12 @@ impl Daemon {
             core.restore_waiting(w.job, w.r_star);
         }
         core.advance_to(snap.now);
-        let policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        let mut policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
+        let recorder = Self::build_recorder(&cfg, &mut policy, cfg.capacity);
         Ok(Daemon {
             core,
             policy,
+            recorder,
             cfg,
             next_id: snap.next_id,
             completed: snap.completed,
@@ -223,7 +284,10 @@ impl Daemon {
             .get(self.completed_seen..)
             .unwrap_or(&[]);
         for r in fresh {
-            self.completed.absorb(r.wait(), r.excess_wait(threshold));
+            let (wait, excess) = (r.wait(), r.excess_wait(threshold));
+            self.completed.absorb(wait, excess);
+            sbs_obs::Recorder::observe(&mut self.recorder, "sbs_wait_seconds", wait);
+            sbs_obs::Recorder::observe(&mut self.recorder, "sbs_excess_wait_seconds", excess);
         }
         self.completed_seen = self.core.records().len();
         self.unsnapshotted += 1;
@@ -244,7 +308,8 @@ impl Daemon {
             }
             self.core.advance_to(d);
             self.core.complete_due();
-            self.core.decide(self.policy.as_dyn(), None);
+            self.core
+                .decide_traced(self.policy.as_dyn(), None, &mut self.recorder);
             self.after_decision();
         }
     }
@@ -260,7 +325,8 @@ impl Daemon {
         if t > self.core.now() {
             self.core.advance_to(t);
             if self.core.complete_due() > 0 {
-                self.core.decide(self.policy.as_dyn(), None);
+                self.core
+                    .decide_traced(self.policy.as_dyn(), None, &mut self.recorder);
                 self.after_decision();
             }
         }
@@ -295,7 +361,10 @@ impl Daemon {
         self.next_id += 1;
         let job = Job::new(id, at, nodes, runtime, requested).with_user(user);
         self.core.submit(job);
-        let started = self.core.decide(self.policy.as_dyn(), None).contains(&id);
+        let started = self
+            .core
+            .decide_traced(self.policy.as_dyn(), None, &mut self.recorder)
+            .contains(&id);
         self.after_decision();
         Ok((id, started))
     }
@@ -317,14 +386,17 @@ impl Daemon {
             if let Some(d) = self.core.next_departure() {
                 self.core.advance_to(d);
                 self.core.complete_due();
-                self.core.decide(self.policy.as_dyn(), None);
+                self.core
+                    .decide_traced(self.policy.as_dyn(), None, &mut self.recorder);
                 self.after_decision();
             } else if !self.core.queue().is_empty() {
                 // Nothing running but work waiting (possible after
                 // cancels): give the policy one more decision; if it
                 // still starts nothing, report the stall instead of
                 // spinning.
-                let started = self.core.decide(self.policy.as_dyn(), None);
+                let started =
+                    self.core
+                        .decide_traced(self.policy.as_dyn(), None, &mut self.recorder);
                 self.after_decision();
                 if started.is_empty() {
                     break;
@@ -389,6 +461,27 @@ impl Daemon {
             policy_nanos: self.core.policy_nanos(),
             completed: self.completed,
         }
+    }
+
+    /// The exposition text `/metrics` serves: typed counter/histogram
+    /// families joined with the recorder's aggregates, or the legacy
+    /// all-gauge text under `--compat-metrics`.
+    pub fn metrics_text(&self) -> String {
+        if self.cfg.compat_metrics {
+            self.metrics().render_compat()
+        } else {
+            self.metrics().render_with(&self.recorder)
+        }
+    }
+
+    /// The daemon's telemetry recorder (read-only).
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Flushes the trace sink, if one is attached.
+    pub fn flush_traces(&mut self) -> std::io::Result<()> {
+        self.recorder.flush()
     }
 
     /// The daemon's complete state as a snapshot.
@@ -471,10 +564,7 @@ impl Daemon {
             }
             Request::Metrics => {
                 self.poll_to(at);
-                (
-                    json!({ "ok": true, "text": self.metrics().render() }),
-                    false,
-                )
+                (json!({ "ok": true, "text": self.metrics_text() }), false)
             }
             Request::Drain => {
                 self.poll_to(at);
@@ -659,5 +749,63 @@ mod tests {
         assert!(d.metrics().search_nodes > 0);
         let (completed, leftover) = d.drain();
         assert_eq!((completed, leftover), (3, 0));
+    }
+
+    #[test]
+    fn live_metrics_text_validates_and_carries_search_families() {
+        let mut d = Daemon::fresh(ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(1_000)));
+        d.submit_at(0, 8, HOUR, None, 0).expect("submit");
+        d.submit_at(1, 4, HOUR, None, 1).expect("submit");
+        d.drain();
+        let text = d.metrics_text();
+        sbs_obs::expo::validate(&text).expect("live /metrics text validates");
+        assert!(text.contains("# TYPE sbs_decisions_total counter\n"));
+        assert!(text.contains("# TYPE sbs_search_leaves_total counter\n"));
+        assert!(text.contains("# TYPE sbs_queue_depth_at_decision histogram\n"));
+        assert!(text.contains("# TYPE sbs_wait_seconds histogram\n"));
+        assert!(text.contains("sbs_wait_seconds_count 2\n"));
+        assert!(text.contains("# TYPE sbs_decision_wall_nanos histogram\n"));
+    }
+
+    #[test]
+    fn compat_metrics_serve_the_all_gauge_text() {
+        let mut d = Daemon::fresh(
+            ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(1_000)).with_compat_metrics(true),
+        );
+        d.submit_at(0, 4, HOUR, None, 0).expect("submit");
+        let text = d.metrics_text();
+        assert_eq!(text.matches("# TYPE").count(), 13);
+        assert_eq!(text.matches(" gauge\n").count(), 13);
+        assert!(!text.contains("_bucket"));
+    }
+
+    #[test]
+    fn trace_log_captures_wall_mode_decisions() {
+        let dir = std::env::temp_dir().join(format!("sbs-daemon-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("daemon-trace.jsonl");
+        // sbs-lint: allow(result-dropped): best-effort cleanup of a prior run's fixture
+        let _ = std::fs::remove_file(&path);
+        let mut d = Daemon::fresh(
+            ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(1_000)).with_trace_log(path.clone()),
+        );
+        d.submit_at(0, 4, HOUR, None, 0).expect("submit");
+        d.submit_at(1, 8, HOUR, None, 1).expect("submit");
+        d.drain();
+        d.flush_traces().expect("flush");
+        let text = std::fs::read_to_string(&path).expect("trace log");
+        let meta_line = text.lines().next().expect("meta line");
+        let meta =
+            sbs_obs::TraceMeta::from_value(&serde_json::from_str(meta_line).expect("meta parses"))
+                .expect("schema accepted");
+        assert_eq!(meta.mode, "wall");
+        assert!(meta.policy.contains("DDS"));
+        assert!(text.lines().count() > 1, "decisions recorded");
+        assert!(
+            text.lines().nth(1).expect("decision").contains("wall_ns"),
+            "wall mode serializes wall_ns"
+        );
+        // sbs-lint: allow(result-dropped): best-effort cleanup
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -115,6 +115,8 @@ impl Server {
             let mut d = lock_daemon(&self.daemon);
             // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
             let _ = d.save_snapshot();
+            // sbs-lint: allow(result-dropped): proven best-effort path — a trace-sink flush failure must not block shutdown
+            let _ = d.flush_traces();
         }
         for w in workers {
             let _ = w.join();
@@ -198,7 +200,7 @@ fn answer_http_probe(
     let text = {
         let mut d = lock_daemon(daemon);
         d.poll_to(clock.now());
-        d.metrics().render()
+        d.metrics_text()
     };
     write!(
         writer,

@@ -188,6 +188,24 @@ impl SchedulerCore {
         policy: &mut P,
         log: Option<&mut DecisionLog>,
     ) -> Vec<JobId> {
+        self.decide_traced(policy, log, &mut sbs_obs::NullRecorder)
+    }
+
+    /// [`Self::decide`] with a telemetry recorder: when the recorder is
+    /// enabled, one [`sbs_obs::DecisionTrace`] (pre-start queue/machine
+    /// snapshot plus the policy's own telemetry) is folded into it per
+    /// decision.  With a [`sbs_obs::NullRecorder`] this is `decide`.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::decide`]: panics on a policy starting a non-queued or
+    /// non-fitting job.
+    pub fn decide_traced<P: Policy + ?Sized>(
+        &mut self,
+        policy: &mut P,
+        log: Option<&mut DecisionLog>,
+        recorder: &mut dyn sbs_obs::Recorder,
+    ) -> Vec<JobId> {
         self.decisions += 1;
         let ctx = SchedContext {
             now: self.now,
@@ -199,7 +217,8 @@ impl SchedulerCore {
         // sbs-lint: allow(wall-clock): policy-latency telemetry only; the measurement is reported, never read back into a scheduling decision
         let t0 = std::time::Instant::now();
         let starts = policy.decide(&ctx);
-        self.policy_nanos += t0.elapsed().as_nanos() as u64;
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        self.policy_nanos += elapsed_ns;
         if let Some(log) = log {
             log.records.push(DecisionRecord {
                 now: self.now,
@@ -207,6 +226,22 @@ impl SchedulerCore {
                 running: self.cluster.running().len(),
                 free_nodes: self.cluster.free_nodes(),
                 started: starts.clone(),
+            });
+        }
+        if recorder.enabled() {
+            let clamp = |n: usize| u32::try_from(n).unwrap_or(u32::MAX);
+            recorder.record_decision(&sbs_obs::DecisionTrace {
+                seq: self.decisions,
+                now: self.now,
+                queue_depth: clamp(self.queue.len()),
+                running: clamp(self.cluster.running().len()),
+                free_nodes: self.cluster.free_nodes(),
+                capacity: self.cluster.capacity(),
+                started: starts.iter().map(|id| id.0).collect(),
+                policy: policy.take_trace(),
+                // The recorder drops this in virtual mode; see
+                // `sbs_obs::TimeMode`.
+                wall_ns: elapsed_ns,
             });
         }
         for &id in &starts {

@@ -98,8 +98,27 @@ impl SimResult {
 /// Panics on any policy protocol violation: starting an unknown or
 /// already-started job, over-committing nodes, or leaving jobs unstarted
 /// when the simulation drains.
-pub fn simulate(workload: &Workload, mut policy: impl Policy, cfg: SimConfig) -> SimResult {
+pub fn simulate(workload: &Workload, policy: impl Policy, cfg: SimConfig) -> SimResult {
+    simulate_traced(workload, policy, cfg, &mut sbs_obs::NullRecorder)
+}
+
+/// [`simulate`] with a telemetry recorder: every decision point is also
+/// folded into `recorder` (see [`SchedulerCore::decide_traced`]).  The
+/// policy's own tracing is switched to the recorder's enabled state up
+/// front, so a [`sbs_obs::NullRecorder`] makes this identical to
+/// [`simulate`] — same schedule, no trace-assembly cost.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_traced(
+    workload: &Workload,
+    mut policy: impl Policy,
+    cfg: SimConfig,
+    recorder: &mut dyn sbs_obs::Recorder,
+) -> SimResult {
     let (w0, w1) = workload.window;
+    policy.set_tracing(recorder.enabled());
     let mut core = SchedulerCore::new(workload.capacity, cfg.knowledge, workload.window)
         .with_predictor(cfg.predictor);
     let mut next_arrival = 0usize;
@@ -135,7 +154,7 @@ pub fn simulate(workload: &Workload, mut policy: impl Policy, cfg: SimConfig) ->
             next_arrival += 1;
             core.submit(*job);
         }
-        core.decide(&mut policy, decision_log.as_mut());
+        core.decide_traced(&mut policy, decision_log.as_mut(), recorder);
     }
 
     assert!(

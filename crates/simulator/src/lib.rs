@@ -42,7 +42,7 @@ pub mod tracelog;
 pub use avail::AvailabilityProfile;
 pub use cluster::{Cluster, RunningJob};
 pub use core::SchedulerCore;
-pub use engine::{simulate, SimConfig, SimResult};
+pub use engine::{simulate, simulate_traced, SimConfig, SimResult};
 pub use policy::{Policy, SchedContext, WaitingJob};
 pub use record::JobRecord;
 pub use sbs_workload::job::RuntimeKnowledge;

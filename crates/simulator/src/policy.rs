@@ -80,6 +80,19 @@ pub trait Policy {
 
     /// Chooses which waiting jobs to start at `ctx.now`.
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId>;
+
+    /// Turns per-decision trace collection on or off.  Policies without
+    /// internal telemetry ignore this; the engine calls it once with
+    /// the recorder's enabled state so disabled recording costs nothing
+    /// in `decide`.
+    fn set_tracing(&mut self, _on: bool) {}
+
+    /// Takes the internal telemetry of the most recent `decide` call.
+    /// Returns `None` when tracing is off or the policy records
+    /// nothing.
+    fn take_trace(&mut self) -> Option<sbs_obs::PolicyTrace> {
+        None
+    }
 }
 
 /// Blanket impl so `&mut P` can be passed where a policy is expected.
@@ -90,6 +103,12 @@ impl<P: Policy + ?Sized> Policy for &mut P {
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId> {
         (**self).decide(ctx)
     }
+    fn set_tracing(&mut self, on: bool) {
+        (**self).set_tracing(on)
+    }
+    fn take_trace(&mut self) -> Option<sbs_obs::PolicyTrace> {
+        (**self).take_trace()
+    }
 }
 
 /// Blanket impl for boxed policies (trait objects).
@@ -99,6 +118,12 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
     }
     fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId> {
         (**self).decide(ctx)
+    }
+    fn set_tracing(&mut self, on: bool) {
+        (**self).set_tracing(on)
+    }
+    fn take_trace(&mut self) -> Option<sbs_obs::PolicyTrace> {
+        (**self).take_trace()
     }
 }
 

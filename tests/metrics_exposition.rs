@@ -1,0 +1,137 @@
+//! Prometheus exposition roundtrip and golden-fixture tests.
+//!
+//! The `/metrics` text the daemon serves is rendered, parsed back, and
+//! cross-checked by `sbs_obs::expo::validate`: HELP/TYPE pairing per
+//! family, counter `_total` naming, histogram bucket monotonicity and
+//! cumulative counts, the `+Inf` bucket equalling `_count`, and no
+//! duplicate series.  A deterministic virtual-clock rendering is also
+//! pinned byte-for-byte against `tests/golden/metrics.txt`.
+//!
+//! To regenerate after an *intentional* exposition change:
+//!
+//! ```text
+//! SBS_BLESS=1 cargo test -p sbs-service --test metrics_exposition
+//! ```
+
+use sbs_core::prelude::*;
+use sbs_obs::expo::validate;
+use sbs_obs::{Recorder as _, TimeMode, TraceMeta, TraceRecorder};
+use sbs_service::{CompletedStats, MetricsView};
+use sbs_sim::engine::SimConfig;
+use sbs_sim::simulate_traced;
+use sbs_workload::generator::{random_workload, RandomWorkloadCfg};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+/// Compares `rendered` against the committed golden file, or rewrites
+/// the file when `SBS_BLESS` is set.
+fn assert_matches_golden(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("SBS_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("create golden dir");
+        std::fs::write(&path, rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with SBS_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        golden,
+        rendered,
+        "{} drifted; if intentional, re-bless with SBS_BLESS=1",
+        path.display()
+    );
+}
+
+/// A deterministic recorder + view: a seeded workload simulated under
+/// the virtual clock, so every counter and histogram is a pure function
+/// of the workload and policy (no wall time anywhere).
+fn deterministic_sample() -> (MetricsView, TraceRecorder) {
+    let workload = random_workload(
+        RandomWorkloadCfg {
+            jobs: 80,
+            ..Default::default()
+        },
+        17,
+    );
+    let policy = SearchPolicy::dds_lxf_dynb(400);
+    let mut recorder = TraceRecorder::new(
+        TimeMode::Virtual,
+        TraceMeta {
+            mode: String::new(),
+            policy: "DDS/lxf/dynB".into(),
+            capacity: 128,
+            source: "metrics_exposition fixture".into(),
+        },
+    );
+    let result = simulate_traced(&workload, policy, SimConfig::default(), &mut recorder);
+    let mut completed = CompletedStats::default();
+    for r in &result.records {
+        let (wait, excess) = (r.wait(), r.excess_wait(0));
+        completed.absorb(wait, excess);
+        recorder.observe("sbs_wait_seconds", wait);
+        recorder.observe("sbs_excess_wait_seconds", excess);
+    }
+    let view = MetricsView {
+        now: result.window.1,
+        queue_depth: 0,
+        running_jobs: 0,
+        free_nodes: result.capacity,
+        capacity: result.capacity,
+        decisions: result.decisions,
+        search_nodes: recorder.counter("sbs_search_nodes_total"),
+        policy_nanos: 0, // wall time is excluded from the deterministic fixture
+        completed,
+    };
+    (view, recorder)
+}
+
+#[test]
+fn exposition_roundtrips_through_the_parser() {
+    let (view, recorder) = deterministic_sample();
+    let text = view.render_with(&recorder);
+    let families = validate(&text).expect("rendered exposition validates");
+    assert!(families.len() > 13, "recorder families joined the view's");
+    for f in &families {
+        match f.kind.as_str() {
+            "counter" => assert!(f.name.ends_with("_total"), "{} mistyped", f.name),
+            "gauge" | "histogram" => {}
+            other => panic!("unexpected TYPE {other} for {}", f.name),
+        }
+    }
+    let hist = families
+        .iter()
+        .find(|f| f.name == "sbs_search_nodes_per_decision")
+        .expect("per-decision node histogram present");
+    assert_eq!(hist.kind, "histogram");
+    let count = hist
+        .samples
+        .iter()
+        .find(|s| s.name == "sbs_search_nodes_per_decision_count")
+        .expect("_count series")
+        .value;
+    assert!(count > 0.0, "decisions were folded into the histogram");
+}
+
+#[test]
+fn compat_text_is_all_gauges_and_still_parses() {
+    let (view, _) = deterministic_sample();
+    let text = view.render_compat();
+    let families = validate(&text).expect("compat text still parses");
+    assert!(families.iter().all(|f| f.kind == "gauge"));
+    assert_eq!(families.len(), 13);
+}
+
+#[test]
+fn metrics_text_matches_golden() {
+    let (view, recorder) = deterministic_sample();
+    assert_matches_golden("metrics.txt", &view.render_with(&recorder));
+}
