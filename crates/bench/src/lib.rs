@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod figures;
+pub mod loadgen;
 pub mod opts;
 pub mod perf;
 pub mod report;

@@ -25,6 +25,8 @@ USAGE:
   sbs simulate (--month M | --trace FILE) [options]
                           (alias: sbs sim)
   sbs serve [options]     run the online scheduler daemon
+  sbs serve-fleet [opts]  run the multi-tenant fleet daemon
+  sbs loadgen [options]   drive a fleet with synthetic submit streams
   sbs submit [options]    submit a job to a running daemon
   sbs queue [options]     show a running daemon's queue
   sbs trace FILE [opts]   explore an sbs-trace/v1 JSONL decision log
@@ -61,6 +63,32 @@ OPTIONS (serve):
   --virtual-clock     time advances only with submitted events (testing)
   --trace-log FILE    append an sbs-trace/v1 JSONL decision log
   --compat-metrics    serve the legacy all-gauge /metrics text
+
+OPTIONS (serve-fleet):
+  --port P            TCP port (default 7070; 0 picks a free port)
+  --capacity N        per-cluster machine size in nodes (default 128)
+  --policy NAME       scheduling policy for every tenant
+  --budget L          search node budget per decision (default 1000)
+  --shards N          shard locks in the tenant map (default 16)
+  --max-clusters N    tenant cap (default 4096)
+  --snapshot-dir DIR  per-cluster snapshots + manifest (recovers on start)
+  --max-queue N       per-tenant queue-depth quota (default: unlimited)
+  --fair-slack PCT    per-tenant fairshare slack percent (default: off)
+  --virtual-clock     time advances only with submitted events (testing)
+
+OPTIONS (loadgen):
+  --clusters N        tenant clusters driven (default 1000)
+  --jobs N            jobs submitted per cluster (default 32)
+  --batch N           jobs per batched submit request (default 16)
+  --threads N         worker threads, cluster-disjoint (default 8)
+  --seed N            stream seed (default 42)
+  --capacity N        per-cluster machine size (default 64)
+  --shards N          fleet shard locks (default 64)
+  --tcp               drive over TCP sockets instead of in-process
+  --quick             smoke mode: 64 clusters x 8 jobs on 4 threads
+  --min-throughput R  fail below R sustained submits/sec (default: off)
+  --out FILE          where to write the sbs-loadgen/v1 document
+                      (default BENCH_service.json; \"-\" skips the file)
 
 OPTIONS (trace):
   --collapsed OUT     also write a collapsed-stack span-weight file
@@ -107,6 +135,10 @@ pub enum Command {
     Simulate(SimulateArgs),
     /// Run the online scheduler daemon.
     Serve(ServeArgs),
+    /// Run the multi-tenant fleet daemon.
+    ServeFleet(ServeFleetArgs),
+    /// Drive a fleet with synthetic submit streams.
+    Loadgen(LoadgenArgs),
     /// Submit a job to a running daemon.
     Submit(SubmitArgs),
     /// Show a running daemon's queue.
@@ -148,6 +180,93 @@ pub struct ServeArgs {
     pub trace_log: Option<String>,
     /// Serve the legacy all-gauge `/metrics` exposition.
     pub compat_metrics: bool,
+}
+
+/// Arguments of `sbs serve-fleet`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeFleetArgs {
+    /// TCP port to listen on (0 = ephemeral).
+    pub port: u16,
+    /// Per-cluster machine size in nodes.
+    pub capacity: u32,
+    /// Policy name every tenant runs (see [`policy_by_name`]).
+    pub policy: String,
+    /// Search node budget.
+    pub budget: u64,
+    /// Shard locks in the tenant map.
+    pub shards: usize,
+    /// Tenant cap.
+    pub max_clusters: usize,
+    /// Directory for per-cluster snapshots and the index manifest.
+    pub snapshot_dir: Option<String>,
+    /// Per-tenant queue-depth quota (0 = unlimited).
+    pub max_queue: usize,
+    /// Per-tenant fairshare slack percent (0 = fairshare off).
+    pub fair_slack: u64,
+    /// Drive time from submitted events instead of the wall clock.
+    pub virtual_clock: bool,
+}
+
+impl Default for ServeFleetArgs {
+    fn default() -> Self {
+        ServeFleetArgs {
+            port: 7070,
+            capacity: 128,
+            policy: "dds-lxf-dynb".to_string(),
+            budget: 1_000,
+            shards: 16,
+            max_clusters: 4096,
+            snapshot_dir: None,
+            max_queue: 0,
+            fair_slack: 0,
+            virtual_clock: false,
+        }
+    }
+}
+
+/// Arguments of `sbs loadgen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenArgs {
+    /// Tenant clusters driven.
+    pub clusters: Option<usize>,
+    /// Jobs per cluster.
+    pub jobs: Option<usize>,
+    /// Jobs per batched submit request.
+    pub batch: Option<usize>,
+    /// Worker threads.
+    pub threads: Option<usize>,
+    /// Stream seed.
+    pub seed: Option<u64>,
+    /// Per-cluster machine size.
+    pub capacity: Option<u32>,
+    /// Fleet shard locks.
+    pub shards: Option<usize>,
+    /// Drive over TCP sockets instead of in-process.
+    pub tcp: bool,
+    /// Smoke mode.
+    pub quick: bool,
+    /// Fail below this sustained submits/sec (0 = off).
+    pub min_throughput: f64,
+    /// Output path for the JSON document; `"-"` = don't write a file.
+    pub out: String,
+}
+
+impl Default for LoadgenArgs {
+    fn default() -> Self {
+        LoadgenArgs {
+            clusters: None,
+            jobs: None,
+            batch: None,
+            threads: None,
+            seed: None,
+            capacity: None,
+            shards: None,
+            tcp: false,
+            quick: false,
+            min_throughput: 0.0,
+            out: "BENCH_service.json".to_string(),
+        }
+    }
 }
 
 /// Arguments of `sbs trace`.
@@ -611,6 +730,105 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Lint(parsed))
         }
+        "serve-fleet" => {
+            let mut parsed = ServeFleetArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--port" => {
+                        parsed.port = value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    "--capacity" => {
+                        parsed.capacity =
+                            value()?.parse().map_err(|_| "bad --capacity".to_string())?
+                    }
+                    "--policy" => parsed.policy = value()?,
+                    "--budget" => {
+                        parsed.budget = value()?.parse().map_err(|_| "bad --budget".to_string())?
+                    }
+                    "--shards" => {
+                        parsed.shards = value()?.parse().map_err(|_| "bad --shards".to_string())?
+                    }
+                    "--max-clusters" => {
+                        parsed.max_clusters = value()?
+                            .parse()
+                            .map_err(|_| "bad --max-clusters".to_string())?
+                    }
+                    "--snapshot-dir" => parsed.snapshot_dir = Some(value()?),
+                    "--max-queue" => {
+                        parsed.max_queue = value()?
+                            .parse()
+                            .map_err(|_| "bad --max-queue".to_string())?
+                    }
+                    "--fair-slack" => {
+                        parsed.fair_slack = value()?
+                            .parse()
+                            .map_err(|_| "bad --fair-slack".to_string())?
+                    }
+                    "--virtual-clock" => parsed.virtual_clock = true,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            if policy_by_name(&parsed.policy, parsed.budget).is_none() {
+                return Err(format!(
+                    "unknown policy {:?} (try `sbs policies`)",
+                    parsed.policy
+                ));
+            }
+            Ok(Command::ServeFleet(parsed))
+        }
+        "loadgen" => {
+            let mut parsed = LoadgenArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--clusters" => {
+                        parsed.clusters =
+                            Some(value()?.parse().map_err(|_| "bad --clusters".to_string())?)
+                    }
+                    "--jobs" => {
+                        parsed.jobs = Some(value()?.parse().map_err(|_| "bad --jobs".to_string())?)
+                    }
+                    "--batch" => {
+                        parsed.batch =
+                            Some(value()?.parse().map_err(|_| "bad --batch".to_string())?)
+                    }
+                    "--threads" => {
+                        parsed.threads =
+                            Some(value()?.parse().map_err(|_| "bad --threads".to_string())?)
+                    }
+                    "--seed" => {
+                        parsed.seed = Some(value()?.parse().map_err(|_| "bad --seed".to_string())?)
+                    }
+                    "--capacity" => {
+                        parsed.capacity =
+                            Some(value()?.parse().map_err(|_| "bad --capacity".to_string())?)
+                    }
+                    "--shards" => {
+                        parsed.shards =
+                            Some(value()?.parse().map_err(|_| "bad --shards".to_string())?)
+                    }
+                    "--tcp" => parsed.tcp = true,
+                    "--quick" => parsed.quick = true,
+                    "--min-throughput" => {
+                        parsed.min_throughput = value()?
+                            .parse()
+                            .map_err(|_| "bad --min-throughput".to_string())?
+                    }
+                    "--out" => parsed.out = value()?,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Loadgen(parsed))
+        }
         "bench-perf" => {
             let mut parsed = BenchPerfArgs::default();
             while let Some(flag) = it.next() {
@@ -670,6 +888,8 @@ pub fn run(cmd: Command) -> Result<String, String> {
         }
         Command::Simulate(args) => simulate_cmd(args),
         Command::Serve(args) => serve_cmd(args),
+        Command::ServeFleet(args) => serve_fleet_cmd(args),
+        Command::Loadgen(args) => loadgen_cmd(args),
         Command::Submit(args) => {
             let mut req = format!(
                 r#"{{"op":"submit","nodes":{},"runtime":{}"#,
@@ -881,6 +1101,87 @@ fn serve_cmd(args: ServeArgs) -> Result<String, String> {
     Ok(format!("daemon on {addr} stopped\n"))
 }
 
+fn serve_fleet_cmd(args: ServeFleetArgs) -> Result<String, String> {
+    use sbs_fleet::{Fleet, FleetConfig, TenantQuota};
+    use sbs_service::{Server, VirtualClock, WallClock};
+    let spec = policy_by_name(&args.policy, args.budget).expect("validated by parse_args");
+    let mut cfg = FleetConfig::new(args.capacity, spec)
+        .with_shards(args.shards)
+        .with_max_clusters(args.max_clusters)
+        .with_quota(TenantQuota {
+            max_queue: args.max_queue,
+            fair_slack_percent: args.fair_slack,
+            ..Default::default()
+        });
+    if let Some(dir) = args.snapshot_dir {
+        cfg = cfg.with_snapshot_dir(dir.into());
+    }
+    let fleet = Fleet::new(cfg)?;
+    let origin = fleet.now();
+    let recovered = fleet.cluster_count();
+    let listener = std::net::TcpListener::bind(("127.0.0.1", args.port))
+        .map_err(|e| format!("cannot bind port {}: {e}", args.port))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "sbs-fleet: {} listening on {addr} ({recovered} clusters recovered)",
+        args.policy
+    );
+    let server = if args.virtual_clock {
+        Server::new(fleet, VirtualClock::starting_at(origin))
+    } else {
+        Server::new(fleet, WallClock::starting_at(origin))
+    };
+    server.run(listener).map_err(|e| e.to_string())?;
+    Ok(format!("fleet on {addr} stopped\n"))
+}
+
+/// Runs the fleet load generator, writes `BENCH_service.json`, and
+/// optionally enforces a sustained-throughput floor.
+fn loadgen_cmd(args: LoadgenArgs) -> Result<String, String> {
+    use sbs_bench::loadgen::{self, DriveMode, LoadgenOpts};
+    let mut opts = if args.quick {
+        LoadgenOpts::quick()
+    } else {
+        LoadgenOpts::default()
+    };
+    if let Some(v) = args.clusters {
+        opts.clusters = v.max(1);
+    }
+    if let Some(v) = args.jobs {
+        opts.jobs_per_cluster = v.max(1);
+    }
+    if let Some(v) = args.batch {
+        opts.batch = v.max(1);
+    }
+    if let Some(v) = args.threads {
+        opts.threads = v.max(1);
+    }
+    if let Some(v) = args.seed {
+        opts.seed = v;
+    }
+    if let Some(v) = args.capacity {
+        opts.capacity = v.max(1);
+    }
+    if let Some(v) = args.shards {
+        opts.shards = v.max(1);
+    }
+    if args.tcp {
+        opts.mode = DriveMode::Tcp;
+    }
+    opts.min_throughput = args.min_throughput;
+    let report = loadgen::run(&opts)?;
+    let mut out = report.text;
+    if args.out != "-" {
+        let text = format!(
+            "{}\n",
+            serde_json::to_string_pretty(&report.doc).expect("serialize")
+        );
+        std::fs::write(&args.out, text).map_err(|e| format!("{}: {e}", args.out))?;
+        out.push_str(&format!("wrote {}\n", args.out));
+    }
+    Ok(out)
+}
+
 fn load_workload(args: &SimulateArgs) -> Result<Workload, String> {
     if let Some(path) = &args.trace {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -1021,6 +1322,52 @@ mod tests {
 
     fn parse(s: &str) -> Result<Command, String> {
         parse_args(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_serve_fleet_flags() {
+        let cmd = parse(
+            "serve-fleet --port 0 --capacity 64 --shards 8 --max-clusters 100 \
+             --snapshot-dir /tmp/fleet --max-queue 32 --fair-slack 150 --virtual-clock",
+        )
+        .expect("parse");
+        let Command::ServeFleet(a) = cmd else {
+            panic!("not serve-fleet")
+        };
+        assert_eq!(a.port, 0);
+        assert_eq!(a.capacity, 64);
+        assert_eq!(a.shards, 8);
+        assert_eq!(a.max_clusters, 100);
+        assert_eq!(a.snapshot_dir.as_deref(), Some("/tmp/fleet"));
+        assert_eq!(a.max_queue, 32);
+        assert_eq!(a.fair_slack, 150);
+        assert!(a.virtual_clock);
+        assert!(parse("serve-fleet --policy nope").is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_flags() {
+        let cmd = parse(
+            "loadgen --clusters 1000 --jobs 16 --batch 8 --threads 2 --seed 7 \
+             --tcp --quick --min-throughput 10000 --out -",
+        )
+        .expect("parse");
+        let Command::Loadgen(a) = cmd else {
+            panic!("not loadgen")
+        };
+        assert_eq!(a.clusters, Some(1_000));
+        assert_eq!(a.jobs, Some(16));
+        assert_eq!(a.batch, Some(8));
+        assert_eq!(a.threads, Some(2));
+        assert_eq!(a.seed, Some(7));
+        assert!(a.tcp);
+        assert!(a.quick);
+        assert_eq!(a.min_throughput, 10_000.0);
+        assert_eq!(a.out, "-");
+        assert_eq!(
+            parse("loadgen").expect("defaults"),
+            Command::Loadgen(LoadgenArgs::default())
+        );
     }
 
     #[test]

@@ -1,0 +1,975 @@
+//! The sharded multi-tenant fleet daemon.
+//!
+//! A [`Fleet`] maps `cluster` ids onto independent [`Daemon`]s (one
+//! scheduler world per tenant) spread across N shard locks.  Routing
+//! hashes the cluster id with FNV-1a — deterministic across runs, so a
+//! given tenant always lands on the same shard — and every operation
+//! acquires **exactly one** shard lock; cross-shard aggregates (pending
+//! demand, tenant count, rejection totals) live in atomics, so there is
+//! no lock-order edge anywhere in the crate.
+//!
+//! Admission runs each submit through the tenant's [`TenantQuota`]
+//! (queue depth, pending node-seconds, weighted fairshare) before the
+//! daemon sees it.  `/metrics` renders per-cluster families with a
+//! bounded label cardinality: the first [`FleetConfig::cluster_label_cap`]
+//! cluster ids (lexicographic) get their own `cluster="..."` series and
+//! everything else aggregates into `cluster="_other"`.
+//!
+//! Snapshots are per-cluster files plus an index manifest
+//! (`sbs-fleet-manifest/v1`); [`Fleet::new`] recovers every tenant
+//! listed in the manifest through the single-daemon snapshot path.
+
+use crate::quota::{FleetDemand, TenantQuota};
+use sbs_core::PolicySpec;
+use sbs_metrics::fairness::jain_index;
+use sbs_obs::expo::Exposition;
+use sbs_obs::Histogram;
+use sbs_service::protocol::{error_response, parse_routed, Request, SubmitSpec};
+use sbs_service::server::ServerHandler;
+use sbs_service::{Daemon, ServiceConfig};
+use sbs_workload::time::Time;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Schema tag stamped into every fleet snapshot manifest.
+pub const MANIFEST_SCHEMA: &str = "sbs-fleet-manifest/v1";
+
+/// Fleet-wide configuration; every tenant shares the machine shape,
+/// policy, and default quota.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of shard locks the tenant map is spread over.
+    pub shards: usize,
+    /// Per-cluster machine size in nodes.
+    pub capacity: u32,
+    /// The scheduling policy every tenant runs.
+    pub spec: PolicySpec,
+    /// Hard cap on the number of tenants; submits to new clusters
+    /// beyond it get typed errors.
+    pub max_clusters: usize,
+    /// Admission quota applied to each tenant.
+    pub quota: TenantQuota,
+    /// Directory for per-cluster snapshots and the index manifest;
+    /// `None` disables persistence.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Most cluster ids that get their own `cluster="..."` metric
+    /// label; the rest aggregate into `cluster="_other"`.
+    pub cluster_label_cap: usize,
+    /// Tenant used when a request carries no `cluster` field, so
+    /// single-cluster clients speak the unextended protocol unchanged.
+    pub default_cluster: String,
+    /// Wait beyond this threshold counts as excessive in the metrics.
+    pub excess_threshold: Time,
+}
+
+impl FleetConfig {
+    /// A config with the workspace defaults.
+    pub fn new(capacity: u32, spec: PolicySpec) -> Self {
+        FleetConfig {
+            shards: 16,
+            capacity,
+            spec,
+            max_clusters: 4096,
+            quota: TenantQuota::default(),
+            snapshot_dir: None,
+            cluster_label_cap: 32,
+            default_cluster: "default".into(),
+            excess_threshold: 0,
+        }
+    }
+
+    /// Sets the shard count (clamped to at least 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the per-tenant admission quota.
+    pub fn with_quota(mut self, quota: TenantQuota) -> Self {
+        self.quota = quota;
+        self
+    }
+
+    /// Enables per-cluster snapshots under `dir`.
+    pub fn with_snapshot_dir(mut self, dir: PathBuf) -> Self {
+        self.snapshot_dir = Some(dir);
+        self
+    }
+
+    /// Caps the number of tenants.
+    pub fn with_max_clusters(mut self, max: usize) -> Self {
+        self.max_clusters = max.max(1);
+        self
+    }
+}
+
+/// One tenant: a full single-cluster daemon plus admission bookkeeping.
+struct Tenant {
+    daemon: Daemon,
+    quota: TenantQuota,
+    /// Pending node-seconds as last published into the fleet total.
+    pending: u64,
+    submitted: u64,
+    rejected: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    tenants: BTreeMap<String, Tenant>,
+}
+
+/// Locks a shard, recovering from poisoning (scheduler state is
+/// transition-consistent; see the server's rationale).
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    shard
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Per-cluster numbers collected for the metrics exposition.
+struct ClusterStat {
+    submitted: u64,
+    rejected: u64,
+    queue_depth: u64,
+    running: u64,
+    decisions: u64,
+    decision_nanos: Option<Histogram>,
+}
+
+/// The multi-tenant fleet daemon.
+pub struct Fleet {
+    cfg: FleetConfig,
+    shards: Vec<Mutex<Shard>>,
+    /// Pending node-seconds summed over every tenant (fairshare input).
+    total_pending: AtomicU64,
+    /// Sum of live tenants' quota weights (fairshare input).
+    total_weight: AtomicU64,
+    /// Latest scheduler time observed anywhere (steers virtual clocks).
+    latest_now: AtomicU64,
+    /// Live tenant count.
+    tenant_count: AtomicU64,
+    /// Fleet-wide quota/fairshare rejections.
+    rejected_total: AtomicU64,
+}
+
+impl Fleet {
+    /// Builds a fleet; recovers every tenant listed in the snapshot
+    /// manifest when `cfg.snapshot_dir` holds one.
+    pub fn new(cfg: FleetConfig) -> Result<Self, String> {
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| Mutex::new(Shard::default()))
+            .collect();
+        let fleet = Fleet {
+            cfg,
+            shards,
+            total_pending: AtomicU64::new(0),
+            total_weight: AtomicU64::new(0),
+            latest_now: AtomicU64::new(0),
+            tenant_count: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
+        };
+        let manifest = fleet
+            .cfg
+            .snapshot_dir
+            .as_ref()
+            .map(|d| d.join("manifest.json"))
+            .filter(|p| p.exists());
+        if let Some(path) = manifest {
+            for id in read_manifest(&path)? {
+                fleet.recover_tenant(&id)?;
+            }
+        }
+        Ok(fleet)
+    }
+
+    /// Number of live tenants.
+    pub fn cluster_count(&self) -> u64 {
+        self.tenant_count.load(Ordering::SeqCst)
+    }
+
+    /// Latest scheduler time observed across all tenants.
+    pub fn now(&self) -> Time {
+        self.latest_now.load(Ordering::SeqCst)
+    }
+
+    fn shard_index(&self, cluster: &str) -> usize {
+        // FNV-1a: deterministic across runs and processes, unlike the
+        // std hasher, so a tenant always maps to the same shard.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for b in cluster.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        (h % self.shards.len().max(1) as u64) as usize
+    }
+
+    fn shard_for(&self, cluster: &str) -> Option<MutexGuard<'_, Shard>> {
+        self.shards.get(self.shard_index(cluster)).map(lock_shard)
+    }
+
+    fn tenant_config(&self, cluster: &str) -> ServiceConfig {
+        let mut c = ServiceConfig::new(self.cfg.capacity, self.cfg.spec.clone());
+        c.excess_threshold = self.cfg.excess_threshold;
+        if let Some(dir) = &self.cfg.snapshot_dir {
+            c.snapshot_path = Some(dir.join(format!("cluster-{cluster}.json")));
+        }
+        c
+    }
+
+    /// Restores one manifest-listed tenant through the single-daemon
+    /// snapshot recovery path.
+    fn recover_tenant(&self, cluster: &str) -> Result<(), String> {
+        sbs_service::protocol::validate_cluster_id(cluster)
+            .map_err(|e| format!("manifest entry {cluster:?}: {e}"))?;
+        let daemon = Daemon::new(self.tenant_config(cluster))?;
+        let Some(mut shard) = self.shard_for(cluster) else {
+            return Err("internal: no shard for cluster".into());
+        };
+        if shard.tenants.contains_key(cluster) {
+            return Ok(()); // duplicate manifest entry
+        }
+        let mut tenant = Tenant {
+            daemon,
+            quota: self.cfg.quota,
+            pending: 0,
+            submitted: 0,
+            rejected: 0,
+        };
+        self.tenant_count.fetch_add(1, Ordering::SeqCst);
+        self.total_weight
+            .fetch_add(self.cfg.quota.weight, Ordering::SeqCst);
+        self.publish_tenant(&mut tenant);
+        shard.tenants.insert(cluster.to_string(), tenant);
+        Ok(())
+    }
+
+    /// Re-publishes a tenant's pending demand and scheduler time into
+    /// the fleet-wide atomics (call after any daemon mutation, with the
+    /// tenant's shard lock held).
+    fn publish_tenant(&self, t: &mut Tenant) {
+        let (_, pending) = t.daemon.queue_demand();
+        if pending > t.pending {
+            self.total_pending
+                .fetch_add(pending - t.pending, Ordering::SeqCst);
+        } else {
+            self.total_pending
+                .fetch_sub(t.pending - pending, Ordering::SeqCst);
+        }
+        t.pending = pending;
+        self.latest_now.fetch_max(t.daemon.now(), Ordering::SeqCst);
+    }
+
+    /// Admits and submits one job into a (locked) tenant.
+    fn submit_one(&self, t: &mut Tenant, at: Time, spec: &SubmitSpec) -> Value {
+        let (depth, pending) = t.daemon.queue_demand();
+        let requested = spec.requested.unwrap_or(spec.runtime).max(spec.runtime);
+        let add = u64::from(spec.nodes).saturating_mul(requested);
+        let fleet = FleetDemand {
+            total_pending: self.total_pending.load(Ordering::SeqCst),
+            total_weight: self.total_weight.load(Ordering::SeqCst),
+        };
+        if let Err(denied) = t.quota.admit(depth, pending, add, fleet) {
+            t.rejected += 1;
+            self.rejected_total.fetch_add(1, Ordering::SeqCst);
+            return error_response(&denied.to_string());
+        }
+        let when = spec.submit.unwrap_or(at);
+        match t
+            .daemon
+            .submit_at(when, spec.nodes, spec.runtime, spec.requested, spec.user)
+        {
+            Ok((id, started)) => {
+                t.submitted += 1;
+                json!({ "ok": true, "id": id.0, "started": started })
+            }
+            Err(e) => {
+                t.rejected += 1;
+                self.rejected_total.fetch_add(1, Ordering::SeqCst);
+                error_response(&e)
+            }
+        }
+    }
+
+    /// Runs `f` on the named tenant, creating it first when `create` is
+    /// set (submissions create tenants; reads on unknown clusters are
+    /// typed errors).
+    fn with_tenant<R>(
+        &self,
+        cluster: &str,
+        create: bool,
+        f: impl FnOnce(&Fleet, &mut Tenant) -> R,
+    ) -> Result<R, String> {
+        let Some(mut shard) = self.shard_for(cluster) else {
+            return Err("internal: no shard for cluster".into());
+        };
+        if !shard.tenants.contains_key(cluster) {
+            if !create {
+                return Err(format!("unknown cluster {cluster:?}"));
+            }
+            if self.tenant_count.load(Ordering::SeqCst) >= self.cfg.max_clusters as u64 {
+                return Err(format!(
+                    "cluster cap reached ({} tenants); {cluster:?} not admitted",
+                    self.cfg.max_clusters
+                ));
+            }
+            let daemon = Daemon::new(self.tenant_config(cluster))?;
+            self.tenant_count.fetch_add(1, Ordering::SeqCst);
+            self.total_weight
+                .fetch_add(self.cfg.quota.weight, Ordering::SeqCst);
+            shard.tenants.insert(
+                cluster.to_string(),
+                Tenant {
+                    daemon,
+                    quota: self.cfg.quota,
+                    pending: 0,
+                    submitted: 0,
+                    rejected: 0,
+                },
+            );
+        }
+        let Some(tenant) = shard.tenants.get_mut(cluster) else {
+            return Err("internal: tenant vanished under its shard lock".into());
+        };
+        let out = f(self, tenant);
+        self.publish_tenant(tenant);
+        Ok(out)
+    }
+
+    /// Dispatches one routed request at scheduler time `at`.  Returns
+    /// the response and whether the fleet should shut down.
+    pub fn handle_routed(&self, cluster: Option<&str>, req: Request, at: Time) -> (Value, bool) {
+        let id = cluster.unwrap_or(self.cfg.default_cluster.as_str());
+        match req {
+            Request::Submit {
+                nodes,
+                runtime,
+                requested,
+                user,
+                submit,
+            } => {
+                let spec = SubmitSpec {
+                    nodes,
+                    runtime,
+                    requested,
+                    user,
+                    submit,
+                };
+                let out = self.with_tenant(id, true, |fleet, t| {
+                    let mut v = fleet.submit_one(t, at, &spec);
+                    if let Value::Object(map) = &mut v {
+                        map.insert("now".into(), Value::from(t.daemon.now()));
+                    }
+                    v
+                });
+                (out.unwrap_or_else(|e| error_response(&e)), false)
+            }
+            Request::SubmitBatch { jobs } => {
+                let out = self.with_tenant(id, true, |fleet, t| {
+                    let mut results = Vec::with_capacity(jobs.len());
+                    let mut accepted = 0u64;
+                    for spec in &jobs {
+                        let v = fleet.submit_one(t, at, spec);
+                        if v.get("ok") == Some(&Value::Bool(true)) {
+                            accepted += 1;
+                        }
+                        results.push(v);
+                    }
+                    json!({
+                        "ok": true,
+                        "now": t.daemon.now(),
+                        "accepted": accepted,
+                        "results": Value::Array(results),
+                    })
+                });
+                (out.unwrap_or_else(|e| error_response(&e)), false)
+            }
+            Request::Cancel { id: job } => {
+                let out = self.with_tenant(id, false, |_, t| {
+                    t.daemon.poll_to(at);
+                    let cancelled = t.daemon.cancel(sbs_workload::job::JobId(job));
+                    json!({ "ok": true, "cancelled": cancelled })
+                });
+                (out.unwrap_or_else(|e| error_response(&e)), false)
+            }
+            Request::Queue => {
+                let out = self.with_tenant(id, false, |_, t| {
+                    t.daemon.poll_to(at);
+                    t.daemon.queue_view()
+                });
+                (out.unwrap_or_else(|e| error_response(&e)), false)
+            }
+            Request::Metrics => {
+                self.poll_all(at);
+                (json!({ "ok": true, "text": self.metrics_text() }), false)
+            }
+            Request::Drain => {
+                let (completed, leftover) = if cluster.is_some() {
+                    match self.with_tenant(id, false, |_, t| t.daemon.drain()) {
+                        Ok(pair) => pair,
+                        Err(e) => return (error_response(&e), false),
+                    }
+                } else {
+                    self.drain_all()
+                };
+                (
+                    json!({
+                        "ok": true,
+                        "completed": completed,
+                        "leftover": leftover,
+                        "now": self.now(),
+                    }),
+                    false,
+                )
+            }
+            Request::Snapshot => match self.save_snapshots() {
+                Ok(Some(path)) => (
+                    json!({ "ok": true, "path": path.display().to_string() }),
+                    false,
+                ),
+                Ok(None) => (error_response("no snapshot directory configured"), false),
+                Err(e) => (error_response(&e), false),
+            },
+            Request::Shutdown => {
+                let saved = self.save_snapshots();
+                let mut v = json!({ "ok": true });
+                if let (Value::Object(map), Ok(Some(path))) = (&mut v, saved) {
+                    map.insert("manifest".into(), Value::from(path.display().to_string()));
+                }
+                (v, true)
+            }
+        }
+    }
+
+    /// Advances every tenant to time `at` (departure replay).
+    pub fn poll_all(&self, at: Time) {
+        for shard in &self.shards {
+            let mut s = lock_shard(shard);
+            for t in s.tenants.values_mut() {
+                t.daemon.poll_to(at);
+                self.publish_tenant(t);
+            }
+        }
+        self.latest_now.fetch_max(at, Ordering::SeqCst);
+    }
+
+    /// Drains every tenant; returns summed `(completed, leftover)`.
+    pub fn drain_all(&self) -> (usize, usize) {
+        let (mut completed, mut leftover) = (0usize, 0usize);
+        for shard in &self.shards {
+            let mut s = lock_shard(shard);
+            for t in s.tenants.values_mut() {
+                let (c, l) = t.daemon.drain();
+                completed += c;
+                leftover += l;
+                self.publish_tenant(t);
+            }
+        }
+        (completed, leftover)
+    }
+
+    /// All tenants' `sbs_decision_wall_nanos` histograms merged into
+    /// one (the loadgen harness's decision-latency source).  `None`
+    /// before any decision anywhere.
+    pub fn decision_wall_histogram(&self) -> Option<Histogram> {
+        let mut merged: Option<Histogram> = None;
+        for shard in &self.shards {
+            let s = lock_shard(shard);
+            for t in s.tenants.values() {
+                let found = t
+                    .daemon
+                    .recorder()
+                    .histograms()
+                    .find(|(name, _)| *name == "sbs_decision_wall_nanos");
+                if let Some((_, h)) = found {
+                    match merged.as_mut() {
+                        Some(m) => {
+                            if !m.merge_from(h) {
+                                // Foreign bucket layout cannot happen
+                                // (every daemon uses the same bounds);
+                                // skip rather than mis-bin.
+                                continue;
+                            }
+                        }
+                        None => merged = Some(h.clone()),
+                    }
+                }
+            }
+        }
+        merged
+    }
+
+    /// The fleet `/metrics` exposition: fleet-wide families plus
+    /// per-cluster series under the cardinality cap.
+    pub fn metrics_text(&self) -> String {
+        let mut stats: BTreeMap<String, ClusterStat> = BTreeMap::new();
+        for shard in &self.shards {
+            let s = lock_shard(shard);
+            for (id, t) in &s.tenants {
+                let m = t.daemon.metrics();
+                let hist = t
+                    .daemon
+                    .recorder()
+                    .histograms()
+                    .find(|(name, _)| *name == "sbs_decision_wall_nanos")
+                    .map(|(_, h)| h.clone());
+                stats.insert(
+                    id.clone(),
+                    ClusterStat {
+                        submitted: t.submitted,
+                        rejected: t.rejected,
+                        queue_depth: m.queue_depth as u64,
+                        running: m.running_jobs as u64,
+                        decisions: m.decisions,
+                        decision_nanos: hist,
+                    },
+                );
+            }
+        }
+        let mut e = Exposition::new();
+        e.gauge(
+            "sbs_fleet_shards",
+            "Shard locks the tenant map is spread over.",
+            self.shards.len(),
+        );
+        e.gauge("sbs_fleet_clusters", "Live tenants.", stats.len());
+        let submitted: u64 = stats.values().map(|s| s.submitted).sum();
+        let rejected: u64 = stats.values().map(|s| s.rejected).sum();
+        let decisions: u64 = stats.values().map(|s| s.decisions).sum();
+        let queue_depth: u64 = stats.values().map(|s| s.queue_depth).sum();
+        let running: u64 = stats.values().map(|s| s.running).sum();
+        e.counter(
+            "sbs_fleet_submitted_total",
+            "Jobs admitted across all tenants.",
+            submitted,
+        );
+        e.counter(
+            "sbs_fleet_rejected_total",
+            "Submissions refused by quota, fairshare, or the daemon.",
+            rejected,
+        );
+        e.counter(
+            "sbs_fleet_decisions_total",
+            "Decision points executed across all tenants.",
+            decisions,
+        );
+        e.gauge(
+            "sbs_fleet_queue_depth",
+            "Waiting jobs summed over all tenants.",
+            queue_depth,
+        );
+        e.gauge(
+            "sbs_fleet_running_jobs",
+            "Running jobs summed over all tenants.",
+            running,
+        );
+        e.gauge(
+            "sbs_fleet_pending_node_seconds",
+            "Pending node-seconds summed over all tenants (fairshare input).",
+            self.total_pending.load(Ordering::SeqCst),
+        );
+        let shares: Vec<f64> = stats.values().map(|s| s.submitted as f64).collect();
+        e.gauge(
+            "sbs_fleet_fairness_jain",
+            "Jain index over per-tenant admitted-job counts (1 = even).",
+            format!("{:.6}", jain_index(&shares)),
+        );
+        // Per-cluster series: the first `cluster_label_cap` ids
+        // (lexicographic, hence deterministic) get their own label;
+        // everything past the cap folds into `cluster="_other"`.
+        let cap = self.cfg.cluster_label_cap.max(1);
+        let mut other = ClusterStat {
+            submitted: 0,
+            rejected: 0,
+            queue_depth: 0,
+            running: 0,
+            decisions: 0,
+            decision_nanos: None,
+        };
+        let mut overflowed = false;
+        for (i, (id, st)) in stats.iter().enumerate() {
+            if i < cap {
+                emit_cluster(&mut e, id, st);
+            } else {
+                overflowed = true;
+                other.submitted += st.submitted;
+                other.rejected += st.rejected;
+                other.queue_depth += st.queue_depth;
+                other.running += st.running;
+                other.decisions += st.decisions;
+                if let Some(h) = &st.decision_nanos {
+                    match other.decision_nanos.as_mut() {
+                        Some(m) => {
+                            if !m.merge_from(h) {
+                                continue;
+                            }
+                        }
+                        None => other.decision_nanos = Some(h.clone()),
+                    }
+                }
+            }
+        }
+        if overflowed {
+            emit_cluster(&mut e, "_other", &other);
+        }
+        e.render()
+    }
+
+    /// Writes every tenant's snapshot plus the index manifest.  Returns
+    /// the manifest path, or `None` when persistence is disabled.
+    pub fn save_snapshots(&self) -> Result<Option<PathBuf>, String> {
+        let Some(dir) = self.cfg.snapshot_dir.clone() else {
+            return Ok(None);
+        };
+        std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            let mut s = lock_shard(shard);
+            for (id, t) in s.tenants.iter_mut() {
+                t.daemon.save_snapshot()?;
+                ids.push(id.clone());
+            }
+        }
+        ids.sort();
+        let manifest = dir.join("manifest.json");
+        write_manifest(&manifest, &ids)?;
+        Ok(Some(manifest))
+    }
+}
+
+/// Appends one cluster's labeled series to the exposition.
+fn emit_cluster(e: &mut Exposition, id: &str, st: &ClusterStat) {
+    let labels = |_: &str| vec![("cluster".to_string(), id.to_string())];
+    e.counter_with(
+        "sbs_cluster_submitted_total",
+        "Jobs admitted, per tenant (capped cardinality; overflow in _other).",
+        labels("c"),
+        st.submitted,
+    );
+    e.counter_with(
+        "sbs_cluster_rejected_total",
+        "Submissions refused, per tenant.",
+        labels("c"),
+        st.rejected,
+    );
+    e.counter_with(
+        "sbs_cluster_decisions_total",
+        "Decision points executed, per tenant.",
+        labels("c"),
+        st.decisions,
+    );
+    e.gauge_with(
+        "sbs_cluster_queue_depth",
+        "Waiting jobs, per tenant.",
+        labels("c"),
+        st.queue_depth,
+    );
+    e.gauge_with(
+        "sbs_cluster_running_jobs",
+        "Running jobs, per tenant.",
+        labels("c"),
+        st.running,
+    );
+    if let Some(h) = &st.decision_nanos {
+        e.histogram_with(
+            "sbs_cluster_decision_wall_nanos",
+            "Per-decision wall time, per tenant.",
+            labels("c"),
+            h,
+        );
+    }
+}
+
+fn read_manifest(path: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let v: Value = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    let schema = v.get("schema").and_then(Value::as_str).unwrap_or_default();
+    if schema != MANIFEST_SCHEMA {
+        return Err(format!(
+            "manifest schema {schema:?} not supported (expected {MANIFEST_SCHEMA})"
+        ));
+    }
+    let clusters = v
+        .get("clusters")
+        .and_then(Value::as_array)
+        .ok_or("manifest field \"clusters\" missing or not an array")?;
+    let mut ids = Vec::with_capacity(clusters.len());
+    for c in clusters {
+        match c.as_str() {
+            Some(s) => ids.push(s.to_string()),
+            None => return Err("manifest cluster entry is not a string".into()),
+        }
+    }
+    Ok(ids)
+}
+
+/// Writes the manifest atomically (temp file + rename), like the
+/// per-daemon snapshot writer.
+fn write_manifest(path: &Path, ids: &[String]) -> Result<(), String> {
+    let ids: Vec<Value> = ids.iter().map(|s| Value::from(s.as_str())).collect();
+    let doc = json!({ "schema": MANIFEST_SCHEMA, "clusters": Value::Array(ids) });
+    let text = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+    let tmp = path.with_extension("tmp");
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    write().map_err(|e| format!("{}: {e}", path.display()))
+}
+
+impl ServerHandler for Fleet {
+    fn poll_to(&mut self, at: Time) {
+        Fleet::poll_all(self, at);
+    }
+
+    fn handle_line(&mut self, line: &str, at: Time) -> (Value, bool) {
+        match parse_routed(line) {
+            Ok((cluster, req)) => self.handle_routed(cluster.as_deref(), req, at),
+            Err(e) => (error_response(&e), false),
+        }
+    }
+
+    fn now(&self) -> Time {
+        Fleet::now(self)
+    }
+
+    fn metrics_text_at(&mut self, at: Time) -> String {
+        Fleet::poll_all(self, at);
+        Fleet::metrics_text(self)
+    }
+
+    fn on_shutdown(&mut self) {
+        // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
+        let _ = self.save_snapshots();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sbs_workload::time::HOUR;
+
+    fn fleet() -> Fleet {
+        Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill)).expect("fleet")
+    }
+
+    fn submit(nodes: u32, at: Time) -> Request {
+        Request::Submit {
+            nodes,
+            runtime: HOUR,
+            requested: None,
+            user: 0,
+            submit: Some(at),
+        }
+    }
+
+    #[test]
+    fn routing_isolates_tenants_and_ids_are_per_cluster() {
+        let f = fleet();
+        let (v, _) = f.handle_routed(Some("alpha"), submit(4, 10), 10);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["id"].as_u64(), Some(0));
+        let (v, _) = f.handle_routed(Some("beta"), submit(4, 10), 10);
+        assert_eq!(v["id"].as_u64(), Some(0), "beta numbers independently");
+        let (v, _) = f.handle_routed(Some("alpha"), submit(2, 20), 20);
+        assert_eq!(v["id"].as_u64(), Some(1));
+        assert_eq!(f.cluster_count(), 2);
+        // Queue views are per-tenant.
+        let (v, _) = f.handle_routed(Some("alpha"), Request::Queue, 20);
+        assert_eq!(v["running"].as_array().map(Vec::len), Some(2));
+        let (v, _) = f.handle_routed(Some("beta"), Request::Queue, 20);
+        assert_eq!(v["running"].as_array().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn unrouted_requests_use_the_default_cluster() {
+        let f = fleet();
+        let (v, _) = f.handle_routed(None, submit(4, 0), 0);
+        assert_eq!(v["ok"], true);
+        let (v, _) = f.handle_routed(Some("default"), Request::Queue, 0);
+        assert_eq!(v["running"].as_array().map(Vec::len), Some(1));
+    }
+
+    #[test]
+    fn unknown_clusters_are_typed_errors_for_reads() {
+        let f = fleet();
+        for req in [Request::Queue, Request::Cancel { id: 0 }] {
+            let (v, stop) = f.handle_routed(Some("ghost"), req, 0);
+            assert!(!stop);
+            assert_eq!(v["ok"], false);
+            assert!(
+                v["error"]
+                    .as_str()
+                    .unwrap_or_default()
+                    .contains("unknown cluster"),
+                "{v}"
+            );
+        }
+        assert_eq!(f.cluster_count(), 0, "reads never create tenants");
+    }
+
+    #[test]
+    fn cluster_cap_rejects_new_tenants() {
+        let f = Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill).with_max_clusters(2))
+            .expect("fleet");
+        assert_eq!(f.handle_routed(Some("a"), submit(1, 0), 0).0["ok"], true);
+        assert_eq!(f.handle_routed(Some("b"), submit(1, 0), 0).0["ok"], true);
+        let (v, _) = f.handle_routed(Some("c"), submit(1, 0), 0);
+        assert_eq!(v["ok"], false);
+        assert!(v["error"]
+            .as_str()
+            .unwrap_or_default()
+            .contains("cluster cap"));
+        // Existing tenants keep working.
+        assert_eq!(f.handle_routed(Some("a"), submit(1, 5), 5).0["ok"], true);
+    }
+
+    #[test]
+    fn quotas_reject_with_typed_errors_and_count_rejections() {
+        let quota = TenantQuota {
+            max_queue: 1,
+            ..Default::default()
+        };
+        let f = Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill).with_quota(quota))
+            .expect("fleet");
+        // Fill the machine, then one waiter is allowed, the next is not.
+        assert_eq!(f.handle_routed(Some("a"), submit(8, 0), 0).0["ok"], true);
+        assert_eq!(f.handle_routed(Some("a"), submit(8, 1), 1).0["ok"], true);
+        let (v, _) = f.handle_routed(Some("a"), submit(8, 2), 2);
+        assert_eq!(v["ok"], false);
+        assert!(v["error"]
+            .as_str()
+            .unwrap_or_default()
+            .contains("queue depth"));
+        let text = f.metrics_text();
+        assert!(text.contains("sbs_fleet_rejected_total 1"), "{text}");
+    }
+
+    #[test]
+    fn fairshare_caps_a_hog_once_the_fleet_has_demand() {
+        let quota = TenantQuota {
+            weight: 1,
+            fair_slack_percent: 150,
+            ..Default::default()
+        };
+        let f = Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill).with_quota(quota))
+            .expect("fleet");
+        // Tenant "greedy" stacks waiting demand; tenant "modest" holds a
+        // little.  With two equal weights, greedy's entitlement is half
+        // the fleet's pending demand (×1.5 slack).
+        assert_eq!(
+            f.handle_routed(Some("modest"), submit(8, 0), 0).0["ok"],
+            true
+        );
+        assert_eq!(
+            f.handle_routed(Some("modest"), submit(4, 0), 0).0["ok"],
+            true
+        );
+        assert_eq!(
+            f.handle_routed(Some("greedy"), submit(8, 0), 0).0["ok"],
+            true
+        );
+        let mut rejected = false;
+        for _ in 0..8 {
+            let (v, _) = f.handle_routed(Some("greedy"), submit(8, 0), 0);
+            if v["ok"] == Value::Bool(false) {
+                assert!(
+                    v["error"]
+                        .as_str()
+                        .unwrap_or_default()
+                        .contains("fairshare"),
+                    "{v}"
+                );
+                rejected = true;
+                break;
+            }
+        }
+        assert!(rejected, "the hog was never capped");
+        // The modest tenant still submits fine.
+        assert_eq!(
+            f.handle_routed(Some("modest"), submit(1, 1), 1).0["ok"],
+            true
+        );
+    }
+
+    #[test]
+    fn batched_submit_routes_and_reports_per_job() {
+        let f = fleet();
+        let jobs = vec![
+            SubmitSpec {
+                nodes: 4,
+                runtime: HOUR,
+                requested: None,
+                user: 0,
+                submit: Some(5),
+            },
+            SubmitSpec {
+                nodes: 9,
+                runtime: HOUR,
+                requested: None,
+                user: 0,
+                submit: Some(5),
+            },
+        ];
+        let (v, stop) = f.handle_routed(Some("alpha"), Request::SubmitBatch { jobs }, 5);
+        assert!(!stop);
+        assert_eq!(v["accepted"].as_u64(), Some(1));
+        assert_eq!(v["results"][0]["ok"], true);
+        assert_eq!(v["results"][1]["ok"], false);
+    }
+
+    #[test]
+    fn metrics_cap_folds_overflow_into_other() {
+        let f = Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill).with_max_clusters(64))
+            .map(|mut f| {
+                f.cfg.cluster_label_cap = 2;
+                f
+            })
+            .expect("fleet");
+        for id in ["a", "b", "c", "d"] {
+            assert_eq!(f.handle_routed(Some(id), submit(2, 0), 0).0["ok"], true);
+        }
+        let text = f.metrics_text();
+        sbs_obs::expo::validate(&text).expect("fleet exposition validates");
+        assert!(
+            text.contains("sbs_cluster_submitted_total{cluster=\"a\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("sbs_cluster_submitted_total{cluster=\"b\"} 1"),
+            "{text}"
+        );
+        assert!(!text.contains("cluster=\"c\""), "past the cap: {text}");
+        assert!(
+            text.contains("sbs_cluster_submitted_total{cluster=\"_other\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("sbs_fleet_clusters 4"));
+        assert!(text.contains("sbs_fleet_submitted_total 4"));
+        assert!(text.contains("sbs_fleet_fairness_jain 1.000000"));
+    }
+
+    #[test]
+    fn drain_all_and_pending_accounting_settle_to_zero() {
+        let f = fleet();
+        for id in ["a", "b", "c"] {
+            assert_eq!(f.handle_routed(Some(id), submit(8, 0), 0).0["ok"], true);
+            assert_eq!(f.handle_routed(Some(id), submit(8, 1), 1).0["ok"], true);
+        }
+        assert!(
+            f.total_pending.load(Ordering::SeqCst) > 0,
+            "waiters pending"
+        );
+        let (completed, leftover) = f.drain_all();
+        assert_eq!((completed, leftover), (6, 0));
+        assert_eq!(f.total_pending.load(Ordering::SeqCst), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # sbs-fleet — the multi-tenant sharded scheduler daemon
+//!
+//! Hosts many independent scheduler worlds ("clusters") behind one
+//! newline-JSON endpoint.  Requests carry an optional `cluster` field;
+//! the [`Fleet`] routes each one to its tenant's [`sbs_service::Daemon`]
+//! through a deterministic FNV-1a shard hash, holding exactly one shard
+//! lock per operation.
+//!
+//! On top of plain routing the fleet adds:
+//!
+//! - **Admission control** ([`TenantQuota`]): per-tenant queue-depth and
+//!   pending node-second caps, plus weighted fairshare against the
+//!   fleet-wide pending demand (integer-only, lock-free inputs).
+//! - **Bounded-cardinality metrics**: fleet-level families plus
+//!   per-cluster `cluster="..."` series capped at a configurable label
+//!   budget with an `_other` overflow bucket.
+//! - **Per-cluster persistence**: one snapshot file per tenant plus an
+//!   index manifest ([`MANIFEST_SCHEMA`]); [`Fleet::new`] recovers the
+//!   whole fleet from the manifest after a crash.
+//!
+//! The fleet implements [`sbs_service::ServerHandler`], so the same
+//! event-driven readiness loop serves one daemon or a thousand-tenant
+//! fleet unchanged.
+
+pub mod fleet;
+pub mod quota;
+
+pub use fleet::{Fleet, FleetConfig, MANIFEST_SCHEMA};
+pub use quota::{FleetDemand, QuotaDenied, TenantQuota};

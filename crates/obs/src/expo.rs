@@ -9,16 +9,30 @@
 
 use crate::hist::Histogram;
 
-/// The value payload of one metric family.
+/// Label pairs attached to one sample, in render order.
+pub type Labels = Vec<(String, String)>;
+
+/// One sample of a counter or gauge family: label set plus a
+/// pre-formatted value (callers control decimal precision).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledValue {
+    /// Label pairs, rendered in order.
+    pub labels: Labels,
+    /// Pre-formatted sample value.
+    pub value: String,
+}
+
+/// The value payload of one metric family.  Every variant holds one or
+/// more samples; multi-sample families carry distinguishing labels
+/// (e.g. `cluster="..."` in the fleet daemon's per-tenant exposition).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FamilyData {
-    /// A monotone counter; the name must end in `_total`.  The value is
-    /// pre-formatted so callers control decimal precision.
-    Counter(String),
-    /// A point-in-time gauge (pre-formatted value).
-    Gauge(String),
-    /// A cumulative histogram over `u64` observations.
-    Histogram(Histogram),
+    /// A monotone counter; the name must end in `_total`.
+    Counter(Vec<LabeledValue>),
+    /// A point-in-time gauge.
+    Gauge(Vec<LabeledValue>),
+    /// Cumulative histograms over `u64` observations, one per label set.
+    Histogram(Vec<(Labels, Histogram)>),
 }
 
 /// One named family: HELP text plus data.
@@ -46,33 +60,90 @@ impl Exposition {
 
     /// Appends a counter family (name must end in `_total`).
     pub fn counter(&mut self, name: &str, help: &str, value: impl std::fmt::Display) {
+        self.counter_with(name, help, Vec::new(), value);
+    }
+
+    /// Appends one labeled counter sample; repeated calls with the same
+    /// family name add series to that family.
+    pub fn counter_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: Labels,
+        value: impl std::fmt::Display,
+    ) {
         debug_assert!(
             name.ends_with("_total"),
             "counter {name} must end in _total"
         );
+        let sample = LabeledValue {
+            labels,
+            value: value.to_string(),
+        };
+        if let Some(FamilyData::Counter(samples)) = self.find_family(name) {
+            samples.push(sample);
+            return;
+        }
         self.families.push(Family {
             name: name.to_string(),
             help: help.to_string(),
-            data: FamilyData::Counter(value.to_string()),
+            data: FamilyData::Counter(vec![sample]),
         });
     }
 
     /// Appends a gauge family.
     pub fn gauge(&mut self, name: &str, help: &str, value: impl std::fmt::Display) {
+        self.gauge_with(name, help, Vec::new(), value);
+    }
+
+    /// Appends one labeled gauge sample; repeated calls with the same
+    /// family name add series to that family.
+    pub fn gauge_with(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: Labels,
+        value: impl std::fmt::Display,
+    ) {
+        let sample = LabeledValue {
+            labels,
+            value: value.to_string(),
+        };
+        if let Some(FamilyData::Gauge(samples)) = self.find_family(name) {
+            samples.push(sample);
+            return;
+        }
         self.families.push(Family {
             name: name.to_string(),
             help: help.to_string(),
-            data: FamilyData::Gauge(value.to_string()),
+            data: FamilyData::Gauge(vec![sample]),
         });
     }
 
     /// Appends a histogram family.
     pub fn histogram(&mut self, name: &str, help: &str, hist: &Histogram) {
+        self.histogram_with(name, help, Vec::new(), hist);
+    }
+
+    /// Appends one labeled histogram series; repeated calls with the
+    /// same family name add label sets to that family.
+    pub fn histogram_with(&mut self, name: &str, help: &str, labels: Labels, hist: &Histogram) {
+        if let Some(FamilyData::Histogram(series)) = self.find_family(name) {
+            series.push((labels, hist.clone()));
+            return;
+        }
         self.families.push(Family {
             name: name.to_string(),
             help: help.to_string(),
-            data: FamilyData::Histogram(hist.clone()),
+            data: FamilyData::Histogram(vec![(labels, hist.clone())]),
         });
+    }
+
+    fn find_family(&mut self, name: &str) -> Option<&mut FamilyData> {
+        self.families
+            .iter_mut()
+            .find(|f| f.name == name)
+            .map(|f| &mut f.data)
     }
 
     /// The families appended so far.
@@ -99,25 +170,79 @@ impl Exposition {
             });
             out.push('\n');
             match &f.data {
-                FamilyData::Counter(v) | FamilyData::Gauge(v) => {
-                    out.push_str(&f.name);
-                    out.push(' ');
-                    out.push_str(v);
-                    out.push('\n');
-                }
-                FamilyData::Histogram(h) => {
-                    let cumulative = h.cumulative();
-                    for (bound, cum) in h.bounds().iter().zip(&cumulative) {
-                        out.push_str(&format!("{}_bucket{{le=\"{bound}\"}} {cum}\n", f.name));
+                FamilyData::Counter(samples) | FamilyData::Gauge(samples) => {
+                    for s in samples {
+                        out.push_str(&f.name);
+                        out.push_str(&label_block(&s.labels, None));
+                        out.push(' ');
+                        out.push_str(&s.value);
+                        out.push('\n');
                     }
-                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", f.name, h.count()));
-                    out.push_str(&format!("{}_sum {}\n", f.name, h.sum()));
-                    out.push_str(&format!("{}_count {}\n", f.name, h.count()));
+                }
+                FamilyData::Histogram(series) => {
+                    for (labels, h) in series {
+                        let cumulative = h.cumulative();
+                        for (bound, cum) in h.bounds().iter().zip(&cumulative) {
+                            out.push_str(&format!(
+                                "{}_bucket{} {cum}\n",
+                                f.name,
+                                label_block(labels, Some(&bound.to_string()))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_bucket{} {}\n",
+                            f.name,
+                            label_block(labels, Some("+Inf")),
+                            h.count()
+                        ));
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            f.name,
+                            label_block(labels, None),
+                            h.sum()
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            f.name,
+                            label_block(labels, None),
+                            h.count()
+                        ));
+                    }
                 }
             }
         }
         out
     }
+}
+
+/// Renders `{k="v",...}` (with an optional trailing `le`), or the empty
+/// string when there are no labels at all — so unlabeled families render
+/// byte-identically to the pre-label format.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        out.push_str(&format!("le=\"{le}\""));
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// One parsed sample line.
@@ -266,21 +391,12 @@ pub fn validate(text: &str) -> Result<Vec<ParsedFamily>, String> {
             }
         }
         match f.kind.as_str() {
-            "gauge" => {
-                if f.samples.len() != 1 || f.samples[0].name != f.name {
-                    return Err(format!("gauge {} must have exactly one sample", f.name));
-                }
-            }
+            "gauge" => validate_scalar(f, false)?,
             "counter" => {
                 if !f.name.ends_with("_total") {
                     return Err(format!("counter {} does not end in _total", f.name));
                 }
-                if f.samples.len() != 1 || f.samples[0].name != f.name {
-                    return Err(format!("counter {} must have exactly one sample", f.name));
-                }
-                if f.samples[0].value < 0.0 {
-                    return Err(format!("counter {} is negative", f.name));
-                }
+                validate_scalar(f, true)?;
             }
             "histogram" => validate_histogram(f)?,
             other => return Err(format!("family {} has unknown TYPE {other}", f.name)),
@@ -289,12 +405,54 @@ pub fn validate(text: &str) -> Result<Vec<ParsedFamily>, String> {
     Ok(families)
 }
 
-fn validate_histogram(f: &ParsedFamily) -> Result<(), String> {
-    let bucket_name = format!("{}_bucket", f.name);
-    let mut buckets: Vec<(f64, f64)> = Vec::new();
-    let mut sum = None;
-    let mut count = None;
+fn validate_scalar(f: &ParsedFamily, counter: bool) -> Result<(), String> {
+    let kind = if counter { "counter" } else { "gauge" };
+    if f.samples.is_empty() {
+        return Err(format!("{kind} {} has no samples", f.name));
+    }
+    let unlabeled = f.samples.iter().filter(|s| s.labels.is_empty()).count();
+    if f.samples.len() > 1 && unlabeled > 0 {
+        return Err(format!(
+            "{kind} {} mixes labeled and unlabeled samples",
+            f.name
+        ));
+    }
     for s in &f.samples {
+        if s.name != f.name {
+            return Err(format!("{kind} {} has stray sample {}", f.name, s.name));
+        }
+        if counter && s.value < 0.0 {
+            return Err(format!("counter {} is negative", f.name));
+        }
+    }
+    Ok(())
+}
+
+/// Validates a histogram family by grouping its samples per non-`le`
+/// label set, then checking each group independently (buckets present,
+/// bounds increasing, counts cumulative, `+Inf` == `_count`).
+fn validate_histogram(f: &ParsedFamily) -> Result<(), String> {
+    #[derive(Default)]
+    struct Group {
+        buckets: Vec<(f64, f64)>,
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let bucket_name = format!("{}_bucket", f.name);
+    let sum_name = format!("{}_sum", f.name);
+    let count_name = format!("{}_count", f.name);
+    let mut groups: std::collections::BTreeMap<String, Group> = std::collections::BTreeMap::new();
+    let group_key = |labels: &[(String, String)]| -> String {
+        let mut pairs: Vec<String> = labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        pairs.sort();
+        pairs.join(",")
+    };
+    for s in &f.samples {
+        let group = groups.entry(group_key(&s.labels)).or_default();
         if s.name == bucket_name {
             let le = s
                 .labels
@@ -308,36 +466,49 @@ fn validate_histogram(f: &ParsedFamily) -> Result<(), String> {
                 le.parse()
                     .map_err(|_| format!("{} has bad le {le:?}", f.name))?
             };
-            buckets.push((bound, s.value));
-        } else if s.name == format!("{}_sum", f.name) {
-            sum = Some(s.value);
-        } else if s.name == format!("{}_count", f.name) {
-            count = Some(s.value);
+            group.buckets.push((bound, s.value));
+        } else if s.name == sum_name {
+            group.sum = Some(s.value);
+        } else if s.name == count_name {
+            group.count = Some(s.value);
         } else {
             return Err(format!("histogram {} has stray sample {}", f.name, s.name));
         }
     }
-    let count = count.ok_or_else(|| format!("histogram {} missing _count", f.name))?;
-    if sum.is_none() {
-        return Err(format!("histogram {} missing _sum", f.name));
+    if groups.is_empty() {
+        return Err(format!("histogram {} has no samples", f.name));
     }
-    if buckets.is_empty() {
-        return Err(format!("histogram {} has no buckets", f.name));
-    }
-    for w in buckets.windows(2) {
-        if w[1].0 <= w[0].0 {
-            return Err(format!("histogram {} bucket bounds not increasing", f.name));
+    for (key, g) in &groups {
+        let tag = if key.is_empty() {
+            f.name.clone()
+        } else {
+            format!("{}{{{key}}}", f.name)
+        };
+        let count = g
+            .count
+            .ok_or_else(|| format!("histogram {tag} missing _count"))?;
+        if g.sum.is_none() {
+            return Err(format!("histogram {tag} missing _sum"));
         }
-        if w[1].1 < w[0].1 {
-            return Err(format!("histogram {} bucket counts not cumulative", f.name));
+        if g.buckets.is_empty() {
+            return Err(format!("histogram {tag} has no buckets"));
         }
-    }
-    let last = buckets.last().expect("non-empty");
-    if !last.0.is_infinite() {
-        return Err(format!("histogram {} missing +Inf bucket", f.name));
-    }
-    if last.1 != count {
-        return Err(format!("histogram {} +Inf bucket != _count", f.name));
+        for w in g.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram {tag} bucket bounds not increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {tag} bucket counts not cumulative"));
+            }
+        }
+        if let Some(last) = g.buckets.last() {
+            if !last.0.is_infinite() {
+                return Err(format!("histogram {tag} missing +Inf bucket"));
+            }
+            if last.1 != count {
+                return Err(format!("histogram {tag} +Inf bucket != _count"));
+            }
+        }
     }
     Ok(())
 }
@@ -390,5 +561,69 @@ mod tests {
         assert!(validate(bad2).is_err());
         // sample outside its family
         assert!(validate("# HELP a x\n# TYPE a gauge\nb 1\n").is_err());
+        // mixing labeled and unlabeled samples in one scalar family
+        let mixed = "# HELP g x\n# TYPE g gauge\ng 1\ng{cluster=\"a\"} 2\n";
+        assert!(validate(mixed).is_err());
+    }
+
+    #[test]
+    fn labeled_families_group_and_roundtrip() {
+        let mut e = Exposition::new();
+        e.counter_with(
+            "jobs_total",
+            "Jobs per cluster.",
+            vec![("cluster".into(), "alpha".into())],
+            7,
+        );
+        e.counter_with(
+            "jobs_total",
+            "Jobs per cluster.",
+            vec![("cluster".into(), "beta".into())],
+            11,
+        );
+        let mut ha = Histogram::new(&[1, 10]);
+        ha.observe(5);
+        let mut hb = Histogram::new(&[1, 10]);
+        hb.observe(0);
+        hb.observe(100);
+        e.histogram_with(
+            "lat",
+            "Latency per cluster.",
+            vec![("cluster".into(), "alpha".into())],
+            &ha,
+        );
+        e.histogram_with(
+            "lat",
+            "Latency per cluster.",
+            vec![("cluster".into(), "beta".into())],
+            &hb,
+        );
+        let text = e.render();
+        // One HELP/TYPE header per family, samples distinguished by label.
+        assert_eq!(text.matches("# TYPE jobs_total counter").count(), 1);
+        assert!(text.contains("jobs_total{cluster=\"alpha\"} 7\n"));
+        assert!(text.contains("jobs_total{cluster=\"beta\"} 11\n"));
+        assert!(text.contains("lat_bucket{cluster=\"alpha\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("lat_sum{cluster=\"beta\"} 100\n"));
+        let families = validate(&text).expect("labeled exposition validates");
+        assert_eq!(families.len(), 2);
+        assert_eq!(families[0].samples.len(), 2);
+    }
+
+    #[test]
+    fn unlabeled_rendering_is_unchanged_by_label_support() {
+        let text = sample_exposition().render();
+        assert!(text.contains("up 1\n"));
+        assert!(text.contains("requests_total 42\n"));
+        assert!(text.contains("latency_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("latency_sum 560\n"));
+        assert!(!text.contains("{}"), "no empty label blocks");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut e = Exposition::new();
+        e.gauge_with("g", "x", vec![("cluster".into(), "a\"b\\c".into())], 1);
+        assert!(e.render().contains("g{cluster=\"a\\\"b\\\\c\"} 1\n"));
     }
 }

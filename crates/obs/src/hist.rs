@@ -50,6 +50,44 @@ impl Histogram {
         self.count += 1;
     }
 
+    /// Folds another histogram with the *same bounds* into this one.
+    /// Histograms with different bucket layouts are rejected (`false`)
+    /// rather than silently mis-binned.
+    pub fn merge_from(&mut self, other: &Histogram) -> bool {
+        if self.bounds != other.bounds {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.count = self.count.saturating_add(other.count);
+        true
+    }
+
+    /// Bucket-resolution estimate of the `q`-quantile (`0.0..=1.0`): the
+    /// smallest configured upper bound whose cumulative count covers the
+    /// quantile.  When the quantile falls in the overflow (`+Inf`)
+    /// bucket the largest finite bound is returned — a lower bound on
+    /// the true value.  `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc = acc.saturating_add(c);
+            if acc >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => self.bounds.last().copied().unwrap_or(u64::MAX),
+                });
+            }
+        }
+        self.bounds.last().copied()
+    }
+
     /// The configured upper bounds (exclusive of `+Inf`).
     pub fn bounds(&self) -> &[u64] {
         &self.bounds
@@ -98,6 +136,40 @@ mod tests {
         assert_eq!(h.cumulative(), vec![2, 4, 6, 8]);
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 5225u128);
+    }
+
+    #[test]
+    fn merge_requires_identical_bounds_and_sums_everything() {
+        let mut a = Histogram::new(&[1, 10, 100]);
+        let mut b = Histogram::new(&[1, 10, 100]);
+        for v in [0, 5, 50] {
+            a.observe(v);
+        }
+        for v in [7, 5000] {
+            b.observe(v);
+        }
+        assert!(a.merge_from(&b));
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.sum(), 5062u128);
+        assert_eq!(a.cumulative(), vec![1, 3, 4, 5]);
+        let c = Histogram::new(&[1, 2]);
+        assert!(!a.merge_from(&c), "foreign bucket layout rejected");
+        assert_eq!(a.count(), 5, "rejected merge left counts untouched");
+    }
+
+    #[test]
+    fn quantiles_report_bucket_upper_bounds() {
+        let mut h = Histogram::new(&[10, 100, 1_000]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        for v in [1, 2, 3, 50, 60, 70, 80, 90, 500, 5_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(10));
+        assert_eq!(h.quantile(0.5), Some(100));
+        assert_eq!(h.quantile(0.9), Some(1_000));
+        // The 99th percentile lands in the overflow bucket: the largest
+        // finite bound is reported as a lower bound.
+        assert_eq!(h.quantile(0.99), Some(1_000));
     }
 
     #[test]

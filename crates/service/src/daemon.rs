@@ -375,6 +375,19 @@ impl Daemon {
         self.core.cancel(id).is_some()
     }
 
+    /// Waiting-queue demand: `(jobs, node_seconds)` summed over the
+    /// queue (each job's nodes × requested runtime).  The fleet front
+    /// end reads this for quota and fairshare admission checks.
+    pub fn queue_demand(&self) -> (usize, u64) {
+        let node_seconds = self
+            .core
+            .queue()
+            .iter()
+            .map(|w| u64::from(w.job.nodes).saturating_mul(w.job.requested))
+            .sum();
+        (self.core.queue().len(), node_seconds)
+    }
+
     /// Stops admissions and fast-forwards the departure calendar until
     /// the machine is empty.  Returns `(completed, leftover)`; leftover
     /// is non-zero only if the policy refuses to start waiting jobs on an
@@ -552,6 +565,33 @@ impl Daemon {
                     ),
                     Err(e) => (error_response(&e), false),
                 }
+            }
+            Request::SubmitBatch { jobs } => {
+                let mut results = Vec::with_capacity(jobs.len());
+                let mut accepted = 0u64;
+                for spec in jobs {
+                    let t = spec.submit.unwrap_or(at);
+                    match self.submit_at(t, spec.nodes, spec.runtime, spec.requested, spec.user) {
+                        Ok((id, started)) => {
+                            accepted += 1;
+                            results.push(json!({
+                                "ok": true,
+                                "id": id.0,
+                                "started": started,
+                            }));
+                        }
+                        Err(e) => results.push(error_response(&e)),
+                    }
+                }
+                (
+                    json!({
+                        "ok": true,
+                        "now": self.core.now(),
+                        "accepted": accepted,
+                        "results": Value::Array(results),
+                    }),
+                    false,
+                )
             }
             Request::Cancel { id } => {
                 self.poll_to(at);
@@ -738,6 +778,36 @@ mod tests {
         let (v, stop) = d.handle(Request::Shutdown, 5);
         assert_eq!(v["ok"], true);
         assert!(stop);
+    }
+
+    #[test]
+    fn batched_submit_reports_per_job_results_in_one_response() {
+        use crate::protocol::SubmitSpec;
+        let mut d = daemon(8);
+        let spec = |nodes: u32| SubmitSpec {
+            nodes,
+            runtime: HOUR,
+            requested: None,
+            user: 0,
+            submit: Some(10),
+        };
+        let (v, stop) = d.handle(
+            Request::SubmitBatch {
+                jobs: vec![spec(4), spec(9), spec(4)],
+            },
+            0,
+        );
+        assert!(!stop);
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["accepted"].as_u64(), Some(2));
+        let results = v["results"].as_array().expect("results array");
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0]["started"], true);
+        assert_eq!(results[1]["ok"], false, "9 nodes never fit on 8");
+        assert_eq!(results[2]["started"], true);
+        // Batch parity: the same jobs one-at-a-time give identical ids.
+        assert_eq!(results[0]["id"].as_u64(), Some(0));
+        assert_eq!(results[2]["id"].as_u64(), Some(1));
     }
 
     #[test]

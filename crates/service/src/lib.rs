@@ -23,8 +23,9 @@
 //! * [`clock`] — wall and virtual time sources;
 //! * [`snapshot`] — crash-safe JSON state snapshots and recovery;
 //! * [`metrics`] — Prometheus exposition text;
-//! * [`server`] — the std-only threaded TCP front end (JSON protocol
-//!   and `GET /metrics` on the same port, graceful SIGTERM drain).
+//! * [`server`] — the std-only event-driven TCP front end (JSON
+//!   protocol and `GET /metrics` on the same port, one readiness loop
+//!   over nonblocking sockets, graceful SIGTERM drain).
 //!
 //! Anytime search: give [`ServiceConfig::with_deadline`] a per-decision
 //! wall-clock budget and search policies return their best-so-far
@@ -40,6 +41,6 @@ pub mod snapshot;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use daemon::{Daemon, ServiceConfig};
 pub use metrics::MetricsView;
-pub use protocol::{parse_request, Request};
-pub use server::Server;
+pub use protocol::{parse_request, parse_routed, Request, SubmitSpec};
+pub use server::{Server, ServerHandler};
 pub use snapshot::{CompletedStats, Snapshot};

@@ -17,9 +17,38 @@
 //! `runtime`), `user`, and — on virtual-clock daemons only — an explicit
 //! `submit` time.  Unknown fields are ignored; malformed requests get
 //! `{"ok":false,"error":"..."}` and the connection stays open.
+//!
+//! Two fleet extensions ride on the same line format:
+//!
+//! ```text
+//! {"op":"submit_batch","jobs":[{"nodes":4,"runtime":60},...]}  -> {"ok":true,"ids":[...],...}
+//! {"op":"submit","cluster":"alpha","nodes":4,"runtime":60}     -> routed to tenant "alpha"
+//! ```
+//!
+//! Any request may carry a `"cluster"` routing field (extracted by
+//! [`parse_routed`]); single-tenant daemons ignore it.  Batches are
+//! capped at [`MAX_BATCH`] jobs per request.
 
 use sbs_workload::time::Time;
 use serde_json::Value;
+
+/// Largest number of jobs one `submit_batch` request may carry.
+pub const MAX_BATCH: usize = 1024;
+
+/// One job inside a `submit_batch` request (same fields as `submit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitSpec {
+    /// Requested node count.
+    pub nodes: u32,
+    /// Actual runtime (the daemon simulates execution).
+    pub runtime: Time,
+    /// User-requested runtime; defaults to `runtime`.
+    pub requested: Option<Time>,
+    /// Submitting user id.
+    pub user: u32,
+    /// Explicit submission time (virtual-clock daemons only).
+    pub submit: Option<Time>,
+}
 
 /// A decoded protocol request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +65,11 @@ pub enum Request {
         user: u32,
         /// Explicit submission time (virtual-clock daemons only).
         submit: Option<Time>,
+    },
+    /// Enqueue many jobs at once; answered by one response per batch.
+    SubmitBatch {
+        /// The jobs, in submission order.
+        jobs: Vec<SubmitSpec>,
     },
     /// Remove a waiting job.
     Cancel {
@@ -68,33 +102,63 @@ fn require_u64(v: &Value, key: &str) -> Result<u64, String> {
     get_u64(v, key)?.ok_or_else(|| format!("missing field {key:?}"))
 }
 
-/// Parses one request line.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+/// Parses the submit-shaped fields of `v` into a [`SubmitSpec`].
+fn parse_submit_spec(v: &Value) -> Result<SubmitSpec, String> {
+    let nodes = require_u64(v, "nodes")?;
+    if nodes == 0 || nodes > u32::MAX as u64 {
+        return Err("\"nodes\" must be in 1..=2^32-1".into());
+    }
+    let runtime = require_u64(v, "runtime")?;
+    if runtime == 0 {
+        return Err("\"runtime\" must be positive".into());
+    }
+    Ok(SubmitSpec {
+        nodes: nodes as u32,
+        runtime,
+        requested: get_u64(v, "requested")?,
+        user: get_u64(v, "user")?.unwrap_or(0).min(u32::MAX as u64) as u32,
+        submit: get_u64(v, "submit")?,
+    })
+}
+
+fn parse_value(v: &Value) -> Result<Request, String> {
     let op = v
         .get("op")
         .and_then(Value::as_str)
         .ok_or("missing field \"op\"")?;
     match op {
         "submit" => {
-            let nodes = require_u64(&v, "nodes")?;
-            if nodes == 0 || nodes > u32::MAX as u64 {
-                return Err("\"nodes\" must be in 1..=2^32-1".into());
-            }
-            let runtime = require_u64(&v, "runtime")?;
-            if runtime == 0 {
-                return Err("\"runtime\" must be positive".into());
-            }
+            let spec = parse_submit_spec(v)?;
             Ok(Request::Submit {
-                nodes: nodes as u32,
-                runtime,
-                requested: get_u64(&v, "requested")?,
-                user: get_u64(&v, "user")?.unwrap_or(0).min(u32::MAX as u64) as u32,
-                submit: get_u64(&v, "submit")?,
+                nodes: spec.nodes,
+                runtime: spec.runtime,
+                requested: spec.requested,
+                user: spec.user,
+                submit: spec.submit,
             })
         }
+        "submit_batch" => {
+            let jobs = v
+                .get("jobs")
+                .and_then(Value::as_array)
+                .ok_or("missing field \"jobs\" (array)")?;
+            if jobs.is_empty() {
+                return Err("\"jobs\" must not be empty".into());
+            }
+            if jobs.len() > MAX_BATCH {
+                return Err(format!(
+                    "\"jobs\" holds {} entries; the batch cap is {MAX_BATCH}",
+                    jobs.len()
+                ));
+            }
+            let mut specs = Vec::with_capacity(jobs.len());
+            for (i, j) in jobs.iter().enumerate() {
+                specs.push(parse_submit_spec(j).map_err(|e| format!("jobs[{i}]: {e}"))?);
+            }
+            Ok(Request::SubmitBatch { jobs: specs })
+        }
         "cancel" => {
-            let id = require_u64(&v, "id")?;
+            let id = require_u64(v, "id")?;
             if id > u32::MAX as u64 {
                 return Err("\"id\" out of range".into());
             }
@@ -107,6 +171,47 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    parse_value(&v)
+}
+
+/// Parses one request line plus its optional `"cluster"` routing field.
+///
+/// Single-tenant daemons use [`parse_request`] (which ignores routing);
+/// the fleet daemon uses this to pick a tenant before dispatch.
+pub fn parse_routed(line: &str) -> Result<(Option<String>, Request), String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let cluster = match v.get("cluster") {
+        None | Some(Value::Null) => None,
+        Some(Value::String(s)) => {
+            validate_cluster_id(s)?;
+            Some(s.clone())
+        }
+        Some(_) => return Err("field \"cluster\" must be a string".into()),
+    };
+    Ok((cluster, parse_value(&v)?))
+}
+
+/// Checks that a cluster id is usable as a routing key and a metrics
+/// label value: non-empty, at most 64 bytes, `[A-Za-z0-9_.-]` only.
+pub fn validate_cluster_id(id: &str) -> Result<(), String> {
+    if id.is_empty() {
+        return Err("\"cluster\" must not be empty".into());
+    }
+    if id.len() > 64 {
+        return Err("\"cluster\" longer than 64 bytes".into());
+    }
+    if !id
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'-'))
+    {
+        return Err("\"cluster\" may only contain [A-Za-z0-9_.-]".into());
+    }
+    Ok(())
 }
 
 /// The standard failure envelope.
@@ -172,5 +277,59 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn submit_batch_parses_and_enforces_the_cap() {
+        let r = parse_request(
+            r#"{"op":"submit_batch","jobs":[{"nodes":4,"runtime":60},{"nodes":1,"runtime":30,"user":2}]}"#,
+        )
+        .unwrap();
+        match r {
+            Request::SubmitBatch { jobs } => {
+                assert_eq!(jobs.len(), 2);
+                assert_eq!(jobs[0].nodes, 4);
+                assert_eq!(jobs[1].user, 2);
+            }
+            other => panic!("expected SubmitBatch, got {other:?}"),
+        }
+        // Per-entry errors carry the offending index.
+        let err = parse_request(
+            r#"{"op":"submit_batch","jobs":[{"nodes":1,"runtime":60},{"nodes":0,"runtime":60}]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("jobs[1]"), "{err}");
+        // Empty and oversized batches are rejected.
+        assert!(parse_request(r#"{"op":"submit_batch","jobs":[]}"#).is_err());
+        let huge = format!(
+            r#"{{"op":"submit_batch","jobs":[{}]}}"#,
+            vec![r#"{"nodes":1,"runtime":1}"#; MAX_BATCH + 1].join(",")
+        );
+        let err = parse_request(&huge).unwrap_err();
+        assert!(err.contains("batch cap"), "{err}");
+    }
+
+    #[test]
+    fn cluster_routing_is_extracted_and_validated() {
+        let (cluster, r) =
+            parse_routed(r#"{"op":"submit","cluster":"alpha-1","nodes":2,"runtime":60}"#).unwrap();
+        assert_eq!(cluster.as_deref(), Some("alpha-1"));
+        assert!(matches!(r, Request::Submit { nodes: 2, .. }));
+        // No cluster field -> unrouted.
+        let (cluster, _) = parse_routed(r#"{"op":"queue"}"#).unwrap();
+        assert_eq!(cluster, None);
+        // Bad cluster ids are typed errors, not routing surprises.
+        for line in [
+            r#"{"op":"queue","cluster":7}"#,
+            r#"{"op":"queue","cluster":""}"#,
+            r#"{"op":"queue","cluster":"has space"}"#,
+            r#"{"op":"queue","cluster":"quo\"te"}"#,
+        ] {
+            assert!(parse_routed(line).is_err(), "{line} should be rejected");
+        }
+        let long = format!(r#"{{"op":"queue","cluster":"{}"}}"#, "x".repeat(65));
+        assert!(parse_routed(&long).is_err());
+        // parse_request keeps ignoring the routing field.
+        assert!(parse_request(r#"{"op":"queue","cluster":"alpha"}"#).is_ok());
     }
 }

@@ -5,33 +5,59 @@
 //! answered with the Prometheus exposition text; anything else is the
 //! JSON protocol, one request and one response per line.
 //!
-//! Threading is std-only: the accept loop runs non-blocking with a short
-//! sleep, each connection gets its own thread, and all of them share the
-//! [`Daemon`] behind one mutex (a scheduler decision is already
-//! serialized by nature — there is exactly one machine state).
+//! The loop is **event-driven on std only**: a nonblocking listener and
+//! nonblocking connections are swept in one readiness loop — accept
+//! what's pending, read what's readable into per-connection buffers,
+//! dispatch every complete line, flush what's writable — with a short
+//! sleep only when a full sweep found nothing to do.  No thread per
+//! connection: the connection count is bounded ([`MAX_CONNS`]), lines
+//! are bounded ([`MAX_LINE_BYTES`]), and connections idle for too many
+//! sweeps are dropped, so one stuck client cannot wedge the daemon.
+//!
+//! The loop serves anything implementing [`ServerHandler`]: the
+//! single-tenant [`Daemon`] here, or the multi-tenant fleet front end in
+//! `sbs-fleet`.
 //!
 //! `SIGTERM` (and the in-protocol `shutdown` op) drains gracefully:
-//! admissions stop, a final snapshot is written if configured, and the
-//! accept loop exits once every connection thread has been joined.
+//! admissions stop, the handler persists its state, and pending
+//! responses are flushed before the loop exits.
 
 use crate::clock::Clock;
 use crate::daemon::Daemon;
 use crate::protocol::{error_response, parse_request};
-use std::io::{BufRead, BufReader, Write};
+use sbs_workload::time::Time;
+use serde_json::Value;
+use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Duration;
 
-/// Locks the daemon, recovering from mutex poisoning.
+/// Most simultaneous connections the readiness loop will hold open;
+/// extras are answered with a typed error and closed.
+pub const MAX_CONNS: usize = 256;
+
+/// Longest accepted request line (bytes).  A connection that buffers
+/// more than this without a newline is answered with an error and
+/// closed — a malformed client cannot grow server memory unboundedly.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Idle sweeps (each ending in a short sleep) before a silent
+/// connection is dropped.  Sweeps only count as idle when the *whole*
+/// loop found nothing to do, so a busy server never expires clients.
+const IDLE_TICK_LIMIT: u64 = 30_000;
+
+/// Sleep between sweeps when nothing was accepted, read, or written.
+const IDLE_SLEEP: Duration = Duration::from_millis(2);
+
+/// Locks the handler, recovering from mutex poisoning.
 ///
-/// A poisoned lock means some connection thread panicked mid-request.
-/// The scheduler state itself is transition-consistent (every mutation in
-/// `SchedulerCore` completes or panics before touching state), so the
-/// daemon must keep serving rather than cascade the panic into every
-/// other connection and the accept loop.
-fn lock_daemon(daemon: &Mutex<Daemon>) -> MutexGuard<'_, Daemon> {
-    daemon
+/// A poisoned lock means some thread panicked mid-request.  Scheduler
+/// state is transition-consistent (every mutation in `SchedulerCore`
+/// completes or panics before touching state), so the daemon must keep
+/// serving rather than cascade the panic into the accept loop.
+fn lock_handler<H>(handler: &Mutex<H>) -> MutexGuard<'_, H> {
+    handler
         .lock()
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -57,26 +83,114 @@ fn install_sigterm() {
 #[cfg(not(unix))]
 fn install_sigterm() {}
 
-/// The daemon's TCP server.
-pub struct Server {
-    daemon: Arc<Mutex<Daemon>>,
+/// What the readiness loop needs from the thing it serves.
+///
+/// [`Daemon`] implements this for the single-tenant protocol; the fleet
+/// daemon implements it with `cluster`-routed dispatch.  All methods
+/// run under the server's handler lock.
+pub trait ServerHandler: Send {
+    /// Advances background state (departure replay) to time `at`.
+    fn poll_to(&mut self, at: Time);
+
+    /// Handles one protocol line at time `at`.  Returns the response
+    /// value and whether the server should shut down.
+    fn handle_line(&mut self, line: &str, at: Time) -> (Value, bool);
+
+    /// Scheduler time after the last operation, used to keep a steered
+    /// (virtual) clock in step with the scheduler.
+    fn now(&self) -> Time;
+
+    /// The `/metrics` text for HTTP probes, current as of `at`.
+    fn metrics_text_at(&mut self, at: Time) -> String;
+
+    /// Best-effort persistence (snapshot, trace flush) at shutdown.
+    fn on_shutdown(&mut self);
+}
+
+impl ServerHandler for Daemon {
+    fn poll_to(&mut self, at: Time) {
+        Daemon::poll_to(self, at);
+    }
+
+    fn handle_line(&mut self, line: &str, at: Time) -> (Value, bool) {
+        match parse_request(line) {
+            Ok(req) => self.handle(req, at),
+            Err(e) => (error_response(&e), false),
+        }
+    }
+
+    fn now(&self) -> Time {
+        Daemon::now(self)
+    }
+
+    fn metrics_text_at(&mut self, at: Time) -> String {
+        Daemon::poll_to(self, at);
+        self.metrics_text()
+    }
+
+    fn on_shutdown(&mut self) {
+        // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
+        let _ = self.save_snapshot();
+        // sbs-lint: allow(result-dropped): proven best-effort path — a trace-sink flush failure must not block shutdown
+        let _ = self.flush_traces();
+    }
+}
+
+/// One client connection's readiness-loop state.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet forming a complete line.
+    inbuf: Vec<u8>,
+    /// Bytes queued for writing (responses survive `WouldBlock`).
+    outbuf: Vec<u8>,
+    /// Consecutive whole-loop-idle sweeps with no traffic here.
+    idle_ticks: u64,
+    /// Close once `outbuf` drains (EOF seen or HTTP probe answered).
+    closing: bool,
+    /// Drop immediately (I/O error or fully flushed after `closing`).
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            inbuf: Vec::new(),
+            outbuf: Vec::new(),
+            idle_ticks: 0,
+            closing: false,
+            dead: false,
+        }
+    }
+}
+
+fn retriable(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// The daemon's TCP server: one readiness loop over a [`ServerHandler`].
+pub struct Server<H: ServerHandler = Daemon> {
+    handler: Arc<Mutex<H>>,
     clock: Arc<dyn Clock + Sync>,
     shutdown: Arc<AtomicBool>,
 }
 
-impl Server {
-    /// Wraps `daemon` with the given time source.
-    pub fn new(daemon: Daemon, clock: impl Clock + Sync + 'static) -> Self {
+impl<H: ServerHandler> Server<H> {
+    /// Wraps `handler` with the given time source.
+    pub fn new(handler: H, clock: impl Clock + Sync + 'static) -> Self {
         Server {
-            daemon: Arc::new(Mutex::new(daemon)),
+            handler: Arc::new(Mutex::new(handler)),
             clock: Arc::new(clock),
             shutdown: Arc::new(AtomicBool::new(false)),
         }
     }
 
-    /// Shared handle to the daemon (tests inspect state through this).
-    pub fn daemon(&self) -> Arc<Mutex<Daemon>> {
-        Arc::clone(&self.daemon)
+    /// Shared handle to the handler (tests inspect state through this).
+    pub fn daemon(&self) -> Arc<Mutex<H>> {
+        Arc::clone(&self.handler)
     }
 
     /// Shared stop flag; storing `true` ends [`Server::run`].
@@ -85,43 +199,151 @@ impl Server {
     }
 
     /// Serves `listener` until shutdown (in-protocol, via the flag, or
-    /// SIGTERM).  Writes a final snapshot if one is configured.
+    /// SIGTERM).  The handler persists its state on the way out.
     pub fn run(&self, listener: TcpListener) -> std::io::Result<()> {
         install_sigterm();
         listener.set_nonblocking(true)?;
-        let mut workers = Vec::new();
+        let mut conns: Vec<Conn> = Vec::new();
         while !self.stopping() {
             {
-                let mut d = lock_daemon(&self.daemon);
-                d.poll_to(self.clock.now());
+                let mut h = lock_handler(&self.handler);
+                h.poll_to(self.clock.now());
             }
-            match listener.accept() {
-                Ok((stream, _addr)) => {
-                    let daemon = Arc::clone(&self.daemon);
-                    let clock = Arc::clone(&self.clock);
-                    let shutdown = Arc::clone(&self.shutdown);
-                    workers.push(std::thread::spawn(move || {
-                        let _ = serve_connection(stream, &daemon, clock.as_ref(), &shutdown);
-                    }));
+            let mut active = self.accept_ready(&listener, &mut conns)?;
+            for conn in &mut conns {
+                if self.service_conn(conn) {
+                    active = true;
+                    conn.idle_ticks = 0;
                 }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
+            }
+            conns.retain(|c| !c.dead && c.idle_ticks < IDLE_TICK_LIMIT);
+            if !active {
+                for conn in &mut conns {
+                    conn.idle_ticks += 1;
                 }
-                Err(e) => return Err(e),
+                std::thread::sleep(IDLE_SLEEP);
             }
         }
         self.shutdown.store(true, Ordering::SeqCst);
         {
-            let mut d = lock_daemon(&self.daemon);
-            // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
-            let _ = d.save_snapshot();
-            // sbs-lint: allow(result-dropped): proven best-effort path — a trace-sink flush failure must not block shutdown
-            let _ = d.flush_traces();
+            let mut h = lock_handler(&self.handler);
+            h.on_shutdown();
         }
-        for w in workers {
-            let _ = w.join();
+        // Flush pending responses (the in-protocol `shutdown` reply in
+        // particular) with a bounded blocking write per connection.
+        for conn in &mut conns {
+            if conn.outbuf.is_empty() {
+                continue;
+            }
+            // sbs-lint: allow(result-dropped): proven best-effort path — a client gone at shutdown must not fail the drain
+            let _ = conn.stream.set_nonblocking(false);
+            // sbs-lint: allow(result-dropped): proven best-effort path — see above
+            let _ = conn
+                .stream
+                .set_write_timeout(Some(Duration::from_millis(250)));
+            // sbs-lint: allow(result-dropped): proven best-effort path — see above
+            let _ = conn.stream.write_all(&conn.outbuf);
         }
         Ok(())
+    }
+
+    /// Drains the listener's accept queue.  Returns whether anything
+    /// arrived.
+    fn accept_ready(&self, listener: &TcpListener, conns: &mut Vec<Conn>) -> std::io::Result<bool> {
+        let mut active = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _addr)) => {
+                    active = true;
+                    if conns.len() >= MAX_CONNS {
+                        reject_overloaded(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_ok() {
+                        // One-line request/response: Nagle + delayed ACK
+                        // would add ~40ms per round trip.
+                        // sbs-lint: allow(result-dropped): nodelay is a latency hint; serving without it is still correct
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                    }
+                }
+                Err(e) if retriable(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(active)
+    }
+
+    /// One sweep over a connection: read what's there, dispatch complete
+    /// lines, flush what fits.  Returns whether any I/O happened.
+    fn service_conn(&self, conn: &mut Conn) -> bool {
+        let mut active = false;
+        let mut scratch = [0u8; 8192];
+        while !conn.closing && !conn.dead {
+            match conn.stream.read(&mut scratch) {
+                Ok(0) => {
+                    conn.closing = true;
+                }
+                Ok(n) => {
+                    active = true;
+                    conn.inbuf
+                        .extend_from_slice(scratch.get(..n).unwrap_or(&[]));
+                    if conn.inbuf.len() > MAX_LINE_BYTES && !conn.inbuf.contains(&b'\n') {
+                        queue_response(
+                            conn,
+                            &error_response(&format!(
+                                "request line exceeds {MAX_LINE_BYTES} bytes"
+                            )),
+                        );
+                        conn.inbuf.clear();
+                        conn.closing = true;
+                    }
+                }
+                Err(e) if retriable(&e) => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                }
+            }
+        }
+        while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = conn.inbuf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes);
+            let text = line.trim();
+            if text.is_empty() {
+                continue;
+            }
+            active = true;
+            if text.starts_with("GET ") {
+                let body = {
+                    let mut h = lock_handler(&self.handler);
+                    h.metrics_text_at(self.clock.now())
+                };
+                conn.outbuf
+                    .extend_from_slice(http_response(&body).as_bytes());
+                conn.inbuf.clear();
+                conn.closing = true;
+                break;
+            }
+            let (response, stop) = {
+                let mut h = lock_handler(&self.handler);
+                let out = h.handle_line(text, self.clock.now());
+                // Keep a steered (virtual) clock in step with the
+                // scheduler so later requests see consistent time.
+                self.clock.advance_to(h.now());
+                out
+            };
+            queue_response(conn, &response);
+            if stop {
+                self.shutdown.store(true, Ordering::SeqCst);
+                break;
+            }
+        }
+        if flush_out(conn) {
+            active = true;
+        }
+        active
     }
 
     fn stopping(&self) -> bool {
@@ -129,83 +351,52 @@ impl Server {
     }
 }
 
-/// Handles one client connection until EOF, error, or shutdown.
-fn serve_connection(
-    stream: TcpStream,
-    daemon: &Mutex<Daemon>,
-    clock: &(dyn Clock + Sync),
-    shutdown: &AtomicBool,
-) -> std::io::Result<()> {
-    // A finite read timeout lets the thread notice shutdown even when
-    // the client keeps the connection open silently.
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        if shutdown.load(Ordering::SeqCst) || TERM.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()),
-            Ok(_) => {
-                let text = line.trim().to_string();
-                line.clear();
-                if text.is_empty() {
-                    continue;
-                }
-                if text.starts_with("GET ") {
-                    return answer_http_probe(&mut writer, daemon, clock);
-                }
-                let (response, stop) = match parse_request(&text) {
-                    Ok(req) => {
-                        let mut d = lock_daemon(daemon);
-                        let out = d.handle(req, clock.now());
-                        // Keep a steered (virtual) clock in step with the
-                        // scheduler so later requests see consistent time.
-                        clock.advance_to(d.now());
-                        out
-                    }
-                    Err(e) => (error_response(&e), false),
-                };
-                // Serializing a response value cannot fail today, but a
-                // daemon never bets its life on "cannot": fall back to a
-                // hand-built error line instead of panicking the thread.
-                let rendered = serde_json::to_string(&response).unwrap_or_else(|_| {
-                    r#"{"ok":false,"error":"internal: response serialization failed"}"#.to_string()
-                });
-                writeln!(writer, "{rendered}")?;
-                if stop {
-                    shutdown.store(true, Ordering::SeqCst);
-                    return Ok(());
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => return Ok(()),
-        }
-    }
+/// Serializes `response` onto the connection's write queue.
+fn queue_response(conn: &mut Conn, response: &Value) {
+    // Serializing a response value cannot fail today, but a daemon never
+    // bets its life on "cannot": fall back to a hand-built error line.
+    let rendered = serde_json::to_string(response).unwrap_or_else(|_| {
+        r#"{"ok":false,"error":"internal: response serialization failed"}"#.to_string()
+    });
+    conn.outbuf.extend_from_slice(rendered.as_bytes());
+    conn.outbuf.push(b'\n');
 }
 
-/// Answers a plain HTTP `GET` (any path) with the metrics text.
-fn answer_http_probe(
-    writer: &mut TcpStream,
-    daemon: &Mutex<Daemon>,
-    clock: &(dyn Clock + Sync),
-) -> std::io::Result<()> {
-    let text = {
-        let mut d = lock_daemon(daemon);
-        d.poll_to(clock.now());
-        d.metrics_text()
-    };
-    write!(
-        writer,
+/// Writes as much of the out-buffer as the socket accepts right now.
+fn flush_out(conn: &mut Conn) -> bool {
+    let mut active = false;
+    while !conn.outbuf.is_empty() && !conn.dead {
+        match conn.stream.write(&conn.outbuf) {
+            Ok(0) => conn.dead = true,
+            Ok(n) => {
+                active = true;
+                conn.outbuf.drain(..n);
+            }
+            Err(e) if retriable(&e) => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => conn.dead = true,
+        }
+    }
+    if conn.closing && conn.outbuf.is_empty() {
+        conn.dead = true;
+    }
+    active
+}
+
+/// Answers an over-capacity connection with a typed error, blocking at
+/// most briefly, then drops it.
+fn reject_overloaded(mut stream: TcpStream) {
+    // sbs-lint: allow(result-dropped): proven best-effort path — the overload notice is a courtesy; dropping the connection is the point
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    // sbs-lint: allow(result-dropped): proven best-effort path — see above
+    let _ = stream.write_all(b"{\"ok\":false,\"error\":\"server at connection capacity\"}\n");
+}
+
+/// A plain HTTP response carrying the metrics text.
+fn http_response(body: &str) -> String {
+    format!(
         "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        text.len(),
-        text
+        body.len(),
+        body
     )
 }

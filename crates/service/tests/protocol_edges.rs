@@ -1,0 +1,144 @@
+//! Protocol edge cases against the live readiness loop: malformed
+//! lines, oversized batches, mid-batch disconnects, and over-long
+//! requests must each produce a typed error (or a clean close) without
+//! wedging the loop for other clients.
+
+use sbs_core::PolicySpec;
+use sbs_service::{Daemon, Server, ServiceConfig, VirtualClock};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+fn start_server() -> (
+    std::net::SocketAddr,
+    std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    let daemon = Daemon::fresh(ServiceConfig::new(8, PolicySpec::FcfsBackfill));
+    let server = Server::new(daemon, VirtualClock::default());
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run(listener));
+    (addr, handle)
+}
+
+fn send_line(addr: std::net::SocketAddr, line: &str) -> serde_json::Value {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    writeln!(stream, "{line}").expect("write");
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .expect("read");
+    serde_json::from_str(response.trim()).expect("json response")
+}
+
+fn shut_down(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<std::io::Result<()>>) {
+    let v = send_line(addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(v["ok"], true);
+    handle.join().expect("join").expect("clean exit");
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_loop_survives() {
+    let (addr, handle) = start_server();
+    for line in [
+        "{",
+        "not json at all",
+        r#"{"op":"warp"}"#,
+        r#"{"op":"submit"}"#,
+        r#"{"op":"submit","nodes":0,"runtime":60}"#,
+        r#"{"op":"submit_batch","jobs":[]}"#,
+        r#"{"op":"submit_batch","jobs":"nope"}"#,
+    ] {
+        let v = send_line(addr, line);
+        assert_eq!(v["ok"], false, "{line} should be rejected");
+        assert!(v["error"].as_str().is_some(), "{line} carries an error");
+    }
+    // The loop still serves well-formed requests afterwards.
+    let v = send_line(addr, r#"{"op":"submit","nodes":2,"runtime":60,"submit":5}"#);
+    assert_eq!(v["ok"], true);
+    shut_down(addr, handle);
+}
+
+#[test]
+fn oversized_batches_are_rejected_whole() {
+    let (addr, handle) = start_server();
+    let huge = format!(
+        r#"{{"op":"submit_batch","jobs":[{}]}}"#,
+        vec![r#"{"nodes":1,"runtime":1}"#; sbs_service::protocol::MAX_BATCH + 1].join(",")
+    );
+    let v = send_line(addr, &huge);
+    assert_eq!(v["ok"], false);
+    assert!(
+        v["error"]
+            .as_str()
+            .unwrap_or_default()
+            .contains("batch cap"),
+        "{v}"
+    );
+    // No job from the oversized batch was admitted.
+    let v = send_line(addr, r#"{"op":"queue"}"#);
+    assert_eq!(v["queue"].as_array().map(Vec::len), Some(0));
+    assert_eq!(v["running"].as_array().map(Vec::len), Some(0));
+    shut_down(addr, handle);
+}
+
+#[test]
+fn mid_batch_disconnect_does_not_wedge_other_clients() {
+    let (addr, handle) = start_server();
+    // A client starts a (valid) batch line but disconnects before the
+    // newline: the partial line must simply be discarded.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, r#"{{"op":"submit_batch","jobs":[{{"nodes":1,"#).expect("write");
+        // Dropped here: no newline ever arrives.
+    }
+    // Another client flushes half a batch, then shuts its write side
+    // down before disconnecting.
+    {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            r#"{{"op":"submit_batch","jobs":[{{"nodes":1,"runtime":9"#
+        )
+        .expect("write");
+        stream
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+    }
+    let v = send_line(
+        addr,
+        r#"{"op":"submit_batch","jobs":[{"nodes":2,"runtime":60},{"nodes":2,"runtime":60}]}"#,
+    );
+    assert_eq!(v["ok"], true);
+    assert_eq!(v["accepted"].as_u64(), Some(2));
+    shut_down(addr, handle);
+}
+
+#[test]
+fn over_long_lines_are_cut_off_with_an_error() {
+    let (addr, handle) = start_server();
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    // Stream > MAX_LINE_BYTES of junk with no newline; the server must
+    // answer with an error and close rather than buffer forever.
+    let chunk = vec![b'x'; 64 * 1024];
+    let mut sent = 0usize;
+    while sent <= sbs_service::server::MAX_LINE_BYTES {
+        if stream.write_all(&chunk).is_err() {
+            break; // server already closed on us — that's fine too
+        }
+        sent += chunk.len();
+    }
+    let mut response = String::new();
+    // A typed error is best; a clean close (empty read) is acceptable.
+    if BufReader::new(stream).read_line(&mut response).is_ok() && !response.trim().is_empty() {
+        let v: serde_json::Value = serde_json::from_str(response.trim()).expect("json");
+        assert_eq!(v["ok"], false);
+        assert!(
+            v["error"].as_str().unwrap_or_default().contains("exceeds"),
+            "{v}"
+        );
+    }
+    // The loop still answers the next client.
+    let v = send_line(addr, r#"{"op":"queue"}"#);
+    assert_eq!(v["ok"], true);
+    shut_down(addr, handle);
+}
