@@ -1,0 +1,159 @@
+//! Git-diff-scoped lint runs (`sbs lint --changed[=BASE]`).
+//!
+//! A PR touches a handful of files; linting only those keeps the
+//! feedback loop at editor speed while CI's main-branch job still runs
+//! the full workspace.  The file list is
+//!
+//! * everything different between the working tree and the merge-base
+//!   of `BASE` and `HEAD` (so commits *on* the base branch made after
+//!   the fork point are not attributed to this change), plus
+//! * untracked files (`git ls-files --others --exclude-standard`),
+//!
+//! filtered to `.rs` files that still exist, live under the config's
+//! scan roots, and are not inside a skipped directory — the same
+//! visibility the workspace walk has, so `--changed` never reports
+//! from a file the full run would not.
+//!
+//! Flow rules still see the *whole* workspace index (call graph, lock
+//! ordering edges) via [`crate::workspace::Workspace`]; only the set of
+//! files findings are *reported* from shrinks.
+
+use crate::config::LintConfig;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// Default diff base when `--changed` is given without a value.
+pub const DEFAULT_BASE: &str = "origin/main";
+
+/// Runs git in `root` and returns stdout, or a one-line error carrying
+/// stderr.
+fn git(root: &Path, args: &[&str]) -> Result<String, String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .map_err(|e| format!("cannot run git: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git {} failed: {}",
+            args.join(" "),
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// True when `rel` (a `/`-separated git path) is visible to the
+/// workspace scan: under one of the roots, outside every skipped
+/// directory, and a `.rs` file.
+fn scanned(rel: &str, cfg: &LintConfig) -> bool {
+    if !rel.ends_with(".rs") {
+        return false;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    let under_root = cfg
+        .roots
+        .iter()
+        .any(|r| parts.first().is_some_and(|p| p == r) || r == ".");
+    under_root && !parts.iter().any(|p| cfg.skip_dirs.iter().any(|s| s == p))
+}
+
+/// The root-relative `.rs` files changed against `base`, ready for
+/// [`crate::engine::lint_files`].  Deleted files are dropped; the list
+/// is sorted and deduplicated.  Errors carry git's own message (bad
+/// base, not a repository, ...).
+pub fn changed_files(root: &Path, base: &str, cfg: &LintConfig) -> Result<Vec<PathBuf>, String> {
+    // Merge-base keeps post-fork commits on the base branch out of the
+    // diff; when it cannot be computed (detached fetch, shallow
+    // history) the base ref itself is the best available anchor.
+    let anchor = match git(root, &["merge-base", base, "HEAD"]) {
+        Ok(s) => s.trim().to_string(),
+        Err(_) => base.to_string(),
+    };
+    let mut names: Vec<String> = git(root, &["diff", "--name-only", "-z", &anchor])?
+        .split('\0')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect();
+    names.extend(
+        git(root, &["ls-files", "--others", "--exclude-standard", "-z"])?
+            .split('\0')
+            .filter(|s| !s.is_empty())
+            .map(str::to_string),
+    );
+    names.sort();
+    names.dedup();
+    Ok(names
+        .into_iter()
+        .filter(|n| scanned(n, cfg))
+        .map(PathBuf::from)
+        .filter(|p| root.join(p).is_file())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_filter_mirrors_the_workspace_walk() {
+        let cfg = LintConfig::default();
+        assert!(scanned("crates/fleet/src/fleet.rs", &cfg));
+        assert!(!scanned("crates/fleet/src/lib.c", &cfg), "not Rust");
+        assert!(!scanned("docs/src/lib.rs", &cfg), "outside roots");
+        assert!(
+            !scanned("crates/analysis/tests/fixtures/x.rs", &cfg),
+            "skipped dir"
+        );
+        assert!(!scanned("crates/x/target/gen.rs", &cfg), "build output");
+    }
+
+    #[test]
+    fn changed_files_against_head_is_quiet_on_a_fresh_repo() {
+        // In a scratch repo with one commit, HEAD-vs-HEAD has no diff
+        // and no untracked files, so the list is empty.
+        let dir = std::env::temp_dir().join(format!("sbs-changed-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+        let run = |args: &[&str]| {
+            let ok = Command::new("git")
+                .arg("-C")
+                .arg(&dir)
+                .args(args)
+                .env("GIT_AUTHOR_NAME", "t")
+                .env("GIT_AUTHOR_EMAIL", "t@t")
+                .env("GIT_COMMITTER_NAME", "t")
+                .env("GIT_COMMITTER_EMAIL", "t@t")
+                .output()
+                .unwrap();
+            assert!(ok.status.success(), "git {args:?}");
+        };
+        run(&["init", "-q"]);
+        std::fs::write(dir.join("crates/x/src/lib.rs"), "pub fn a() {}\n").unwrap();
+        run(&["add", "."]);
+        run(&["commit", "-q", "-m", "seed"]);
+
+        let cfg = LintConfig::default();
+        assert_eq!(
+            changed_files(&dir, "HEAD", &cfg).unwrap(),
+            Vec::<PathBuf>::new()
+        );
+
+        // Touch the tracked file and add an untracked one: both appear.
+        std::fs::write(dir.join("crates/x/src/lib.rs"), "pub fn a() { b() }\n").unwrap();
+        std::fs::write(dir.join("crates/x/src/new.rs"), "pub fn b() {}\n").unwrap();
+        let got = changed_files(&dir, "HEAD", &cfg).unwrap();
+        assert_eq!(
+            got,
+            vec![
+                PathBuf::from("crates/x/src/lib.rs"),
+                PathBuf::from("crates/x/src/new.rs")
+            ]
+        );
+
+        let err = changed_files(&dir, "no-such-ref", &cfg).unwrap_err();
+        assert!(err.contains("git"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -10,6 +10,16 @@
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Rule-specific list keys the flow rules read (anything else in a
+/// `[rules.*]` section is still a hard error).
+pub const RULE_LIST_KEYS: &[&str] = &[
+    "blocking_calls",
+    "taint_sources",
+    "relaxed",
+    "acquire_release",
+    "order",
+];
+
 /// Per-rule configuration.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RuleConfig {
@@ -18,6 +28,10 @@ pub struct RuleConfig {
     pub scope: Vec<String>,
     /// Path prefixes exempt from the rule even inside its scope.
     pub allow_paths: Vec<String>,
+    /// Rule-specific list knobs, keyed by one of [`RULE_LIST_KEYS`]
+    /// (e.g. `blocking_calls` for `lock-across-blocking`, `relaxed` /
+    /// `acquire_release` for `atomic-ordering`).
+    pub extra: BTreeMap<String, Vec<String>>,
 }
 
 impl RuleConfig {
@@ -25,6 +39,12 @@ impl RuleConfig {
     pub fn applies_to(&self, rel_path: &str) -> bool {
         let in_scope = self.scope.is_empty() || self.scope.iter().any(|p| rel_path.starts_with(p));
         in_scope && !self.allow_paths.iter().any(|p| rel_path.starts_with(p))
+    }
+
+    /// The configured list for `key`, or `None` when the config leaves
+    /// the rule's built-in default in force.
+    pub fn list(&self, key: &str) -> Option<&[String]> {
+        self.extra.get(key).map(Vec::as_slice)
     }
 }
 
@@ -100,6 +120,9 @@ impl LintConfig {
                     match k {
                         "scope" => entry.scope = values,
                         "allow_paths" => entry.allow_paths = values,
+                        k if RULE_LIST_KEYS.contains(&k) => {
+                            entry.extra.insert(k.to_string(), values);
+                        }
                         other => {
                             return Err(format!(
                                 "line {lineno}: unknown rule key {other:?} in [{s}]"
@@ -186,10 +209,34 @@ allow_paths = []
         let r = RuleConfig {
             scope: vec!["crates/core/".into()],
             allow_paths: vec!["crates/core/src/special.rs".into()],
+            ..RuleConfig::default()
         };
         assert!(r.applies_to("crates/core/src/lib.rs"));
         assert!(!r.applies_to("crates/cli/src/lib.rs"));
         assert!(!r.applies_to("crates/core/src/special.rs"));
+    }
+
+    #[test]
+    fn rule_list_knobs_parse_and_unknown_keys_still_fail() {
+        let cfg = LintConfig::parse(
+            "[rules.atomic-ordering]\n\
+             relaxed = [\"submitted_total\"]\n\
+             acquire_release = [\"active_jobs\", \"admitted\"]\n\
+             [rules.double-lock]\n\
+             order = [\"tenants\", \"shard\"]\n",
+        )
+        .expect("parse");
+        let ao = cfg.rule("atomic-ordering");
+        assert_eq!(ao.list("relaxed").unwrap(), ["submitted_total"]);
+        assert_eq!(
+            ao.list("acquire_release").unwrap(),
+            ["active_jobs", "admitted"]
+        );
+        assert!(ao.list("blocking_calls").is_none(), "unset knob = default");
+        assert_eq!(
+            cfg.rule("double-lock").list("order").unwrap(),
+            ["tenants", "shard"]
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! and one physical location each.
 
 use crate::engine::Diagnostic;
+use crate::flowrules::FLOW_RULES;
 use crate::rules::RULES;
 use crate::semrules::SEM_RULES;
 
@@ -57,6 +58,7 @@ pub fn to_sarif(diags: &[Diagnostic]) -> String {
         .iter()
         .map(|r| (r.name, r.summary))
         .chain(SEM_RULES.iter().map(|r| (r.name, r.summary)))
+        .chain(FLOW_RULES.iter().map(|r| (r.name, r.summary)))
         .chain(std::iter::once((
             "invalid-suppression",
             "sbs-lint allow(...) comments must name known rules and carry a justification",
@@ -186,13 +188,16 @@ mod tests {
     }
 
     #[test]
-    fn sarif_declares_all_ten_rules_plus_suppression_meta_rule() {
+    fn sarif_declares_all_fifteen_rules_plus_suppression_meta_rule() {
         let s = to_sarif(&[]);
         assert_valid_json(&s);
         for r in RULES {
             assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{}", r.name);
         }
         for r in SEM_RULES {
+            assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{}", r.name);
+        }
+        for r in FLOW_RULES {
             assert!(s.contains(&format!("\"id\": \"{}\"", r.name)), "{}", r.name);
         }
         assert!(s.contains("\"id\": \"invalid-suppression\""));

@@ -21,6 +21,7 @@
 //! `examples/`, `fixtures/`).
 
 use crate::config::LintConfig;
+use crate::flowrules::{flow_rule_by_name, FlowCtx, FLOW_RULES};
 use crate::lexer::{mask, tokenize, Comment, Token, TokenKind};
 use crate::parse::parse_file;
 use crate::rules::{rule_by_name, RULES};
@@ -130,7 +131,10 @@ fn prepare_file_state(rel_path: &str, masked_comments: &[Comment], tokens: &[Tok
             });
         }
         for r in &s.rules {
-            if rule_by_name(r).is_none() && sem_rule_by_name(r).is_none() {
+            if rule_by_name(r).is_none()
+                && sem_rule_by_name(r).is_none()
+                && flow_rule_by_name(r).is_none()
+            {
                 supp_diags.push(Diagnostic {
                     path: rel_path.to_string(),
                     line: s.comment_line,
@@ -258,6 +262,41 @@ pub fn lint_sources_timed(
                 rel_path: &pf.rel,
                 ast: &pf.ast,
                 ws: &ws,
+            };
+            for f in (rule.check)(&ctx) {
+                found += 1;
+                if fs.in_test(f.line) || fs.is_allowed(f.line, rule.name) {
+                    continue;
+                }
+                per_file[i].push(Diagnostic {
+                    path: pf.rel.clone(),
+                    line: f.line,
+                    col: f.col,
+                    rule: rule.name.to_string(),
+                    message: f.message,
+                });
+            }
+        }
+        let e = timings.entry(rule.name).or_default();
+        e.0 += t0.elapsed().as_micros();
+        e.1 += found;
+    }
+
+    for rule in FLOW_RULES {
+        // sbs-lint: allow(wall-clock): rule-timing telemetry only; findings never depend on it
+        let t0 = std::time::Instant::now();
+        let mut found = 0usize;
+        for (i, pf) in parsed.iter().enumerate() {
+            let rc = cfg.rule(rule.name);
+            if !rc.applies_to(&pf.rel) {
+                continue;
+            }
+            let fs = &states[i];
+            let ctx = FlowCtx {
+                rel_path: &pf.rel,
+                ast: &pf.ast,
+                ws: &ws,
+                rule_cfg: &rc,
             };
             for f in (rule.check)(&ctx) {
                 found += 1;
@@ -648,7 +687,7 @@ mod tests {
             "unordered-map".to_string(),
             crate::config::RuleConfig {
                 scope: vec!["crates/core/".to_string()],
-                allow_paths: Vec::new(),
+                ..Default::default()
             },
         );
         let src = "use std::collections::HashMap;\n";

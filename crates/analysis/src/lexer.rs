@@ -318,7 +318,7 @@ pub fn tokenize(masked: &str) -> Vec<Token> {
             i += 1;
             continue;
         }
-        let col = (i - line_start + 1) as u32;
+        let col = u32::try_from(i - line_start + 1).unwrap_or(u32::MAX);
         if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 {
             let start = i;
             while i < s.len() && (is_ident_continue(s[i]) || s[i] >= 0x80) {

@@ -30,9 +30,13 @@
 //! Run it as `sbs lint` or `cargo run -p sbs-analysis -- --workspace`.
 
 pub mod baseline;
+pub mod cfg;
+pub mod changed;
 pub mod config;
+pub mod dataflow;
 pub mod emit;
 pub mod engine;
+pub mod flowrules;
 pub mod lexer;
 pub mod parse;
 pub mod rules;
@@ -40,11 +44,13 @@ pub mod semrules;
 pub mod workspace;
 
 pub use baseline::Baseline;
+pub use changed::changed_files;
 pub use config::{LintConfig, RuleConfig};
 pub use engine::{
     lint_files, lint_source, lint_sources, lint_sources_timed, lint_workspace,
     lint_workspace_timed, Diagnostic, RuleTiming, SourceFile,
 };
+pub use flowrules::{flow_rule_by_name, FlowRuleDef, FLOW_RULES};
 pub use rules::{rule_by_name, Finding, RuleDef, RULES};
 pub use semrules::{sem_rule_by_name, SemRuleDef, SEM_RULES};
 

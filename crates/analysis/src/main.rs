@@ -15,7 +15,8 @@
 //! lower counts — it never adds or grows a pin.
 
 use sbs_analysis::{
-    find_workspace_root, lint_files, Diagnostic, LintConfig, CONFIG_FILE, RULES, SEM_RULES,
+    find_workspace_root, lint_files, Diagnostic, LintConfig, CONFIG_FILE, FLOW_RULES, RULES,
+    SEM_RULES,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,6 +26,8 @@ sbs-analysis — static analysis for determinism, panic-freedom and float orderi
 
 USAGE:
   sbs-analysis --workspace [--root DIR]     lint the whole workspace
+  sbs-analysis --changed[=BASE] [--root DIR]  lint files changed vs a
+                                            git base (default origin/main)
   sbs-analysis [--root DIR] FILE...         lint specific files
   sbs-analysis --list-rules                 describe every rule
 
@@ -40,6 +43,7 @@ struct Options {
     list_rules: bool,
     update_baseline: bool,
     timings: bool,
+    changed: Option<String>,
     format: Format,
     root: Option<PathBuf>,
     files: Vec<PathBuf>,
@@ -70,6 +74,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         list_rules: false,
         update_baseline: false,
         timings: false,
+        changed: None,
         format: Format::Grep,
         root: None,
         files: Vec::new(),
@@ -81,6 +86,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--list-rules" => o.list_rules = true,
             "--update-baseline" => o.update_baseline = true,
             "--timings" => o.timings = true,
+            "--changed" => o.changed = Some(sbs_analysis::changed::DEFAULT_BASE.to_string()),
+            other if other.starts_with("--changed=") => {
+                let base = &other["--changed=".len()..];
+                if base.is_empty() {
+                    return Err("--changed= needs a ref (or drop the `=`)".to_string());
+                }
+                o.changed = Some(base.to_string());
+            }
             "--format" => {
                 o.format = match it.next().ok_or("--format needs a value")?.as_str() {
                     "grep" => Format::Grep,
@@ -111,10 +124,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         for r in SEM_RULES {
             println!("{:<20} {}", r.name, r.summary);
         }
+        for r in FLOW_RULES {
+            println!("{:<20} {}", r.name, r.summary);
+        }
         return Ok(ExitCode::SUCCESS);
     }
-    if !o.workspace && o.files.is_empty() {
-        return Err("nothing to lint: pass --workspace or file paths".to_string());
+    if o.workspace && o.changed.is_some() {
+        return Err("--workspace and --changed are mutually exclusive".to_string());
+    }
+    if !o.workspace && o.changed.is_none() && o.files.is_empty() {
+        return Err("nothing to lint: pass --workspace, --changed or file paths".to_string());
+    }
+    if o.changed.is_some() && !o.files.is_empty() {
+        return Err("--changed and explicit files are mutually exclusive".to_string());
     }
 
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
@@ -127,6 +149,10 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     let (diags, timings) = if o.workspace {
         sbs_analysis::lint_workspace_timed(&root, &cfg)?
+    } else if let Some(base) = &o.changed {
+        let files = sbs_analysis::changed_files(&root, base, &cfg)?;
+        eprintln!("sbs-analysis: {} changed file(s) vs {base}", files.len());
+        (lint_files(&root, &files, &cfg)?, Vec::new())
     } else {
         (lint_files(&root, &o.files, &cfg)?, Vec::new())
     };

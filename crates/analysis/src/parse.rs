@@ -147,7 +147,10 @@ pub struct Block {
 pub enum Stmt {
     /// A `let` binding.
     Let {
-        /// The bound name when the pattern is a plain identifier.
+        /// The bound name when the pattern is a plain identifier, or
+        /// when a destructuring pattern binds exactly one identifier
+        /// (`let Some(v) = ...` records `v`; `let (a, b) = ...` stays
+        /// `None` — ambiguity degrades to an anonymous binding).
         name: Option<String>,
         /// True for `let _ = ...`.
         underscore: bool,
@@ -155,6 +158,9 @@ pub enum Stmt {
         ty: Option<String>,
         /// Initializer expression.
         init: Option<Expr>,
+        /// The diverging `else { .. }` block of a `let .. else`; the
+        /// binding is only in scope on the fall-through path.
+        else_block: Option<Block>,
         /// Position of the `let` keyword.
         span: Span,
     },
@@ -270,6 +276,8 @@ pub enum Expr {
         kw: String,
         /// Conditions, bodies and arm expressions in order.
         parts: Vec<Expr>,
+        /// Loop label (`'outer: loop { .. }`), without the quote.
+        label: Option<String>,
         /// Position of the keyword.
         span: Span,
     },
@@ -302,6 +310,8 @@ pub enum Expr {
         kw: String,
         /// Optional value expression.
         value: Option<Box<Expr>>,
+        /// Target label of `break 'x` / `continue 'x`, without the quote.
+        label: Option<String>,
         /// Position of the keyword.
         span: Span,
     },
@@ -406,11 +416,17 @@ impl Block {
         for s in &self.stmts {
             match s {
                 Stmt::Let {
-                    init: Some(init), ..
-                } => init.walk(f),
+                    init, else_block, ..
+                } => {
+                    if let Some(init) = init {
+                        init.walk(f);
+                    }
+                    if let Some(b) = else_block {
+                        b.walk_exprs(f);
+                    }
+                }
                 Stmt::Expr { expr, .. } => expr.walk(f),
                 Stmt::Item(item) => item.walk_exprs(f),
-                Stmt::Let { .. } => {}
             }
         }
     }
@@ -1142,6 +1158,7 @@ impl<'a> Parser<'a> {
             }
             _ => {
                 // Destructuring pattern: skip to `:`, `=` or `;` at depth 0.
+                let pat_start = self.pos;
                 while let Some(t) = self.peek() {
                     match t.kind {
                         TokenKind::Punct(b':')
@@ -1156,6 +1173,7 @@ impl<'a> Parser<'a> {
                         }
                     }
                 }
+                name = self.single_pattern_binding(pat_start, self.pos);
             }
         }
         let ty = if self.is_punct(0, b':') && !self.is_punct2(0, b':', b':') {
@@ -1170,11 +1188,14 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        // `let ... else { }`.
+        // `let ... else { }` — the diverging block is kept: it holds
+        // real control flow (early returns, error paths) the CFG layer
+        // needs as a branch edge.
+        let mut else_block = None;
         if self.is_ident(0, "else") {
             self.bump();
             if self.is_punct(0, b'{') {
-                self.parse_block();
+                else_block = Some(self.parse_block());
             }
         }
         if self.is_punct(0, b';') {
@@ -1185,8 +1206,45 @@ impl<'a> Parser<'a> {
             underscore,
             ty,
             init,
+            else_block,
             span,
         }
+    }
+
+    /// Extracts the single bound identifier of a destructuring pattern
+    /// spanning `tokens[start..end]`, if there is exactly one.
+    ///
+    /// `Some(v)` / `Ok(mut shard)` bind one name; `(a, b)` and
+    /// `Foo { x, y }` bind several and stay anonymous (`None`) — the
+    /// usual degrade-to-silence contract for downstream analyses.
+    fn single_pattern_binding(&self, start: usize, end: usize) -> Option<String> {
+        let mut candidate: Option<String> = None;
+        for i in start..end.min(self.toks.len()) {
+            let t = &self.toks[i];
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            // Keywords and the wildcard never bind.
+            if matches!(t.text.as_str(), "mut" | "ref" | "box" | "_") {
+                continue;
+            }
+            // Constructor / path segments: `Some(`, `Foo {`, `path::`.
+            let next = self.toks.get(i + 1);
+            if let Some(n) = next {
+                if matches!(
+                    n.kind,
+                    TokenKind::Punct(b'(') | TokenKind::Punct(b'{') | TokenKind::Punct(b':')
+                ) {
+                    continue;
+                }
+            }
+            // Second binding-like ident: ambiguous, give up.
+            if candidate.is_some() {
+                return None;
+            }
+            candidate = Some(t.text.clone());
+        }
+        candidate
     }
 
     // ----- expressions ------------------------------------------------
@@ -1700,6 +1758,7 @@ impl<'a> Parser<'a> {
                         Expr::Control {
                             kw: "while".into(),
                             parts,
+                            label: None,
                             span,
                         }
                     }
@@ -1729,6 +1788,7 @@ impl<'a> Parser<'a> {
                         Expr::Control {
                             kw: "for".into(),
                             parts,
+                            label: None,
                             span,
                         }
                     }
@@ -1738,7 +1798,12 @@ impl<'a> Parser<'a> {
                         if self.is_punct(0, b'{') {
                             parts.push(Expr::Block(self.parse_block()));
                         }
-                        Expr::Control { kw, parts, span }
+                        Expr::Control {
+                            kw,
+                            parts,
+                            label: None,
+                            span,
+                        }
                     }
                     "move" => {
                         self.bump();
@@ -1750,6 +1815,16 @@ impl<'a> Parser<'a> {
                     }
                     "return" | "break" | "continue" => {
                         self.bump();
+                        // `break 'outer` / `continue 'outer`: consume the
+                        // target label so it does not derail into Opaque.
+                        let mut jump_label = None;
+                        if kw != "return" && self.is_punct(0, b'\'') {
+                            if let Some(l) = self.ident_text(1) {
+                                jump_label = Some(l.to_string());
+                                self.bump();
+                                self.bump();
+                            }
+                        }
                         let value = match self.peek() {
                             Some(t)
                                 if !matches!(
@@ -1765,13 +1840,63 @@ impl<'a> Parser<'a> {
                             }
                             _ => None,
                         };
-                        Expr::Jump { kw, value, span }
+                        Expr::Jump {
+                            kw,
+                            value,
+                            label: jump_label,
+                            span,
+                        }
                     }
                     _ => self.parse_path_expr(no_struct),
                 }
             }
+            // `'outer: loop { .. }` — a loop (or block) label.  The
+            // quote is a lone punct here because the lexer only strips
+            // char literals, not lifetimes.
+            TokenKind::Punct(b'\'')
+                if self.ident_text(1).is_some()
+                    && self.is_punct(2, b':')
+                    && !self.is_punct2(2, b':', b':') =>
+            {
+                let name = self.ident_text(1).map(str::to_string);
+                self.bump(); // '
+                self.bump(); // label
+                self.bump(); // :
+                let inner = self.parse_primary(no_struct);
+                match inner {
+                    Expr::Control {
+                        kw,
+                        parts,
+                        label: None,
+                        span: ispan,
+                    } => Expr::Control {
+                        kw,
+                        parts,
+                        label: name,
+                        span: ispan,
+                    },
+                    other => other,
+                }
+            }
             _ => {
-                self.bump();
+                // A closing delimiter or separator here means an operand
+                // is missing (e.g. a masked-out string literal as a
+                // binary rhs).  Consuming it would desync every group
+                // above this expression — the enclosing call would run
+                // to some later `)` and swallow the rest of the file —
+                // so leave it for the caller; enclosing loops guarantee
+                // progress themselves.
+                let closes_enclosing = matches!(
+                    t.kind,
+                    TokenKind::Punct(b')')
+                        | TokenKind::Punct(b']')
+                        | TokenKind::Punct(b'}')
+                        | TokenKind::Punct(b',')
+                        | TokenKind::Punct(b';')
+                );
+                if !closes_enclosing {
+                    self.bump();
+                }
                 Expr::Opaque { span }
             }
         }
@@ -1840,6 +1965,7 @@ impl<'a> Parser<'a> {
         Expr::Control {
             kw: "if".into(),
             parts,
+            label: None,
             span,
         }
     }
@@ -1876,6 +2002,7 @@ impl<'a> Parser<'a> {
             return Expr::Control {
                 kw: "match".into(),
                 parts,
+                label: None,
                 span,
             };
         }
@@ -1927,6 +2054,7 @@ impl<'a> Parser<'a> {
         Expr::Control {
             kw: "match".into(),
             parts,
+            label: None,
             span,
         }
     }
@@ -2233,6 +2361,101 @@ mod tests {
         assert!(kinds.contains(&"struct:Job".to_string()), "{kinds:?}");
     }
 
+    /// Regression: long `else if` chains must parse as *nested*
+    /// conditionals — every arm a real `ctrl:if` with its block — never
+    /// degrade to `Expr::Opaque`.  The CFG layer builds branch edges
+    /// from this nesting.
+    #[test]
+    fn else_if_chains_parse_as_nested_conditionals() {
+        let srcs = [
+            "fn f(x: u32) -> u32 { if x == 1 { 1 } else if x == 2 { 2 } \
+             else if x == 3 { 3 } else if x == 4 { 4 } else { 0 } }",
+            // Tail chain without a final else.
+            "fn f(x: u32) { if a() { p(); } else if b() { q(); } else if c() { r(); } }",
+            // `else if let` arms.
+            "fn f(x: Option<u32>, z: Option<u32>) -> u32 \
+             { if let Some(a) = x { a } else if let Some(b) = z { b } \
+             else if c() { 3 } else { 0 } }",
+        ];
+        for src in srcs {
+            let f = parse(src);
+            let mut ifs = 0usize;
+            let mut opaques = 0usize;
+            f.items[0].walk_exprs(&mut |e| match e {
+                Expr::Control { kw, parts, .. } if kw == "if" => {
+                    ifs += 1;
+                    assert!(parts.len() >= 2, "if without cond+block: {src}");
+                }
+                Expr::Opaque { .. } => opaques += 1,
+                _ => {}
+            });
+            assert!(ifs >= 3, "chain lost arms ({ifs} ifs): {src}");
+            assert_eq!(opaques, 0, "chain degraded to Opaque: {src}");
+        }
+    }
+
+    /// Regression: `let .. else { .. }` keeps its diverging block (it
+    /// carries early returns the CFG needs) and a single-binding
+    /// destructure records its name.
+    #[test]
+    fn let_else_keeps_block_and_single_binding_name() {
+        let f =
+            parse("fn f(x: Option<u32>) -> u32 { let Some(v) = x else { log(); return 0; }; v }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Stmt::Let {
+            name, else_block, ..
+        } = &body.stmts[0]
+        else {
+            panic!("not let");
+        };
+        assert_eq!(name.as_deref(), Some("v"));
+        let eb = else_block.as_ref().expect("else block kept");
+        assert_eq!(eb.stmts.len(), 2, "else-block stmts visible");
+        assert!(
+            matches!(&eb.stmts[1], Stmt::Expr { expr: Expr::Jump { kw, .. }, .. } if kw == "return")
+        );
+
+        // Multi-binding patterns stay anonymous (ambiguity -> silence).
+        let f = parse("fn f(p: (u32, u32)) { let (a, b) = p; g(a, b); }");
+        let body = first_fn(&f).body.as_ref().expect("body");
+        let Stmt::Let { name, .. } = &body.stmts[0] else {
+            panic!("not let");
+        };
+        assert!(name.is_none());
+    }
+
+    /// Regression: labeled loops parse as labeled Controls and labeled
+    /// jumps keep their target — `'outer:` must not derail into Opaque.
+    #[test]
+    fn labeled_loops_and_jumps_parse() {
+        let f = parse(
+            "fn f() { 'outer: loop { for i in 0..10 { if i == 3 { break 'outer; } \
+             else if i == 5 { continue 'outer; } } } }",
+        );
+        let mut saw_loop_label = None;
+        let mut jump_labels = Vec::new();
+        let mut opaques = 0usize;
+        f.items[0].walk_exprs(&mut |e| match e {
+            Expr::Control { kw, label, .. } if kw == "loop" => {
+                saw_loop_label = label.clone();
+            }
+            Expr::Jump { kw, label, .. } if kw != "return" => {
+                jump_labels.push((kw.clone(), label.clone()));
+            }
+            Expr::Opaque { .. } => opaques += 1,
+            _ => {}
+        });
+        assert_eq!(saw_loop_label.as_deref(), Some("outer"));
+        assert_eq!(
+            jump_labels,
+            vec![
+                ("break".to_string(), Some("outer".to_string())),
+                ("continue".to_string(), Some("outer".to_string())),
+            ]
+        );
+        assert_eq!(opaques, 0, "label tokens must not become Opaque");
+    }
+
     #[test]
     fn match_arms_contribute_expressions() {
         let kinds =
@@ -2306,5 +2529,57 @@ mod tests {
         let kinds = exprs_of("fn f() -> Result<u32, E> { let v = g()?; return Ok(v); }");
         assert!(kinds.contains(&"try".to_string()));
         assert!(kinds.contains(&"jump:return".to_string()));
+    }
+
+    /// The masking lexer turns string/char literals into pure
+    /// whitespace — no token remains.  A literal in operand position
+    /// (`*name == "..."`) therefore reaches the parser as a *missing*
+    /// operand, and the primary-expression fallback used to consume
+    /// whatever came next — often the enclosing call's `)` — which
+    /// desynchronized every bracket after it and silently swallowed the
+    /// rest of the file into one opaque item.  These pin the fix: the
+    /// fallback must never eat a closing delimiter or separator.
+    #[test]
+    fn masked_literal_as_operand_does_not_desync_the_parser() {
+        for src in [
+            // String rhs inside a closure inside a call chain (the
+            // shape that swallowed half of fleet.rs).
+            "fn a(v: Vec<(String, u32)>) -> bool {\n\
+             \x20   v.iter().find(|(name, _)| *name == \"x\").is_some()\n\
+             }\n\
+             fn b() { after(); }\n",
+            // Char and string literals in other operand positions.
+            "fn a(s: &str) -> bool { s.starts_with('#') || s == \"y\" }\nfn b() {}\n",
+            "fn a() { log(\"msg\", 1); }\nfn b() {}\n",
+        ] {
+            let f = parse(src);
+            let mut fns = Vec::new();
+            f.walk_items(&mut |i| {
+                if i.kind == ItemKind::Fn {
+                    fns.push(i.name.clone().unwrap_or_default());
+                }
+            });
+            assert_eq!(fns, ["a", "b"], "item list desynced for:\n{src}");
+        }
+    }
+
+    /// Statements *after* a masked literal in the same body must still
+    /// be visible — a swallowed suffix would hide real findings (this
+    /// is exactly how a lock-across-blocking bug went unreported).
+    #[test]
+    fn statements_after_masked_literal_stay_visible() {
+        let f = parse(
+            "fn f(m: &Mutex<u32>) {\n\
+             \x20   let tag = kind == \"snapshot\";\n\
+             \x20   let g = m.lock();\n\
+             \x20   body();\n\
+             }\n",
+        );
+        let body = first_fn(&f).body.as_ref().expect("body");
+        assert_eq!(body.stmts.len(), 3, "suffix swallowed: {body:?}");
+        let Stmt::Let { name, .. } = &body.stmts[1] else {
+            panic!("lock binding lost");
+        };
+        assert_eq!(name.as_deref(), Some("g"));
     }
 }

@@ -286,10 +286,10 @@ fn scan_mentions(
 // ----- lock acquisition graph ----------------------------------------
 
 /// A lock acquisition found in an expression.
-struct Acquisition {
-    key: String,
-    line: u32,
-    col: u32,
+pub(crate) struct Acquisition {
+    pub(crate) key: String,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
 }
 
 fn collect_lock_edges(rel: &str, item: &Item, edges: &mut Vec<LockEdge>) {
@@ -429,7 +429,7 @@ fn record_expr(
 /// Recognizes a lock acquisition and names the lock: `recv.lock()` keys
 /// on the receiver's last segment, `lock_foo(...)` helpers key on the
 /// `foo` suffix.
-fn acquisition_of(e: &Expr) -> Option<Acquisition> {
+pub(crate) fn acquisition_of(e: &Expr) -> Option<Acquisition> {
     match e {
         Expr::MethodCall {
             recv, name, span, ..
@@ -461,7 +461,7 @@ fn acquisition_of(e: &Expr) -> Option<Acquisition> {
 
 /// Normalizes a lock receiver to its last identifier segment so
 /// `self.daemon`, `&state.daemon` and `daemon` name the same lock.
-fn receiver_key(e: &Expr) -> String {
+pub(crate) fn receiver_key(e: &Expr) -> String {
     match e {
         Expr::Path { segs, .. } => segs
             .last()

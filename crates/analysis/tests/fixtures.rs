@@ -215,12 +215,99 @@ fn pub_dead_item_suppressed() {
     assert!(d.is_empty(), "expected no diagnostics, got {d:?}");
 }
 
+// ----- flow-sensitive rules (CFG + dataflow) -------------------------
+
+#[test]
+fn lock_across_blocking_fires() {
+    assert_eq!(
+        lint_fixture("lock_across_blocking_fires.rs"),
+        vec![(12, "lock-across-blocking".to_string())]
+    );
+}
+
+#[test]
+fn lock_across_blocking_suppressed() {
+    assert_silent("lock_across_blocking_suppressed.rs");
+}
+
+#[test]
+fn double_lock_fires() {
+    assert_eq!(
+        lint_fixture("double_lock_fires.rs"),
+        vec![(11, "double-lock".to_string())]
+    );
+}
+
+#[test]
+fn double_lock_suppressed() {
+    assert_silent("double_lock_suppressed.rs");
+}
+
+#[test]
+fn guard_across_loop_fires() {
+    // Reported at the loop header, naming the outside acquisition.
+    assert_eq!(
+        lint_fixture("guard_across_loop_fires.rs"),
+        vec![(13, "guard-across-loop".to_string())]
+    );
+}
+
+#[test]
+fn guard_across_loop_suppressed() {
+    assert_silent("guard_across_loop_suppressed.rs");
+}
+
+#[test]
+fn tainted_alloc_fires() {
+    assert_eq!(
+        lint_fixture("tainted_alloc_fires.rs"),
+        vec![(6, "tainted-alloc".to_string())]
+    );
+}
+
+#[test]
+fn tainted_alloc_suppressed() {
+    assert_silent("tainted_alloc_suppressed.rs");
+}
+
+#[test]
+fn atomic_ordering_fires() {
+    // Bare config declares no per-field policy, so any atomic op is an
+    // undeclared-policy finding.
+    assert_eq!(
+        lint_fixture("atomic_ordering_fires.rs"),
+        vec![(10, "atomic-ordering".to_string())]
+    );
+}
+
+#[test]
+fn atomic_ordering_suppressed() {
+    assert_silent("atomic_ordering_suppressed.rs");
+}
+
+#[test]
+fn flow_findings_carry_exact_positions() {
+    // The acceptance check for the seeded-bug drill: the firing
+    // fixture's diagnostic renders grep-style with the exact line:col
+    // of the blocking call, not of the acquisition.
+    let d = lint_source(
+        "lock_across_blocking_fires.rs",
+        &fixture("lock_across_blocking_fires.rs"),
+        &bare_cfg(),
+    );
+    let first = d.first().expect("fixture fires").to_string();
+    assert!(
+        first.starts_with("lock_across_blocking_fires.rs:12:9"),
+        "unexpected rendering: {first}"
+    );
+}
+
 /// Every new semantic rule can be pinned in the baseline: a pin at the
 /// firing count swallows the findings, and a reintroduction (count
 /// above the pin) surfaces them all again.
 #[test]
 fn new_rules_are_baseline_pinnable() {
-    let cases: [(&[&str], &str, u32); 5] = [
+    let cases: [(&[&str], &str, u32); 10] = [
         (&["cast_truncation_fires.rs"], "cast-truncation", 3),
         (&["time_arith_fires.rs"], "unchecked-time-arith", 3),
         (&["lock_ordering_fires.rs"], "lock-ordering", 2),
@@ -230,6 +317,15 @@ fn new_rules_are_baseline_pinnable() {
             "pub-dead-item",
             1,
         ),
+        (
+            &["lock_across_blocking_fires.rs"],
+            "lock-across-blocking",
+            1,
+        ),
+        (&["double_lock_fires.rs"], "double-lock", 1),
+        (&["guard_across_loop_fires.rs"], "guard-across-loop", 1),
+        (&["tainted_alloc_fires.rs"], "tainted-alloc", 1),
+        (&["atomic_ordering_fires.rs"], "atomic-ordering", 1),
     ];
     for (names, rule, count) in cases {
         let files: Vec<SourceFile> = names

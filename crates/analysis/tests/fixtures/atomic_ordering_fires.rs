@@ -1,0 +1,11 @@
+//! atomic-ordering firing fixture: an atomic field with no declared
+//! policy (neither `relaxed` nor `acquire_release` in lint.toml).
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S {
+    pub undeclared: AtomicU64,
+}
+
+pub fn bump(s: &S) {
+    s.undeclared.fetch_add(1, Ordering::SeqCst);
+}

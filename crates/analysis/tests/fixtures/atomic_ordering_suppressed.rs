@@ -1,0 +1,12 @@
+//! atomic-ordering suppressed fixture: a one-off atomic outside the
+//! declared policy tables carries a justified allow.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct S {
+    pub undeclared: AtomicU64,
+}
+
+pub fn bump(s: &S) {
+    // sbs-lint: allow(atomic-ordering): debug-only counter, removed with the next refactor
+    s.undeclared.fetch_add(1, Ordering::SeqCst);
+}

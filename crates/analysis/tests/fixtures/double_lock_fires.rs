@@ -1,0 +1,14 @@
+//! double-lock firing fixture: the same mutex is re-acquired while its
+//! first guard is still live (a self-deadlock with std::sync::Mutex).
+use std::sync::Mutex;
+
+pub struct S {
+    pub jobs: Mutex<u32>,
+}
+
+pub fn relock(s: &S) {
+    let a = s.jobs.lock();
+    let b = s.jobs.lock();
+    drop(b);
+    drop(a);
+}

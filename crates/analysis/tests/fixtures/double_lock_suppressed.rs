@@ -1,0 +1,16 @@
+//! double-lock suppressed fixture: a deliberate re-acquisition (e.g. a
+//! re-entrant shim around a recursive-capable lock) carries a
+//! justified allow.
+use std::sync::Mutex;
+
+pub struct S {
+    pub jobs: Mutex<u32>,
+}
+
+pub fn relock(s: &S) {
+    let a = s.jobs.lock();
+    // sbs-lint: allow(double-lock): exercising the poisoned-relock recovery path in a test shim
+    let b = s.jobs.lock();
+    drop(b);
+    drop(a);
+}

@@ -1,0 +1,14 @@
+//! lock-across-blocking firing fixture: a shard-style guard is still
+//! live when file I/O runs.
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct S {
+    pub state: Mutex<u32>,
+}
+
+pub fn hold_across_flush(s: &S, out: &mut std::fs::File) {
+    let g = s.state.lock();
+    out.flush();
+    drop(g);
+}

@@ -1,0 +1,15 @@
+//! lock-across-blocking suppressed fixture: the guard is deliberately
+//! held across the write, with the justification on record.
+use std::io::Write;
+use std::sync::Mutex;
+
+pub struct S {
+    pub state: Mutex<u32>,
+}
+
+pub fn hold_across_flush(s: &S, out: &mut std::fs::File) {
+    let g = s.state.lock();
+    // sbs-lint: allow(lock-across-blocking): single-threaded startup path; no reader exists yet
+    out.flush();
+    drop(g);
+}

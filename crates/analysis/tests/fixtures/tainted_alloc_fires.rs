@@ -1,0 +1,8 @@
+//! tainted-alloc firing fixture: a wire-derived count sizes an
+//! allocation with no cap comparison on any path.
+pub fn read_batch(buf: &[u8]) -> Vec<u8> {
+    let req = parse_request(buf);
+    let n = req.count;
+    let v: Vec<u8> = Vec::with_capacity(n);
+    v
+}

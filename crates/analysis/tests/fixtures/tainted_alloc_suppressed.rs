@@ -1,0 +1,9 @@
+//! tainted-alloc suppressed fixture: the operator-controlled config
+//! path is trusted, with the justification on record.
+pub fn read_batch(buf: &[u8]) -> Vec<u8> {
+    let req = parse_request(buf);
+    let n = req.count;
+    // sbs-lint: allow(tainted-alloc): buf comes from the operator's config file, not the wire
+    let v: Vec<u8> = Vec::with_capacity(n);
+    v
+}

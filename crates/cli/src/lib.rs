@@ -104,6 +104,9 @@ OPTIONS (lint):
                       verdict in the exit code
   --update-baseline   shrink lint-baseline.toml pins to today's counts
                       (the ratchet never adds or grows a pin)
+  --changed[=BASE]    lint only .rs files that differ from the git base
+                      (default origin/main); untracked files included,
+                      ratchet not applied
 
 OPTIONS (bench-perf):
   --quick             smoke mode: drop the 100K budget, 1 timing repeat
@@ -288,6 +291,9 @@ pub struct LintArgs {
     pub root: Option<String>,
     /// Specific files to lint; empty = the whole workspace.
     pub files: Vec<String>,
+    /// Lint only files that differ from this git base
+    /// (`--changed[=BASE]`; the bare flag uses `origin/main`).
+    pub changed: Option<String>,
     /// Output layer.
     pub format: LintFormat,
     /// Rewrite `lint-baseline.toml` with today's lower counts.
@@ -722,11 +728,24 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--update-baseline" => parsed.update_baseline = true,
+                    "--changed" => {
+                        parsed.changed = Some(sbs_analysis::changed::DEFAULT_BASE.to_string())
+                    }
+                    other if other.starts_with("--changed=") => {
+                        let base = &other["--changed=".len()..];
+                        if base.is_empty() {
+                            return Err("--changed= needs a ref (or drop the `=`)".to_string());
+                        }
+                        parsed.changed = Some(base.to_string());
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag {other:?}"))
                     }
                     file => parsed.files.push(file.to_string()),
                 }
+            }
+            if parsed.changed.is_some() && !parsed.files.is_empty() {
+                return Err("--changed and explicit files are mutually exclusive".to_string());
             }
             Ok(Command::Lint(parsed))
         }
@@ -989,7 +1008,14 @@ fn lint_cmd(args: LintArgs) -> Result<String, String> {
             })?
         }
     };
-    let diags = if args.files.is_empty() {
+    let diags = if let Some(base) = &args.changed {
+        // Diff-scoped mode: lint only files changed against the base
+        // ref (plus untracked ones).  The ratchet does not apply — a
+        // shrunken file set would read pinned counts as improvements.
+        let cfg = sbs_analysis::LintConfig::load(&root.join(sbs_analysis::CONFIG_FILE))?;
+        let files = sbs_analysis::changed_files(&root, base, &cfg)?;
+        sbs_analysis::lint_files(&root, &files, &cfg)?
+    } else if args.files.is_empty() {
         // Workspace mode: the committed ratchet applies.
         let raw = sbs_analysis::run_workspace_lint(&root)?;
         sbs_analysis::apply_workspace_ratchet(&root, &raw, args.update_baseline)?
@@ -1552,6 +1578,35 @@ mod tests {
         }))
         .expect("clean workspace");
         assert!(out.trim() == "[]", "{out}");
+    }
+
+    #[test]
+    fn lint_changed_flag_parses_with_and_without_base() {
+        let Command::Lint(a) = parse("lint --changed").expect("parse") else {
+            panic!("not lint")
+        };
+        assert_eq!(a.changed.as_deref(), Some("origin/main"));
+        let Command::Lint(a) = parse("lint --changed=HEAD~3").expect("parse") else {
+            panic!("not lint")
+        };
+        assert_eq!(a.changed.as_deref(), Some("HEAD~3"));
+        assert!(parse("lint --changed=").is_err());
+        assert!(
+            parse("lint --changed foo.rs").is_err(),
+            "explicit files conflict with --changed"
+        );
+
+        // Against this repo's own HEAD: the diff-scoped run must accept
+        // the base and report findings only from changed files (clean
+        // when the working tree lints clean).
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        let out = run(Command::Lint(LintArgs {
+            root: Some(root),
+            changed: Some("HEAD".to_string()),
+            ..LintArgs::default()
+        }))
+        .expect("changed-vs-HEAD must lint clean");
+        assert_eq!(out, "lint clean\n");
     }
 
     #[test]

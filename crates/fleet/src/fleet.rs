@@ -188,12 +188,12 @@ impl Fleet {
 
     /// Number of live tenants.
     pub fn cluster_count(&self) -> u64 {
-        self.tenant_count.load(Ordering::SeqCst)
+        self.tenant_count.load(Ordering::Acquire)
     }
 
     /// Latest scheduler time observed across all tenants.
     pub fn now(&self) -> Time {
-        self.latest_now.load(Ordering::SeqCst)
+        self.latest_now.load(Ordering::Acquire)
     }
 
     fn shard_index(&self, cluster: &str) -> usize {
@@ -241,9 +241,9 @@ impl Fleet {
             submitted: 0,
             rejected: 0,
         };
-        self.tenant_count.fetch_add(1, Ordering::SeqCst);
+        self.tenant_count.fetch_add(1, Ordering::AcqRel);
         self.total_weight
-            .fetch_add(self.cfg.quota.weight, Ordering::SeqCst);
+            .fetch_add(self.cfg.quota.weight, Ordering::AcqRel);
         self.publish_tenant(&mut tenant);
         shard.tenants.insert(cluster.to_string(), tenant);
         Ok(())
@@ -256,13 +256,13 @@ impl Fleet {
         let (_, pending) = t.daemon.queue_demand();
         if pending > t.pending {
             self.total_pending
-                .fetch_add(pending - t.pending, Ordering::SeqCst);
+                .fetch_add(pending - t.pending, Ordering::AcqRel);
         } else {
             self.total_pending
-                .fetch_sub(t.pending - pending, Ordering::SeqCst);
+                .fetch_sub(t.pending - pending, Ordering::AcqRel);
         }
         t.pending = pending;
-        self.latest_now.fetch_max(t.daemon.now(), Ordering::SeqCst);
+        self.latest_now.fetch_max(t.daemon.now(), Ordering::AcqRel);
     }
 
     /// Admits and submits one job into a (locked) tenant.
@@ -271,12 +271,12 @@ impl Fleet {
         let requested = spec.requested.unwrap_or(spec.runtime).max(spec.runtime);
         let add = u64::from(spec.nodes).saturating_mul(requested);
         let fleet = FleetDemand {
-            total_pending: self.total_pending.load(Ordering::SeqCst),
-            total_weight: self.total_weight.load(Ordering::SeqCst),
+            total_pending: self.total_pending.load(Ordering::Acquire),
+            total_weight: self.total_weight.load(Ordering::Acquire),
         };
         if let Err(denied) = t.quota.admit(depth, pending, add, fleet) {
             t.rejected += 1;
-            self.rejected_total.fetch_add(1, Ordering::SeqCst);
+            self.rejected_total.fetch_add(1, Ordering::Relaxed);
             return error_response(&denied.to_string());
         }
         let when = spec.submit.unwrap_or(at);
@@ -290,7 +290,7 @@ impl Fleet {
             }
             Err(e) => {
                 t.rejected += 1;
-                self.rejected_total.fetch_add(1, Ordering::SeqCst);
+                self.rejected_total.fetch_add(1, Ordering::Relaxed);
                 error_response(&e)
             }
         }
@@ -312,16 +312,16 @@ impl Fleet {
             if !create {
                 return Err(format!("unknown cluster {cluster:?}"));
             }
-            if self.tenant_count.load(Ordering::SeqCst) >= self.cfg.max_clusters as u64 {
+            if self.tenant_count.load(Ordering::Acquire) >= self.cfg.max_clusters as u64 {
                 return Err(format!(
                     "cluster cap reached ({} tenants); {cluster:?} not admitted",
                     self.cfg.max_clusters
                 ));
             }
             let daemon = Daemon::new(self.tenant_config(cluster))?;
-            self.tenant_count.fetch_add(1, Ordering::SeqCst);
+            self.tenant_count.fetch_add(1, Ordering::AcqRel);
             self.total_weight
-                .fetch_add(self.cfg.quota.weight, Ordering::SeqCst);
+                .fetch_add(self.cfg.quota.weight, Ordering::AcqRel);
             shard.tenants.insert(
                 cluster.to_string(),
                 Tenant {
@@ -455,7 +455,7 @@ impl Fleet {
                 self.publish_tenant(t);
             }
         }
-        self.latest_now.fetch_max(at, Ordering::SeqCst);
+        self.latest_now.fetch_max(at, Ordering::AcqRel);
     }
 
     /// Drains every tenant; returns summed `(completed, leftover)`.
@@ -571,7 +571,7 @@ impl Fleet {
         e.gauge(
             "sbs_fleet_pending_node_seconds",
             "Pending node-seconds summed over all tenants (fairshare input).",
-            self.total_pending.load(Ordering::SeqCst),
+            self.total_pending.load(Ordering::Acquire),
         );
         let shares: Vec<f64> = stats.values().map(|s| s.submitted as f64).collect();
         e.gauge(
@@ -628,12 +628,20 @@ impl Fleet {
         };
         std::fs::create_dir_all(&dir).map_err(|e| format!("{}: {e}", dir.display()))?;
         let mut ids = Vec::new();
+        let mut writes = Vec::new();
         for shard in &self.shards {
             let mut s = lock_shard(shard);
             for (id, t) in s.tenants.iter_mut() {
-                t.daemon.save_snapshot()?;
+                // Render in memory only: the file writes happen after
+                // the shard lock drops, so a slow disk never stalls
+                // every request routed to this shard.
+                writes.extend(t.daemon.render_snapshot());
                 ids.push(id.clone());
             }
+        }
+        for (snap, path) in writes {
+            snap.save(&path)
+                .map_err(|e| format!("snapshot write failed: {e}"))?;
         }
         ids.sort();
         let manifest = dir.join("manifest.json");

@@ -528,16 +528,28 @@ impl Daemon {
         }
     }
 
+    /// Renders a snapshot plus the path it should be written to,
+    /// without touching the filesystem, or `None` when persistence is
+    /// disabled.  Resets the dirty-operation counter, so the caller is
+    /// expected to actually write the result (see
+    /// [`Snapshot::save`]).  This split lets callers that hold a lock
+    /// around the daemon capture state under the lock and do the file
+    /// I/O after releasing it.
+    pub fn render_snapshot(&mut self) -> Option<(Snapshot, PathBuf)> {
+        let path = self.cfg.snapshot_path.clone()?;
+        let snap = self.snapshot();
+        self.unsnapshotted = 0;
+        Some((snap, path))
+    }
+
     /// Writes a snapshot to the configured path, if any.  Returns the
     /// path written.
     pub fn save_snapshot(&mut self) -> Result<Option<PathBuf>, String> {
-        let Some(path) = self.cfg.snapshot_path.clone() else {
+        let Some((snap, path)) = self.render_snapshot() else {
             return Ok(None);
         };
-        self.snapshot()
-            .save(&path)
+        snap.save(&path)
             .map_err(|e| format!("snapshot write failed: {e}"))?;
-        self.unsnapshotted = 0;
         Ok(Some(path))
     }
 
