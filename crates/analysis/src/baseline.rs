@@ -242,6 +242,7 @@ mod tests {
 
     fn diag(rule: &str, path: &str, line: u32) -> Diagnostic {
         Diagnostic {
+            related: Vec::new(),
             path: path.to_string(),
             line,
             col: 1,

@@ -18,6 +18,8 @@ pub const RULE_LIST_KEYS: &[&str] = &[
     "relaxed",
     "acquire_release",
     "order",
+    "shared_types",
+    "spawn_fns",
 ];
 
 /// Per-rule configuration.

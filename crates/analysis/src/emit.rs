@@ -11,7 +11,7 @@
 
 use crate::engine::Diagnostic;
 use crate::flowrules::FLOW_RULES;
-use crate::rules::RULES;
+use crate::rules::{RelatedSite, RULES};
 use crate::semrules::SEM_RULES;
 
 /// Escapes a string for inclusion in a JSON string literal.
@@ -31,6 +31,27 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders a finding's related sites as a JSON array fragment, or an
+/// empty string when there are none.
+fn related_json(related: &[RelatedSite]) -> String {
+    if related.is_empty() {
+        return String::new();
+    }
+    let sites: Vec<String> = related
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"note\": \"{}\"}}",
+                json_escape(&r.path),
+                r.line,
+                r.col,
+                json_escape(&r.note)
+            )
+        })
+        .collect();
+    format!(", \"related\": [{}]", sites.join(", "))
+}
+
 /// Renders diagnostics as a JSON array of finding objects.
 pub fn to_json(diags: &[Diagnostic]) -> String {
     let mut out = String::from("[");
@@ -39,12 +60,13 @@ pub fn to_json(diags: &[Diagnostic]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "\n  {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            "\n  {{\"path\": \"{}\", \"line\": {}, \"col\": {}, \"rule\": \"{}\", \"message\": \"{}\"{}}}",
             json_escape(&d.path),
             d.line,
             d.col,
             json_escape(&d.rule),
-            json_escape(&d.message)
+            json_escape(&d.message),
+            related_json(&d.related)
         ));
     }
     out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
@@ -78,11 +100,34 @@ pub fn to_sarif(diags: &[Diagnostic]) -> String {
         if i > 0 {
             results.push(',');
         }
+        // Multi-site findings carry the other sites (the blocking call
+        // a summary propagated, the lockset-establishing access) as
+        // SARIF relatedLocations, each with its own message.
+        let related = if d.related.is_empty() {
+            String::new()
+        } else {
+            let sites: Vec<String> = d
+                .related
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+                         \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}, \
+                         \"message\": {{\"text\": \"{}\"}}}}",
+                        json_escape(&r.path),
+                        r.line,
+                        r.col,
+                        json_escape(&r.note)
+                    )
+                })
+                .collect();
+            format!(",\n        \"relatedLocations\": [{}]", sites.join(", "))
+        };
         results.push_str(&format!(
             "\n      {{\n        \"ruleId\": \"{}\",\n        \"level\": \"error\",\n        \
              \"message\": {{\"text\": \"{}\"}},\n        \"locations\": [{{\"physicalLocation\": \
              {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
-             \"startColumn\": {}}}}}}}]\n      }}",
+             \"startColumn\": {}}}}}}}]{related}\n      }}",
             json_escape(&d.rule),
             json_escape(&d.message),
             json_escape(&d.path),
@@ -105,6 +150,7 @@ mod tests {
 
     fn diag(rule: &str, msg: &str) -> Diagnostic {
         Diagnostic {
+            related: Vec::new(),
             path: "crates/x/src/lib.rs".to_string(),
             line: 7,
             col: 3,
@@ -185,6 +231,48 @@ mod tests {
         ] {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
+    }
+
+    #[test]
+    fn related_locations_round_trip_through_json_and_sarif() {
+        let mut d = diag("lock-across-blocking", "blocks via callee");
+        d.related.push(crate::rules::RelatedSite {
+            path: "crates/y/src/io.rs".to_string(),
+            line: 42,
+            col: 9,
+            note: "the blocking call `sync_all()` reached here".to_string(),
+        });
+        let diags = [d];
+
+        let j = to_json(&diags);
+        assert_valid_json(&j);
+        for needle in [
+            "\"related\": [",
+            "\"path\": \"crates/y/src/io.rs\"",
+            "\"line\": 42",
+            "\"col\": 9",
+            "\"note\": \"the blocking call `sync_all()` reached here\"",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+
+        let s = to_sarif(&diags);
+        assert_valid_json(&s);
+        for needle in [
+            "\"relatedLocations\": [",
+            "\"uri\": \"crates/y/src/io.rs\"",
+            "\"startLine\": 42",
+            "\"startColumn\": 9",
+            "\"message\": {\"text\": \"the blocking call `sync_all()` reached here\"}",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+
+        // Findings without related sites keep the old shape exactly.
+        let plain = to_sarif(&[diag("wall-clock", "plain")]);
+        assert_valid_json(&plain);
+        assert!(!plain.contains("relatedLocations"));
+        assert!(!to_json(&[diag("wall-clock", "plain")]).contains("related"));
     }
 
     #[test]

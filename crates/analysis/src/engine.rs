@@ -24,8 +24,9 @@ use crate::config::LintConfig;
 use crate::flowrules::{flow_rule_by_name, FlowCtx, FLOW_RULES};
 use crate::lexer::{mask, tokenize, Comment, Token, TokenKind};
 use crate::parse::parse_file;
-use crate::rules::{rule_by_name, RULES};
+use crate::rules::{rule_by_name, RelatedSite, RULES};
 use crate::semrules::{sem_rule_by_name, SemCtx, SEM_RULES};
+use crate::summaries::Interp;
 use crate::workspace::{ParsedFile, Workspace};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -43,6 +44,9 @@ pub struct Diagnostic {
     pub rule: String,
     /// What went wrong and what to do instead.
     pub message: String,
+    /// Secondary sites (other lock site, blocking callee, first access);
+    /// rendered as SARIF `relatedLocations`.
+    pub related: Vec<RelatedSite>,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -121,6 +125,7 @@ fn prepare_file_state(rel_path: &str, masked_comments: &[Comment], tokens: &[Tok
         }
         if !s.justified {
             supp_diags.push(Diagnostic {
+                related: Vec::new(),
                 path: rel_path.to_string(),
                 line: s.comment_line,
                 col: 1,
@@ -136,6 +141,7 @@ fn prepare_file_state(rel_path: &str, masked_comments: &[Comment], tokens: &[Tok
                 && flow_rule_by_name(r).is_none()
             {
                 supp_diags.push(Diagnostic {
+                    related: Vec::new(),
                     path: rel_path.to_string(),
                     line: s.comment_line,
                     col: 1,
@@ -216,6 +222,15 @@ pub fn lint_sources_timed(
     }
 
     let mut timings: BTreeMap<&'static str, (u128, usize)> = BTreeMap::new();
+
+    // Interprocedural layer: call graph + per-fn summaries, built once
+    // and shared by every flow rule.  Timed under its own row so the CI
+    // timing gate covers it like any rule.
+    // sbs-lint: allow(wall-clock): rule-timing telemetry only; findings never depend on it
+    let t0 = std::time::Instant::now();
+    let interp = Interp::build(&parsed, &ws, cfg);
+    timings.insert("interproc", (t0.elapsed().as_micros(), 0));
+
     // Findings per file index, so output stays grouped by file.
     let mut per_file: Vec<Vec<Diagnostic>> = (0..files.len())
         .map(|i| states[i].supp_diags.clone())
@@ -241,6 +256,7 @@ pub fn lint_sources_timed(
                     col: f.col,
                     rule: rule.name.to_string(),
                     message: f.message,
+                    related: fill_related(f.related, &pf.rel),
                 });
             }
         }
@@ -274,6 +290,7 @@ pub fn lint_sources_timed(
                     col: f.col,
                     rule: rule.name.to_string(),
                     message: f.message,
+                    related: fill_related(f.related, &pf.rel),
                 });
             }
         }
@@ -297,6 +314,7 @@ pub fn lint_sources_timed(
                 ast: &pf.ast,
                 ws: &ws,
                 rule_cfg: &rc,
+                interp: &interp,
             };
             for f in (rule.check)(&ctx) {
                 found += 1;
@@ -309,6 +327,7 @@ pub fn lint_sources_timed(
                     col: f.col,
                     rule: rule.name.to_string(),
                     message: f.message,
+                    related: fill_related(f.related, &pf.rel),
                 });
             }
         }
@@ -331,6 +350,17 @@ pub fn lint_sources_timed(
         })
         .collect();
     (out, timings)
+}
+
+/// Fills the "same file" shorthand (empty path) in related sites with
+/// the finding's own path so emitted documents are self-contained.
+fn fill_related(mut related: Vec<RelatedSite>, rel: &str) -> Vec<RelatedSite> {
+    for r in &mut related {
+        if r.path.is_empty() {
+            r.path = rel.to_string();
+        }
+    }
+    related
 }
 
 /// Extracts `sbs-lint: allow(...)` suppressions from comments and
@@ -586,6 +616,85 @@ pub fn lint_files(
     Ok(lint_sources(&sources, cfg, false))
 }
 
+/// Call-graph-aware expansion for `--changed`: starting from the
+/// functions defined in the changed files, walks call edges in both
+/// directions to a transitive closure — callers can newly break through
+/// a changed callee's summary (may-block, acquires, taint), and a
+/// changed caller can newly combine its callees' effects — and returns
+/// the changed list plus every file defining a reached function.
+/// Closure-body edges count: a changed closure still runs inside its
+/// spawner's callers.  Paths are workspace-relative, sorted, deduped.
+pub fn expand_changed(
+    root: &Path,
+    changed: &[PathBuf],
+    cfg: &LintConfig,
+) -> Result<Vec<PathBuf>, String> {
+    let (lint, _) = collect_workspace_sources(root, cfg)?;
+    let mut parsed = Vec::with_capacity(lint.len());
+    for f in &lint {
+        let masked = mask(&f.source);
+        let tokens = tokenize(&masked.text);
+        let ast = parse_file(&tokens);
+        parsed.push(ParsedFile {
+            rel: f.rel.clone(),
+            tokens,
+            ast,
+        });
+    }
+    let ws = Workspace::build(&parsed, false);
+    let cg = crate::callgraph::CallGraph::build(&parsed, &ws);
+
+    let mut out: std::collections::BTreeSet<String> = changed
+        .iter()
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+
+    // Undirected adjacency: a changed callee re-lints its callers and a
+    // changed caller re-lints its callees.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); cg.fns.len()];
+    for (from, edges) in cg.edges.iter().enumerate() {
+        for e in edges {
+            adj[from].push(e.to);
+            adj[e.to].push(from);
+        }
+    }
+    let mut reached: Vec<bool> = cg.fns.iter().map(|f| out.contains(f.file)).collect();
+    let mut queue: Vec<usize> = (0..cg.fns.len()).filter(|&i| reached[i]).collect();
+    while let Some(v) = queue.pop() {
+        for &w in &adj[v] {
+            if !reached[w] {
+                reached[w] = true;
+                queue.push(w);
+            }
+        }
+    }
+    for (i, f) in cg.fns.iter().enumerate() {
+        if reached[i] {
+            out.insert(f.file.to_string());
+        }
+    }
+    Ok(out.into_iter().map(PathBuf::from).collect())
+}
+
+/// Renders the workspace call graph as Graphviz DOT (`--callgraph`,
+/// uploaded as a CI artifact for auditing resolution coverage).
+pub fn workspace_callgraph_dot(root: &Path, cfg: &LintConfig) -> Result<String, String> {
+    let (lint, _) = collect_workspace_sources(root, cfg)?;
+    let mut parsed = Vec::with_capacity(lint.len());
+    for f in &lint {
+        let masked = mask(&f.source);
+        let tokens = tokenize(&masked.text);
+        let ast = parse_file(&tokens);
+        parsed.push(ParsedFile {
+            rel: f.rel.clone(),
+            tokens,
+            ast,
+        });
+    }
+    let ws = Workspace::build(&parsed, false);
+    Ok(crate::callgraph::CallGraph::build(&parsed, &ws).to_dot())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -701,5 +810,57 @@ mod tests {
         let line = d[0].to_string();
         assert!(line.starts_with("x/src/lib.rs:1:"), "{line}");
         assert!(line.contains("panic-in-daemon"));
+    }
+
+    #[test]
+    fn expand_changed_walks_the_call_graph_both_ways() {
+        let dir = std::env::temp_dir().join(format!("sbs-expand-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("crates/x/src")).unwrap();
+        std::fs::write(
+            dir.join("crates/x/src/a.rs"),
+            "pub fn alpha() { beta(); }\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("crates/x/src/b.rs"),
+            "pub fn beta() { delta(); }\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("crates/x/src/c.rs"), "pub fn gamma() {}\n").unwrap();
+        std::fs::write(dir.join("crates/x/src/d.rs"), "pub fn delta() {}\n").unwrap();
+        let cfg = bare_cfg();
+
+        // Changing b.rs reaches its caller (a.rs) and its callee (d.rs);
+        // the isolated c.rs stays out.
+        let got = expand_changed(&dir, &[PathBuf::from("crates/x/src/b.rs")], &cfg).unwrap();
+        let names: Vec<String> = got
+            .iter()
+            .map(|p| p.to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.contains(&"crates/x/src/a.rs".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"crates/x/src/b.rs".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"crates/x/src/d.rs".to_string()),
+            "{names:?}"
+        );
+        assert!(
+            !names.contains(&"crates/x/src/c.rs".to_string()),
+            "{names:?}"
+        );
+
+        // An isolated change expands to nothing extra.
+        let got = expand_changed(&dir, &[PathBuf::from("crates/x/src/c.rs")], &cfg).unwrap();
+        assert_eq!(got, vec![PathBuf::from("crates/x/src/c.rs")]);
+
+        // An empty change list stays empty.
+        assert!(expand_changed(&dir, &[], &cfg).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

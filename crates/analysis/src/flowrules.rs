@@ -1,9 +1,16 @@
 //! The flow-sensitive rule set: lock-region and tainted-input analysis.
 //!
-//! These five rules run the [`crate::dataflow`] fixpoint over each
+//! These rules run the [`crate::dataflow`] fixpoint over each
 //! function's [`crate::cfg::Cfg`], so they reason about *paths* — which
 //! guards are live at a call, which values reach an allocation — where
-//! the per-statement rules of [`crate::semrules`] cannot.
+//! the per-statement rules of [`crate::semrules`] cannot.  Since PR 8
+//! they are also *interprocedural*: [`crate::summaries`] gives every
+//! rule a per-function effect summary (may-block, locks acquired,
+//! guard-returning, taint-in/taint-out), so a blocking call two hops
+//! down the call graph is found at the caller's critical section, with
+//! the ultimate blocking site attached as a related location.
+//! `atomic-ordering` stays intentionally site-local: the policy is
+//! per-field and every op names its field, so summaries add nothing.
 //!
 //! Guard liveness uses [`Mode::Must`] (a guard counts as held only when
 //! every executed path agrees) and taint uses [`Mode::May`] (tainted if
@@ -21,7 +28,8 @@ use crate::cfg::{for_each_fn_cfg, walk_flat, Cfg, Step, StepKind};
 use crate::config::RuleConfig;
 use crate::dataflow::{solve, Mode, Problem, SiteSet, Solution};
 use crate::parse::{Expr, File, Item, ItemKind, Stmt};
-use crate::rules::Finding;
+use crate::rules::{Finding, RelatedSite};
+use crate::summaries::Interp;
 use crate::workspace::{acquisition_of, receiver_key, Workspace};
 use std::collections::BTreeSet;
 
@@ -36,6 +44,9 @@ pub struct FlowCtx<'a> {
     /// This rule's `lint.toml` section (scoping already applied by the
     /// engine; rules read their list knobs from it).
     pub rule_cfg: &'a RuleConfig,
+    /// The interprocedural layer: call graph plus per-function effect
+    /// summaries, built once per lint run.
+    pub interp: &'a Interp<'a>,
 }
 
 /// A flow-sensitive rule: its identity plus its checker.
@@ -44,6 +55,10 @@ pub struct FlowRuleDef {
     pub name: &'static str,
     /// One-line description for `--list-rules` and docs.
     pub summary: &'static str,
+    /// A paragraph for `--explain`: what the rule models and why.
+    pub doc: &'static str,
+    /// A minimal firing example for `--explain`.
+    pub example: &'static str,
     /// Scans one file (with workspace context) for violations.
     pub check: fn(&FlowCtx) -> Vec<Finding>,
 }
@@ -53,29 +68,103 @@ pub const FLOW_RULES: &[FlowRuleDef] = &[
     FlowRuleDef {
         name: "lock-across-blocking",
         summary: "a lock guard is live across a blocking call (I/O, accept, channel wait)",
+        doc: "Holding a mutex across a call that can block (file or socket I/O, `accept`, \
+              channel `recv`, `sleep`) stalls every other thread contending for that lock \
+              for the blocking call's full latency. Guard liveness is MUST dataflow: a \
+              guard counts as held only where every executed path holds it, so `drop(g)` \
+              on each branch silences the rule. The check is interprocedural: a call to a \
+              function whose summary says it may block fires too, with the ultimate \
+              blocking site attached as a related location. The blocking list comes from \
+              the rule's `blocking_calls` key in lint.toml.",
+        example: "let g = self.state.lock().unwrap();\n\
+                  self.file.write_all(&g.bytes()); // blocks while `g` is held",
         check: check_lock_across_blocking,
     },
     FlowRuleDef {
         name: "double-lock",
         summary: "a second .lock() is reachable while a guard for the same (or order-earlier) \
                   lock is live",
+        doc: "Re-locking a std::sync::Mutex on the same thread self-deadlocks; acquiring \
+              locks against the order declared in lint.toml (`order` key) risks an \
+              ABBA deadlock between threads. Lock identity is the receiver's field/path \
+              key; an unresolvable receiver (`\"?\"`) never matches, so ambiguity stays \
+              silent. Interprocedural: calling a function whose summary acquires a \
+              currently-held lock fires at the call, with the callee's acquisition site \
+              as a related location.",
+        example: "let a = self.jobs.lock().unwrap();\n\
+                  let b = self.jobs.lock().unwrap(); // same mutex, same thread",
         check: check_double_lock,
     },
     FlowRuleDef {
         name: "guard-across-loop",
         summary: "a guard bound outside a loop/while is still held at the loop's back-edge",
+        doc: "A guard acquired before a `while`/`loop` and still live at the back-edge \
+              keeps the lock for the loop's whole lifetime — often the daemon's main \
+              loop, which starves every other thread. `for` loops are exempt: iterating \
+              the locked collection is routinely intentional. Guards returned by helper \
+              functions (summary `returns_guard`) are tracked the same as direct \
+              `.lock()` bindings.",
+        example: "let g = self.state.lock().unwrap();\n\
+                  while self.running() { g.step(); } // every iteration under the lock",
         check: check_guard_across_loop,
     },
     FlowRuleDef {
         name: "tainted-alloc",
         summary: "an untrusted length reaches with_capacity/reserve or bounds a growing loop \
                   without a cap check",
+        doc: "A length parsed from untrusted input that reaches `with_capacity`/`reserve` \
+              or bounds a `push`/`extend` loop lets a client allocate attacker-chosen \
+              memory. Taint is MAY dataflow from the sources in the rule's \
+              `taint_sources` key; `.min(..)`/`.clamp(..)` and comparison guards \
+              sanitize. Interprocedural: functions returning unsanitized source data \
+              become sources themselves, and a callee that caps its return sanitizes.",
+        example: "let n = parse_request(buf).count;\n\
+                  let v: Vec<u8> = Vec::with_capacity(n); // attacker-sized",
         check: check_tainted_alloc,
     },
     FlowRuleDef {
         name: "atomic-ordering",
         summary: "atomic ops must match the per-field ordering policy declared in lint.toml",
+        doc: "Every atomic field gets a declared policy in lint.toml: `relaxed` (pure \
+              counters — stats that nothing reads for decisions) or `acquire_release` \
+              (values whose reads justify actions elsewhere). Loads of acquire_release \
+              fields must use Acquire/SeqCst, stores Release/SeqCst, RMWs AcqRel/SeqCst; \
+              an undeclared field is itself a finding. Site-local by design: the policy \
+              is per-field and every op names its field, so call-graph context adds \
+              nothing.",
+        example: "self.active_jobs.load(Ordering::Relaxed) // declared acquire_release",
         check: check_atomic_ordering,
+    },
+    FlowRuleDef {
+        name: "shared-field-race",
+        summary: "a field of a thread-shared type is accessed without the lockset that \
+                  guarded its earlier accesses",
+        doc: "Eraser-style lockset checking. A type is thread-shared when a method \
+              passes a self-capturing closure to a spawn-like call (`spawn_fns` key, \
+              default spawn/scope) or when lint.toml declares it (`shared_types` key). \
+              Each mutable non-sync field's access sites are collected across all \
+              `&self` methods with the MUST-held lockset at each; the rule fires where \
+              the running intersection goes from non-empty to empty — discipline was \
+              established, then broken. Atomic fields must instead appear in the \
+              atomic-ordering policy lists. `&mut self` methods, never-mutated fields, \
+              and sites under unresolvable guards are all skipped: silence over noise.",
+        example: "fn work(&self) { let g = self.jobs.lock().unwrap(); self.pending += ..; }\n\
+                  fn peek(&self) -> usize { self.pending } // no lock here",
+        check: check_shared_field_race,
+    },
+    FlowRuleDef {
+        name: "guard-passed-to-fn",
+        summary: "a live lock guard is passed into a callee that can block",
+        doc: "Passing a guard into a function hides the critical section from the \
+              caller: the lock is held for the callee's whole execution. When the \
+              callee's summary says it may block, that is lock-across-blocking split \
+              across two functions — fired at the call site, with the callee's \
+              blocking site as a related location. An unresolvable callee stays \
+              silent (it may be trivial); the plain move-into-a-call case is still \
+              treated as a drop by guard liveness.",
+        example: "let g = self.state.lock().unwrap();\n\
+                  self.flush_under(g); // flush_under() writes to disk",
+        check: check_guard_passed_to_fn,
     },
 ];
 
@@ -85,14 +174,14 @@ pub fn flow_rule_by_name(name: &str) -> Option<&'static FlowRuleDef> {
 }
 
 /// Resolves a list knob: the rule's `lint.toml` value, else `default`.
-fn knob(rc: &RuleConfig, key: &str, default: &[&str]) -> Vec<String> {
+pub(crate) fn knob(rc: &RuleConfig, key: &str, default: &[&str]) -> Vec<String> {
     rc.list(key)
         .map(<[String]>::to_vec)
         .unwrap_or_else(|| default.iter().map(|s| (*s).to_string()).collect())
 }
 
 /// The expression a step evaluates, if any.
-fn step_expr<'a>(kind: &StepKind<'a>) -> Option<&'a Expr> {
+pub(crate) fn step_expr<'a>(kind: &StepKind<'a>) -> Option<&'a Expr> {
     match kind {
         StepKind::Let(Stmt::Let {
             init: Some(init), ..
@@ -118,24 +207,29 @@ fn mentions(e: &Expr, out: &mut BTreeSet<String>) {
 // ----- guard liveness (rules 1–3) ------------------------------------
 
 /// One tracked lock guard: a `let`-bound acquisition.
-struct GuardSite {
+pub(crate) struct GuardSite {
     /// The binding's name (kill target for rebinding / scope end).
-    name: String,
+    pub(crate) name: String,
     /// The lock's identity key (see [`acquisition_of`]); `"?"` when the
     /// source is unresolvable — still a guard, just unmatchable.
-    key: String,
+    pub(crate) key: String,
     /// Line of the acquisition (for messages).
-    line: u32,
+    pub(crate) line: u32,
     /// The gen step's ordinal (relates the guard to loop regions).
-    ord: u32,
+    pub(crate) ord: u32,
 }
 
 /// Builds the guard-liveness problem for one function: sites are
-/// `let`-bound lock acquisitions (or `MutexGuard`-annotated bindings);
-/// kills are rebinding, scope end, and the guard's bare name moving
-/// into a call (which covers `drop(g)`).  MUST mode: a guard only
-/// counts as held where every executed path holds it.
-fn guard_analysis<'a>(cfg: &Cfg<'a>) -> (Vec<GuardSite>, Problem, Solution) {
+/// `let`-bound lock acquisitions, bindings of calls whose summary says
+/// they return a guard, or `MutexGuard`-annotated bindings; kills are
+/// rebinding, scope end, and the guard's bare name moving into a call
+/// (which covers `drop(g)`).  MUST mode: a guard only counts as held
+/// where every executed path holds it.
+pub(crate) fn guard_analysis<'a>(
+    rel_path: &str,
+    interp: &Interp,
+    cfg: &Cfg<'a>,
+) -> (Vec<GuardSite>, Problem, Solution) {
     let mut sites: Vec<GuardSite> = Vec::new();
     for (_, s) in cfg.steps_in_order() {
         if let StepKind::Let(Stmt::Let {
@@ -147,10 +241,22 @@ fn guard_analysis<'a>(cfg: &Cfg<'a>) -> (Vec<GuardSite>, Problem, Solution) {
         }) = &s.kind
         {
             let mut acq = None;
+            let mut from_callee: Option<(String, u32)> = None;
             if let Some(init) = init {
                 walk_flat(init, &mut |e| {
                     if acq.is_none() {
                         acq = acquisition_of(e);
+                    }
+                    if from_callee.is_none() {
+                        if let Expr::Call { span, .. } | Expr::MethodCall { span, .. } = e {
+                            if let Some((_, sum)) =
+                                interp.callee_summary(rel_path, span.line, span.col)
+                            {
+                                if let Some(key) = &sum.returns_guard {
+                                    from_callee = Some((key.clone(), span.line));
+                                }
+                            }
+                        }
                     }
                 });
             }
@@ -159,6 +265,15 @@ fn guard_analysis<'a>(cfg: &Cfg<'a>) -> (Vec<GuardSite>, Problem, Solution) {
                     name: n.clone(),
                     key: a.key,
                     line: a.line,
+                    ord: s.ord,
+                });
+            } else if let Some((key, line)) = from_callee {
+                // `let g = self.state_guard();` — the callee's summary
+                // says it hands back a live guard for `key`.
+                sites.push(GuardSite {
+                    name: n.clone(),
+                    key,
+                    line,
                     ord: s.ord,
                 });
             } else if ty.as_deref().is_some_and(|t| t.contains("MutexGuard")) {
@@ -230,7 +345,7 @@ fn innermost<'a>(sites: &'a [GuardSite], fact: &SiteSet) -> Option<&'a GuardSite
 
 /// Built-in blocking-call list for `lock-across-blocking`; override
 /// with the rule's `blocking_calls` key in `lint.toml`.
-const DEFAULT_BLOCKING: &[&str] = &[
+pub(crate) const DEFAULT_BLOCKING: &[&str] = &[
     "accept",
     "flush",
     "read",
@@ -254,7 +369,7 @@ fn check_lock_across_blocking(ctx: &FlowCtx) -> Vec<Finding> {
     let mut out = Vec::new();
     for item in &ctx.ast.items {
         for_each_fn_cfg(item, &mut |_, cfg| {
-            let (sites, p, sol) = guard_analysis(cfg);
+            let (sites, p, sol) = guard_analysis(ctx.rel_path, ctx.interp, cfg);
             if sites.is_empty() {
                 return;
             }
@@ -265,33 +380,77 @@ fn check_lock_across_blocking(ctx: &FlowCtx) -> Vec<Finding> {
                     }
                     let Some(e) = step_expr(&s.kind) else { return };
                     walk_flat(e, &mut |x| {
-                        let (name, span) = match x {
-                            Expr::MethodCall { name, span, .. } => (name.as_str(), span),
-                            Expr::Call { callee, span, .. } => {
+                        let (name, args, span) = match x {
+                            Expr::MethodCall {
+                                name, args, span, ..
+                            } => (name.as_str(), args, span),
+                            Expr::Call { callee, args, span } => {
                                 let Expr::Path { segs, .. } = callee.as_ref() else {
                                     return;
                                 };
                                 let Some(last) = segs.last() else { return };
-                                (last.as_str(), span)
+                                (last.as_str(), args, span)
                             }
                             _ => return,
                         };
-                        if !blocking.iter().any(|b| b == name) {
-                            return;
-                        }
                         let Some(g) = innermost(&sites, fact) else {
                             return;
                         };
-                        out.push(Finding {
-                            line: span.line,
-                            col: span.col,
-                            message: format!(
-                                "`{name}()` can block while lock guard `{}` (acquired line {}) \
-                                 is held; drop the guard first or move the I/O outside the \
-                                 critical section",
-                                g.name, g.line
-                            ),
+                        if blocking.iter().any(|b| b == name) {
+                            out.push(Finding {
+                                related: Vec::new(),
+                                line: span.line,
+                                col: span.col,
+                                message: format!(
+                                    "`{name}()` can block while lock guard `{}` (acquired line \
+                                     {}) is held; drop the guard first or move the I/O outside \
+                                     the critical section",
+                                    g.name, g.line
+                                ),
+                            });
+                            return;
+                        }
+                        // Interprocedural: the callee's summary may
+                        // carry a blocking witness.  A live guard passed
+                        // as an argument is guard-passed-to-fn's case,
+                        // not this rule's.
+                        let passes_guard = args.iter().any(|a| {
+                            matches!(a, Expr::Path { segs, .. }
+                                if segs.len() == 1
+                                    && fact.iter().any(|i| sites[i as usize].name == segs[0]))
                         });
+                        if passes_guard {
+                            return;
+                        }
+                        let Some((idx, sum)) =
+                            ctx.interp.callee_summary(ctx.rel_path, span.line, span.col)
+                        else {
+                            return;
+                        };
+                        if let Some(w) = &sum.may_block {
+                            out.push(Finding {
+                                related: vec![RelatedSite {
+                                    path: w.file.clone(),
+                                    line: w.line,
+                                    col: w.col,
+                                    note: format!("the blocking call {} reached here", w.what),
+                                }],
+                                line: span.line,
+                                col: span.col,
+                                message: format!(
+                                    "`{}` can block ({} at {}:{}) and is called while lock \
+                                     guard `{}` (acquired line {}) is held; drop the guard \
+                                     first or move the blocking work outside the critical \
+                                     section",
+                                    ctx.interp.fn_display(idx),
+                                    w.what,
+                                    w.file,
+                                    w.line,
+                                    g.name,
+                                    g.line
+                                ),
+                            });
+                        }
                     });
                 });
             }
@@ -306,10 +465,53 @@ fn check_double_lock(ctx: &FlowCtx) -> Vec<Finding> {
     let mut out = Vec::new();
     for item in &ctx.ast.items {
         for_each_fn_cfg(item, &mut |_, cfg| {
-            let (sites, p, sol) = guard_analysis(cfg);
+            let (sites, p, sol) = guard_analysis(ctx.rel_path, ctx.interp, cfg);
             for node in 0..cfg.nodes.len() {
                 sol.for_each_step(cfg, &p, node, &mut |s: &Step, fact| {
                     let Some(e) = step_expr(&s.kind) else { return };
+                    // Interprocedural: calling a function whose summary
+                    // acquires a currently-held lock deadlocks inside
+                    // the callee.
+                    walk_flat(e, &mut |x| {
+                        let span = match x {
+                            Expr::Call { span, .. } | Expr::MethodCall { span, .. } => span,
+                            _ => return,
+                        };
+                        let Some((idx, sum)) =
+                            ctx.interp.callee_summary(ctx.rel_path, span.line, span.col)
+                        else {
+                            return;
+                        };
+                        for li in fact.iter() {
+                            let live = &sites[li as usize];
+                            if live.key == "?" {
+                                continue;
+                            }
+                            if let Some(w) = sum.acquires.get(&live.key) {
+                                out.push(Finding {
+                                    related: vec![RelatedSite {
+                                        path: w.file.clone(),
+                                        line: w.line,
+                                        col: w.col,
+                                        note: format!("the callee acquires `{}` here", live.key),
+                                    }],
+                                    line: span.line,
+                                    col: span.col,
+                                    message: format!(
+                                        "`{}` acquires lock `{}` (at {}:{}) which is already \
+                                         held here (guard `{}` since line {}); the nested \
+                                         `.lock()` self-deadlocks",
+                                        ctx.interp.fn_display(idx),
+                                        live.key,
+                                        w.file,
+                                        w.line,
+                                        live.name,
+                                        live.line
+                                    ),
+                                });
+                            }
+                        }
+                    });
                     let mut acqs = Vec::new();
                     walk_flat(e, &mut |x| acqs.extend(acquisition_of(x)));
                     for (i, a) in acqs.iter().enumerate() {
@@ -320,6 +522,7 @@ fn check_double_lock(ctx: &FlowCtx) -> Vec<Finding> {
                         // expression deadlock regardless of bindings.
                         if acqs[..i].iter().any(|b| b.key == a.key) {
                             out.push(Finding {
+                                related: Vec::new(),
                                 line: a.line,
                                 col: a.col,
                                 message: format!(
@@ -334,6 +537,7 @@ fn check_double_lock(ctx: &FlowCtx) -> Vec<Finding> {
                             let live = &sites[li as usize];
                             if live.key == a.key {
                                 out.push(Finding {
+                                    related: Vec::new(),
                                     line: a.line,
                                     col: a.col,
                                     message: format!(
@@ -345,6 +549,7 @@ fn check_double_lock(ctx: &FlowCtx) -> Vec<Finding> {
                             } else if let (Some(pa), Some(pl)) = (pos(&a.key), pos(&live.key)) {
                                 if pa < pl {
                                     out.push(Finding {
+                                        related: Vec::new(),
                                         line: a.line,
                                         col: a.col,
                                         message: format!(
@@ -369,7 +574,7 @@ fn check_guard_across_loop(ctx: &FlowCtx) -> Vec<Finding> {
     let mut out = Vec::new();
     for item in &ctx.ast.items {
         for_each_fn_cfg(item, &mut |_, cfg| {
-            let (sites, p, sol) = guard_analysis(cfg);
+            let (sites, p, sol) = guard_analysis(ctx.rel_path, ctx.interp, cfg);
             if sites.is_empty() {
                 return;
             }
@@ -392,6 +597,7 @@ fn check_guard_across_loop(ctx: &FlowCtx) -> Vec<Finding> {
                             && seen.insert((li.span.line, li.span.col, i as usize))
                         {
                             out.push(Finding {
+                                related: Vec::new(),
                                 line: li.span.line,
                                 col: li.span.col,
                                 message: format!(
@@ -414,7 +620,7 @@ fn check_guard_across_loop(ctx: &FlowCtx) -> Vec<Finding> {
 
 /// Built-in taint sources for `tainted-alloc`; override with the rule's
 /// `taint_sources` key in `lint.toml`.
-const DEFAULT_TAINT_SOURCES: &[&str] = &["parse_request", "parse_routed"];
+pub(crate) const DEFAULT_TAINT_SOURCES: &[&str] = &["parse_request", "parse_routed"];
 
 /// A binding event: a `let` or a plain `name = value` assignment.
 struct TaintBind<'a> {
@@ -425,7 +631,7 @@ struct TaintBind<'a> {
 }
 
 /// True when `e` contains a call to one of `sources`.
-fn calls_source(e: &Expr, sources: &[String]) -> bool {
+pub(crate) fn calls_source(e: &Expr, sources: &[String]) -> bool {
     let mut hit = false;
     walk_flat(e, &mut |x| match x {
         Expr::Call { callee, .. } => {
@@ -442,7 +648,7 @@ fn calls_source(e: &Expr, sources: &[String]) -> bool {
 }
 
 /// True when `e` caps its value (`.min(..)` / `.clamp(..)`).
-fn is_capped(e: &Expr) -> bool {
+pub(crate) fn is_capped(e: &Expr) -> bool {
     let mut hit = false;
     walk_flat(e, &mut |x| {
         if let Expr::MethodCall { name, .. } = x {
@@ -466,17 +672,23 @@ fn compared_names(e: &Expr, out: &mut BTreeSet<String>) {
 }
 
 fn check_tainted_alloc(ctx: &FlowCtx) -> Vec<Finding> {
-    let sources = knob(ctx.rule_cfg, "taint_sources", DEFAULT_TAINT_SOURCES);
+    let mut sources = knob(ctx.rule_cfg, "taint_sources", DEFAULT_TAINT_SOURCES);
+    // Interprocedural: functions whose summary returns unsanitized
+    // source data are sources themselves.
+    sources.extend(ctx.interp.taint_return_names());
     let mut out = Vec::new();
     for item in &ctx.ast.items {
         for_each_fn_cfg(item, &mut |_, cfg| {
-            taint_one_fn(cfg, &sources, &mut out);
+            taint_one_fn(ctx, cfg, &sources, &mut out);
         });
     }
     out
 }
 
-fn taint_one_fn(cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
+fn taint_one_fn(ctx: &FlowCtx, cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
+    // A value is capped syntactically (`.min`/`.clamp`) or through a
+    // resolved callee whose summary sanitizes its return.
+    let capped = |e: &Expr| is_capped(e) || ctx.interp.call_sanitizes(ctx.rel_path, e);
     // Binding events: `let name = init` and `name = value`.
     let mut binds: Vec<TaintBind> = Vec::new();
     for (_, s) in cfg.steps_in_order() {
@@ -559,7 +771,7 @@ fn taint_one_fn(cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
     // get added; bounded by the bind count).
     let mut tainted = vec![false; binds.len()];
     for (i, b) in binds.iter().enumerate() {
-        if calls_source(b.init, sources) && !is_capped(b.init) {
+        if calls_source(b.init, sources) && !capped(b.init) {
             tainted[i] = true;
             p.gen[b.ord as usize].push(i as u32);
         }
@@ -573,7 +785,7 @@ fn taint_one_fn(cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
                 let Some((i, b)) = binds.iter().enumerate().find(|(_, b)| b.ord == s.ord) else {
                     return;
                 };
-                if tainted[i] || is_capped(b.init) {
+                if tainted[i] || capped(b.init) {
                     return;
                 }
                 let mut used = BTreeSet::new();
@@ -639,6 +851,7 @@ fn taint_one_fn(cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
                     for a in args {
                         if let Some((name, line)) = live_tainted(fact, a) {
                             out.push(Finding {
+                                related: Vec::new(),
                                 line: span.line,
                                 col: span.col,
                                 message: format!(
@@ -683,6 +896,7 @@ fn taint_one_fn(cfg: &Cfg, sources: &[String], out: &mut Vec<Finding>) {
                             && grow_seen.insert((span.line, span.col))
                         {
                             out.push(Finding {
+                                related: Vec::new(),
                                 line: span.line,
                                 col: span.col,
                                 message: format!(
@@ -768,6 +982,7 @@ fn check_atomic_ordering(ctx: &FlowCtx) -> Vec<Finding> {
                 };
                 if !ok {
                     out.push(Finding {
+                        related: Vec::new(),
                         line: span.line,
                         col: span.col,
                         message: format!(
@@ -779,6 +994,7 @@ fn check_atomic_ordering(ctx: &FlowCtx) -> Vec<Finding> {
                 }
             } else if !relaxed.contains(&key) {
                 out.push(Finding {
+                    related: Vec::new(),
                     line: span.line,
                     col: span.col,
                     message: format!(
@@ -786,6 +1002,90 @@ fn check_atomic_ordering(ctx: &FlowCtx) -> Vec<Finding> {
                          (pure counters) or `acquire_release` (read for decisions) under \
                          [rules.atomic-ordering] in lint.toml"
                     ),
+                });
+            }
+        });
+    }
+    out
+}
+
+// ----- thread-shared field lockset (rule 6) --------------------------
+
+/// The workspace-level Eraser analysis runs once in
+/// [`crate::sharedstate::analyze`] (during [`Interp::build`]); this
+/// check just surfaces the findings whose firing site is in this file,
+/// so they flow through the normal suppression/baseline pipeline.
+fn check_shared_field_race(ctx: &FlowCtx) -> Vec<Finding> {
+    ctx.interp.shared_race_in(ctx.rel_path).to_vec()
+}
+
+// ----- guard escaping into a blocking callee (rule 7) ----------------
+
+fn check_guard_passed_to_fn(ctx: &FlowCtx) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for item in &ctx.ast.items {
+        for_each_fn_cfg(item, &mut |_, cfg| {
+            let (sites, p, sol) = guard_analysis(ctx.rel_path, ctx.interp, cfg);
+            if sites.is_empty() {
+                return;
+            }
+            for node in 0..cfg.nodes.len() {
+                sol.for_each_step(cfg, &p, node, &mut |s: &Step, fact| {
+                    if fact.is_empty() {
+                        return;
+                    }
+                    let Some(e) = step_expr(&s.kind) else { return };
+                    walk_flat(e, &mut |x| {
+                        let (args, span) = match x {
+                            Expr::Call { args, span, .. } | Expr::MethodCall { args, span, .. } => {
+                                (args, span)
+                            }
+                            _ => return,
+                        };
+                        // Which live guards move into this call?  (The
+                        // fact is pre-step, so the move itself is still
+                        // visible here even though it kills the guard.)
+                        let Some(g) = fact.iter().map(|i| &sites[i as usize]).find(|g| {
+                            args.iter().any(|a| {
+                                matches!(a, Expr::Path { segs, .. }
+                                    if segs.len() == 1 && segs[0] == g.name)
+                            })
+                        }) else {
+                            return;
+                        };
+                        let Some((idx, sum)) =
+                            ctx.interp.callee_summary(ctx.rel_path, span.line, span.col)
+                        else {
+                            return; // unresolved callee: silence
+                        };
+                        if let Some(w) = &sum.may_block {
+                            out.push(Finding {
+                                related: vec![RelatedSite {
+                                    path: w.file.clone(),
+                                    line: w.line,
+                                    col: w.col,
+                                    note: format!(
+                                        "the callee blocks here, with `{}` still held",
+                                        g.name
+                                    ),
+                                }],
+                                line: span.line,
+                                col: span.col,
+                                message: format!(
+                                    "lock guard `{}` (acquired line {}) is passed into `{}`, \
+                                     which can block ({} at {}:{}); the lock is held for the \
+                                     callee's whole execution — do the blocking work before \
+                                     locking, or pass the data instead of the guard",
+                                    g.name,
+                                    g.line,
+                                    ctx.interp.fn_display(idx),
+                                    w.what,
+                                    w.file,
+                                    w.line
+                                ),
+                            });
+                        }
+                    });
                 });
             }
         });
@@ -808,11 +1108,14 @@ mod tests {
             ast,
         }];
         let ws = Workspace::build(&parsed, false);
+        let lint_cfg = crate::config::LintConfig::default();
+        let interp = Interp::build(&parsed, &ws, &lint_cfg);
         let ctx = FlowCtx {
             rel_path: "x/src/lib.rs",
             ast: &parsed[0].ast,
             ws: &ws,
             rule_cfg: rc,
+            interp: &interp,
         };
         let def = flow_rule_by_name(rule).expect("rule");
         (def.check)(&ctx)
@@ -998,5 +1301,170 @@ mod tests {
                    let x = self.map.load(key);\n\
                    }";
         assert!(run("atomic-ordering", src).is_empty());
+    }
+
+    #[test]
+    fn blocking_reached_through_a_callee_fires_with_the_witness() {
+        let src = "fn save(d: &D) {\n\
+                   d.file.sync_all();\n\
+                   }\n\
+                   fn f(&self) {\n\
+                   let g = self.state.lock().unwrap();\n\
+                   save(&g);\n\
+                   }";
+        let hits = run("lock-across-blocking", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 6);
+        assert!(hits[0].1.contains("save"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("sync_all"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn double_lock_through_a_callee_fires() {
+        let src = "struct S { jobs: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn f(&self) {\n\
+                   let a = self.jobs.lock().unwrap();\n\
+                   self.relock();\n\
+                   }\n\
+                   fn relock(&self) {\n\
+                   let b = self.jobs.lock().unwrap();\n\
+                   }\n\
+                   }";
+        let hits = run("double-lock", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 5);
+        assert!(hits[0].1.contains("S::relock"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("`jobs`"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn guard_returned_by_a_helper_is_tracked() {
+        let src = "struct S { state: Mutex<u32>, file: F }\n\
+                   impl S {\n\
+                   fn hold(&self) -> MutexGuard<u32> {\n\
+                   self.state.lock().unwrap()\n\
+                   }\n\
+                   fn f(&self) {\n\
+                   let g = self.hold();\n\
+                   self.file.write_all(&d);\n\
+                   }\n\
+                   }";
+        let hits = run("lock-across-blocking", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 8);
+        assert!(hits[0].1.contains("`g`"), "{}", hits[0].1);
+    }
+
+    #[test]
+    fn guard_passed_to_blocking_callee_fires_there_and_only_there() {
+        let src = "struct S { state: Mutex<u32>, file: F }\n\
+                   impl S {\n\
+                   fn flush_under(&self, g: MutexGuard<u32>) {\n\
+                   self.file.sync_all();\n\
+                   }\n\
+                   fn f(&self) {\n\
+                   let g = self.state.lock().unwrap();\n\
+                   self.flush_under(g);\n\
+                   }\n\
+                   }";
+        let hits = run("guard-passed-to-fn", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 8);
+        assert!(hits[0].1.contains("flush_under"), "{}", hits[0].1);
+        // The same site is guard-passed-to-fn's, not lock-across-blocking's.
+        assert!(run("lock-across-blocking", src).is_empty());
+        // An unresolvable callee stays silent.
+        let src = "fn f(&self) {\n\
+                   let g = self.state.lock().unwrap();\n\
+                   consume(g);\n\
+                   }";
+        assert!(run("guard-passed-to-fn", src).is_empty());
+    }
+
+    #[test]
+    fn shared_field_race_fires_when_lock_discipline_breaks() {
+        let src = "struct Hub { jobs: Mutex<u32>, pending: usize }\n\
+                   impl Hub {\n\
+                   fn start(&self) { spawn(|| self.work()); }\n\
+                   fn work(&self) {\n\
+                   let g = self.jobs.lock().unwrap();\n\
+                   let n = self.pending;\n\
+                   }\n\
+                   fn peek(&self) -> usize { self.pending }\n\
+                   fn grow(&mut self) { self.pending += 1; }\n\
+                   }";
+        let hits = run("shared-field-race", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 8, "fires at the unlocked access");
+        assert!(hits[0].1.contains("`pending`"), "{}", hits[0].1);
+        assert!(hits[0].1.contains("`jobs`"), "{}", hits[0].1);
+
+        // Never-mutated fields stay silent (reads cannot race).
+        let src = "struct Hub { jobs: Mutex<u32>, pending: usize }\n\
+                   impl Hub {\n\
+                   fn start(&self) { spawn(|| self.work()); }\n\
+                   fn work(&self) {\n\
+                   let g = self.jobs.lock().unwrap();\n\
+                   let n = self.pending;\n\
+                   }\n\
+                   fn peek(&self) -> usize { self.pending }\n\
+                   }";
+        assert!(run("shared-field-race", src).is_empty());
+
+        // No spawn: the type never crosses a thread boundary.
+        let src = "struct Hub { jobs: Mutex<u32>, pending: usize }\n\
+                   impl Hub {\n\
+                   fn work(&self) {\n\
+                   let g = self.jobs.lock().unwrap();\n\
+                   let n = self.pending;\n\
+                   }\n\
+                   fn peek(&self) -> usize { self.pending }\n\
+                   fn grow(&mut self) { self.pending += 1; }\n\
+                   }";
+        assert!(run("shared-field-race", src).is_empty());
+    }
+
+    #[test]
+    fn taint_flows_through_helper_returns_and_sanitizing_callees() {
+        // A helper returning raw source data becomes a source.
+        let src = "fn len_of(buf: &[u8]) -> usize {\n\
+                   parse_request(buf)\n\
+                   }\n\
+                   fn f(buf: &[u8]) {\n\
+                   let n = len_of(buf);\n\
+                   let v: Vec<u8> = Vec::with_capacity(n);\n\
+                   }";
+        let hits = run("tainted-alloc", src);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].0, 6);
+
+        // A helper that caps its return is not a source.
+        let src = "fn len_of(buf: &[u8]) -> usize {\n\
+                   parse_request(buf).min(64)\n\
+                   }\n\
+                   fn f(buf: &[u8]) {\n\
+                   let n = len_of(buf);\n\
+                   let v: Vec<u8> = Vec::with_capacity(n);\n\
+                   }";
+        assert!(run("tainted-alloc", src).is_empty());
+
+        // A capping callee sanitizes a raw source at the call site.
+        let src = "fn cap(x: usize) -> usize {\n\
+                   x.min(64)\n\
+                   }\n\
+                   fn f(buf: &[u8]) {\n\
+                   let n = cap(parse_request(buf));\n\
+                   let v: Vec<u8> = Vec::with_capacity(n);\n\
+                   }";
+        assert!(run("tainted-alloc", src).is_empty());
+    }
+
+    #[test]
+    fn every_flow_rule_has_explain_content() {
+        for r in FLOW_RULES {
+            assert!(!r.doc.is_empty(), "{} has no doc", r.name);
+            assert!(!r.example.is_empty(), "{} has no example", r.name);
+        }
     }
 }

@@ -30,6 +30,7 @@
 //! Run it as `sbs lint` or `cargo run -p sbs-analysis -- --workspace`.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod cfg;
 pub mod changed;
 pub mod config;
@@ -41,14 +42,16 @@ pub mod lexer;
 pub mod parse;
 pub mod rules;
 pub mod semrules;
+pub mod sharedstate;
+pub mod summaries;
 pub mod workspace;
 
 pub use baseline::Baseline;
 pub use changed::changed_files;
 pub use config::{LintConfig, RuleConfig};
 pub use engine::{
-    lint_files, lint_source, lint_sources, lint_sources_timed, lint_workspace,
-    lint_workspace_timed, Diagnostic, RuleTiming, SourceFile,
+    expand_changed, lint_files, lint_source, lint_sources, lint_sources_timed, lint_workspace,
+    lint_workspace_timed, workspace_callgraph_dot, Diagnostic, RuleTiming, SourceFile,
 };
 pub use flowrules::{flow_rule_by_name, FlowRuleDef, FLOW_RULES};
 pub use rules::{rule_by_name, Finding, RuleDef, RULES};

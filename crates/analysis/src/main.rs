@@ -26,23 +26,33 @@ sbs-analysis — static analysis for determinism, panic-freedom and float orderi
 
 USAGE:
   sbs-analysis --workspace [--root DIR]     lint the whole workspace
-  sbs-analysis --changed[=BASE] [--root DIR]  lint files changed vs a
-                                            git base (default origin/main)
+  sbs-analysis --changed[=BASE] [--root DIR]  lint files changed vs a git
+                                            base (default origin/main) plus
+                                            their call-graph neighbors
   sbs-analysis [--root DIR] FILE...         lint specific files
   sbs-analysis --list-rules                 describe every rule
+  sbs-analysis --explain RULE               rule doc, example, suppression
+  sbs-analysis --callgraph FILE             write the call graph as DOT
 
 OPTIONS:
   --format grep|json|sarif   output layer (default: grep)
   --update-baseline          shrink lint-baseline.toml to today's counts
   --timings                  print per-rule wall time to stderr
+  --timings-gate[=MS]        fail if any rule exceeds MS ms (default 300)
   --root DIR                 workspace root (default: nearest lint.toml)
 ";
+
+/// Per-rule wall-time ceiling for `--timings-gate` without a value.
+const DEFAULT_GATE_MS: u128 = 300;
 
 struct Options {
     workspace: bool,
     list_rules: bool,
     update_baseline: bool,
     timings: bool,
+    timings_gate: Option<u128>,
+    explain: Option<String>,
+    callgraph: Option<PathBuf>,
     changed: Option<String>,
     format: Format,
     root: Option<PathBuf>,
@@ -74,6 +84,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         list_rules: false,
         update_baseline: false,
         timings: false,
+        timings_gate: None,
+        explain: None,
+        callgraph: None,
         changed: None,
         format: Format::Grep,
         root: None,
@@ -86,6 +99,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--list-rules" => o.list_rules = true,
             "--update-baseline" => o.update_baseline = true,
             "--timings" => o.timings = true,
+            "--timings-gate" => o.timings_gate = Some(DEFAULT_GATE_MS),
+            other if other.starts_with("--timings-gate=") => {
+                let ms = &other["--timings-gate=".len()..];
+                o.timings_gate = Some(
+                    ms.parse()
+                        .map_err(|_| format!("--timings-gate={ms}: not a millisecond count"))?,
+                );
+            }
+            "--explain" => {
+                o.explain = Some(it.next().ok_or("--explain needs a rule name")?.clone())
+            }
+            "--callgraph" => {
+                o.callgraph = Some(PathBuf::from(
+                    it.next().ok_or("--callgraph needs a file path")?.clone(),
+                ))
+            }
             "--changed" => o.changed = Some(sbs_analysis::changed::DEFAULT_BASE.to_string()),
             other if other.starts_with("--changed=") => {
                 let base = &other["--changed=".len()..];
@@ -115,6 +144,56 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
+/// The `--explain` card for one rule, from whichever registry holds it.
+fn explain_rule(name: &str) -> Option<(String, String, String)> {
+    if let Some(r) = RULES.iter().find(|r| r.name == name) {
+        return Some((
+            r.summary.to_string(),
+            r.doc.to_string(),
+            r.example.to_string(),
+        ));
+    }
+    if let Some(r) = SEM_RULES.iter().find(|r| r.name == name) {
+        return Some((
+            r.summary.to_string(),
+            r.doc.to_string(),
+            r.example.to_string(),
+        ));
+    }
+    FLOW_RULES.iter().find(|r| r.name == name).map(|r| {
+        (
+            r.summary.to_string(),
+            r.doc.to_string(),
+            r.example.to_string(),
+        )
+    })
+}
+
+fn print_explain(name: &str) -> Result<(), String> {
+    let Some((summary, doc, example)) = explain_rule(name) else {
+        let known: Vec<&str> = RULES
+            .iter()
+            .map(|r| r.name)
+            .chain(SEM_RULES.iter().map(|r| r.name))
+            .chain(FLOW_RULES.iter().map(|r| r.name))
+            .collect();
+        return Err(format!(
+            "unknown rule {name:?}; known rules: {}",
+            known.join(", ")
+        ));
+    };
+    println!("{name} — {summary}\n");
+    println!("{doc}\n");
+    println!("Example (fires):");
+    for line in example.lines() {
+        println!("    {line}");
+    }
+    println!("\nSuppress one site with a justification:");
+    println!("    // sbs-lint: allow({name}): <why this site is safe>");
+    println!("Scope or configure it in lint.toml under [rules.{name}].");
+    Ok(())
+}
+
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let o = parse_options(args)?;
     if o.list_rules {
@@ -129,10 +208,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         return Ok(ExitCode::SUCCESS);
     }
+    if let Some(name) = &o.explain {
+        print_explain(name)?;
+        return Ok(ExitCode::SUCCESS);
+    }
     if o.workspace && o.changed.is_some() {
         return Err("--workspace and --changed are mutually exclusive".to_string());
     }
-    if !o.workspace && o.changed.is_none() && o.files.is_empty() {
+    if !o.workspace && o.changed.is_none() && o.files.is_empty() && o.callgraph.is_none() {
         return Err("nothing to lint: pass --workspace, --changed or file paths".to_string());
     }
     if o.changed.is_some() && !o.files.is_empty() {
@@ -147,18 +230,32 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
     let cfg = LintConfig::load(&root.join(CONFIG_FILE))?;
 
+    if let Some(path) = &o.callgraph {
+        let dot = sbs_analysis::workspace_callgraph_dot(&root, &cfg)?;
+        std::fs::write(path, dot).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!("sbs-analysis: call graph written to {}", path.display());
+        if !o.workspace && o.changed.is_none() && o.files.is_empty() {
+            return Ok(ExitCode::SUCCESS);
+        }
+    }
+
     let (diags, timings) = if o.workspace {
         sbs_analysis::lint_workspace_timed(&root, &cfg)?
     } else if let Some(base) = &o.changed {
         let files = sbs_analysis::changed_files(&root, base, &cfg)?;
-        eprintln!("sbs-analysis: {} changed file(s) vs {base}", files.len());
-        (lint_files(&root, &files, &cfg)?, Vec::new())
+        let expanded = sbs_analysis::expand_changed(&root, &files, &cfg)?;
+        eprintln!(
+            "sbs-analysis: {} changed file(s) vs {base}, {} after call-graph expansion",
+            files.len(),
+            expanded.len()
+        );
+        (lint_files(&root, &expanded, &cfg)?, Vec::new())
     } else {
         (lint_files(&root, &o.files, &cfg)?, Vec::new())
     };
 
     if o.timings {
-        let mut sorted = timings;
+        let mut sorted = timings.clone();
         sorted.sort_by_key(|t| std::cmp::Reverse(t.micros));
         for t in &sorted {
             eprintln!(
@@ -167,6 +264,22 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 t.micros as f64 / 1000.0,
                 t.findings
             );
+        }
+    }
+    if let Some(gate_ms) = o.timings_gate {
+        let mut breached = false;
+        for t in &timings {
+            if t.micros > gate_ms * 1000 {
+                breached = true;
+                eprintln!(
+                    "sbs-analysis: timing gate breach: {} took {:.1} ms (gate {gate_ms} ms)",
+                    t.name,
+                    t.micros as f64 / 1000.0
+                );
+            }
+        }
+        if breached {
+            return Ok(ExitCode::FAILURE);
         }
     }
 

@@ -72,12 +72,14 @@ pub enum ItemKind {
 }
 
 /// One named field of a struct.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FieldDef {
     /// Field name.
     pub name: String,
     /// Field type, rendered as text.
     pub ty: String,
+    /// Position of the field name in the declaration.
+    pub span: Span,
 }
 
 /// One parsed item.
@@ -109,6 +111,13 @@ pub struct Item {
     pub fields: Vec<FieldDef>,
     /// The full path text of a `use` declaration.
     pub use_path: Option<String>,
+    /// For impl blocks: the target type, rendered as text.
+    pub impl_ty: Option<String>,
+    /// For trait impls: the trait being implemented, rendered as text.
+    pub trait_of: Option<String>,
+    /// For fns: the receiver as written (`self`, `&self`, `&mut self`),
+    /// `None` for free functions.
+    pub self_param: Option<String>,
 }
 
 impl Item {
@@ -127,6 +136,9 @@ impl Item {
             items: Vec::new(),
             fields: Vec::new(),
             use_path: None,
+            impl_ty: None,
+            trait_of: None,
+            self_param: None,
         }
     }
 }
@@ -726,11 +738,25 @@ impl<'a> Parser<'a> {
                 item.kind = ItemKind::Impl;
                 self.bump();
                 self.skip_generics();
-                // Type (and optional `Trait for Type`) up to the brace.
-                self.skip_until_block_or_semi();
+                // `impl Type { .. }` or `impl Trait for Type { .. }`;
+                // the target type lets the call graph resolve method
+                // receivers back to their defining impl.
+                let first = self.parse_impl_ty();
+                if self.is_ident(0, "for") {
+                    self.bump();
+                    item.trait_of = first;
+                    item.impl_ty = self.parse_impl_ty();
+                } else {
+                    item.impl_ty = first;
+                }
+                if self.is_ident(0, "where") {
+                    self.skip_until_block_or_semi();
+                }
                 if self.is_punct(0, b'{') {
                     self.bump();
                     item.items = self.parse_items_until(Some(b'}'));
+                    self.bump();
+                } else if self.is_punct(0, b';') {
                     self.bump();
                 }
             }
@@ -825,7 +851,7 @@ impl<'a> Parser<'a> {
         // Parameter list.
         if self.is_punct(0, b'(') {
             self.bump();
-            item.params = self.parse_params();
+            item.params = self.parse_params(&mut item.self_param);
         }
         // Return type.
         if self.is_punct2(0, b'-', b'>') {
@@ -845,8 +871,9 @@ impl<'a> Parser<'a> {
     }
 
     /// Parses `pattern: Type` pairs up to the closing `)` (already past
-    /// the opening paren).
-    fn parse_params(&mut self) -> Vec<(String, String)> {
+    /// the opening paren).  A `self` receiver is recorded into
+    /// `self_param` rather than the returned list.
+    fn parse_params(&mut self, self_param: &mut Option<String>) -> Vec<(String, String)> {
         let mut out = Vec::new();
         loop {
             match self.peek() {
@@ -870,9 +897,11 @@ impl<'a> Parser<'a> {
                 }
             }
             if self.is_ident(probe, "self") {
+                let from = self.pos;
                 for _ in 0..=probe {
                     self.bump();
                 }
+                *self_param = Some(join_tokens(&self.toks[from..self.pos]));
                 if self.is_punct(0, b',') {
                     self.bump();
                 }
@@ -925,6 +954,46 @@ impl<'a> Parser<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// Consumes an impl target type, stopping at a depth-0 `for` /
+    /// `where` keyword or at `{` / `;`.  Returns `None` when nothing
+    /// was consumed (malformed input degrades to an anonymous impl).
+    fn parse_impl_ty(&mut self) -> Option<String> {
+        let from = self.pos;
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            if angle == 0 && (self.is_ident(0, "for") || self.is_ident(0, "where")) {
+                break;
+            }
+            match t.kind {
+                TokenKind::Punct(b'{') | TokenKind::Punct(b';') if angle == 0 => break,
+                TokenKind::Punct(b'<') => {
+                    angle += 1;
+                    self.bump();
+                }
+                TokenKind::Punct(b'>') => {
+                    let prev = self.toks.get(self.pos.wrapping_sub(1));
+                    let arrow = matches!(prev, Some(p) if p.kind == TokenKind::Punct(b'-')
+                        && p.line == t.line && p.col + 1 == t.col);
+                    if !arrow && angle > 0 {
+                        angle -= 1;
+                    }
+                    self.bump();
+                }
+                TokenKind::Punct(b'(') | TokenKind::Punct(b'[') => self.skip_balanced(),
+                TokenKind::Punct(b'}') if angle == 0 => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = join_tokens(&self.toks[from..self.pos]);
+        if text.is_empty() {
+            None
+        } else {
+            Some(text)
         }
     }
 
@@ -1027,6 +1096,7 @@ impl<'a> Parser<'a> {
                     }
                     _ => {}
                 }
+                let fspan = self.span_here();
                 let Some(name) = self.ident_text(0).map(str::to_string) else {
                     self.skip_balanced();
                     continue;
@@ -1035,7 +1105,11 @@ impl<'a> Parser<'a> {
                 if self.is_punct(0, b':') {
                     self.bump();
                     let ty = self.parse_type_text(b",}");
-                    item.fields.push(FieldDef { name, ty });
+                    item.fields.push(FieldDef {
+                        name,
+                        ty,
+                        span: fspan,
+                    });
                 }
                 if self.is_punct(0, b',') {
                     self.bump();
@@ -2259,6 +2333,33 @@ mod tests {
         assert_eq!(item.ret.as_deref(), Some("u64"));
         let body = item.body.as_ref().expect("body");
         assert_eq!(body.stmts.len(), 1);
+    }
+
+    #[test]
+    fn impl_blocks_capture_target_type_trait_and_receiver() {
+        let f = parse(
+            "struct Pool;\n\
+             impl Pool { fn run(&mut self, n: u64) {} fn make() -> Pool { Pool } }\n\
+             impl Drop for Pool { fn drop(&mut self) {} }\n\
+             impl<T: Clone> From<Vec<T>> for Pool { fn from(v: Vec<T>) -> Pool { Pool } }\n",
+        );
+        let impls: Vec<&Item> = f
+            .items
+            .iter()
+            .filter(|i| i.kind == ItemKind::Impl)
+            .collect();
+        assert_eq!(impls.len(), 3);
+        assert_eq!(impls[0].impl_ty.as_deref(), Some("Pool"));
+        assert_eq!(impls[0].trait_of, None);
+        assert_eq!(impls[0].items[0].self_param.as_deref(), Some("&mut self"));
+        assert_eq!(
+            impls[0].items[1].self_param, None,
+            "assoc fn has no receiver"
+        );
+        assert_eq!(impls[1].impl_ty.as_deref(), Some("Pool"));
+        assert_eq!(impls[1].trait_of.as_deref(), Some("Drop"));
+        assert_eq!(impls[2].impl_ty.as_deref(), Some("Pool"));
+        assert_eq!(impls[2].trait_of.as_deref(), Some("From<Vec<T>>"));
     }
 
     #[test]

@@ -8,6 +8,24 @@
 
 use crate::lexer::{Token, TokenKind};
 
+/// A secondary source position that participates in a finding (the
+/// other lock site in `double-lock`, the ultimate blocking call in a
+/// lifted `lock-across-blocking`, the first access establishing the
+/// lockset in `shared-field-race`).  Rendered as SARIF
+/// `relatedLocations`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RelatedSite {
+    /// Repo-relative path; empty means "same file as the finding" and
+    /// is filled in by the engine before emission.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Short explanation of why this site matters.
+    pub note: String,
+}
+
 /// One rule violation at a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
@@ -17,6 +35,8 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Secondary sites that make the finding a multi-site story.
+    pub related: Vec<RelatedSite>,
 }
 
 /// A rule: its identity plus its checker.
@@ -25,6 +45,10 @@ pub struct RuleDef {
     pub name: &'static str,
     /// One-line description for `--list-rules` and docs.
     pub summary: &'static str,
+    /// One-paragraph explanation for `--explain`.
+    pub doc: &'static str,
+    /// A minimal firing example for `--explain`.
+    pub example: &'static str,
     /// Scans a masked token stream for violations.
     pub check: fn(&[Token]) -> Vec<Finding>,
 }
@@ -34,26 +58,53 @@ pub const RULES: &[RuleDef] = &[
     RuleDef {
         name: "wall-clock",
         summary: "Instant::now()/SystemTime::now() forbidden in deterministic code",
+        doc: "Scheduling decisions must be bit-deterministic: the paper's \
+              discrepancy-search results only reproduce when the same trace \
+              yields the same schedule every run.  A wall-clock read in a \
+              decision path makes runs time-dependent.  Route time through \
+              an injectable clock (service::Clock) or move the read into an \
+              allowlisted module.",
+        example: "let t = Instant::now();",
         check: check_wall_clock,
     },
     RuleDef {
         name: "unordered-map",
         summary: "HashMap/HashSet forbidden in decision-path crates (iteration order is random)",
+        doc: "HashMap/HashSet iteration order is randomized per process, so \
+              any scheduling decision influenced by iteration order differs \
+              run to run.  Use BTreeMap/BTreeSet, or collect and sort keys \
+              before iterating.",
+        example: "use std::collections::HashMap;",
         check: check_unordered_map,
     },
     RuleDef {
         name: "panic-in-daemon",
         summary: "unwrap/expect/panic!/bare indexing forbidden in long-running daemon code",
+        doc: "The fleet daemon is long-running; a panic trades an error \
+              message for a dead scheduler.  Return typed errors, use \
+              unwrap_or_else/match, and replace bare indexing with .get(..) \
+              so a bad input logs and the scheduler keeps running.",
+        example: "let job = queue[0]; job.id.unwrap();",
         check: check_panic,
     },
     RuleDef {
         name: "float-ordering",
         summary: "partial_cmp on float keys must be total_cmp (NaN breaks tie-breaking)",
+        doc: "partial_cmp on search/decision keys mis-orders (or panics via \
+              unwrap) on NaN, breaking the exact tie-breaking semantics the \
+              discrepancy search depends on.  Use f64::total_cmp or a \
+              hand-written total Ord.",
+        example: "jobs.sort_by(|a, b| a.slowdown.partial_cmp(&b.slowdown).unwrap());",
         check: check_float_ordering,
     },
     RuleDef {
         name: "forbid-unsafe",
         summary: "no unsafe blocks without an explicit justified allow",
+        doc: "The workspace compiles with #![forbid(unsafe_code)] per crate; \
+              any unsafe block needs a justified inline allow explaining why \
+              the invariant holds, so reviewers can audit every escape \
+              hatch.",
+        example: "let v = unsafe { *ptr };",
         check: check_unsafe,
     },
 ];
@@ -89,6 +140,7 @@ fn check_wall_clock(tokens: &[Token]) -> Vec<Finding> {
             && ident_at(tokens, i + 3) == Some("now")
         {
             out.push(Finding {
+                related: Vec::new(),
                 line: tokens[i].line,
                 col: tokens[i].col,
                 message: format!(
@@ -109,6 +161,7 @@ fn check_unordered_map(tokens: &[Token]) -> Vec<Finding> {
         .iter()
         .filter(|t| t.kind == TokenKind::Ident && (t.text == "HashMap" || t.text == "HashSet"))
         .map(|t| Finding {
+            related: Vec::new(),
             line: t.line,
             col: t.col,
             message: format!(
@@ -141,6 +194,7 @@ fn check_panic(tokens: &[Token]) -> Vec<Finding> {
                     && punct_at(tokens, i + 1, b'(') =>
             {
                 out.push(Finding {
+                    related: Vec::new(),
                     line: t.line,
                     col: t.col,
                     message: format!(
@@ -153,6 +207,7 @@ fn check_panic(tokens: &[Token]) -> Vec<Finding> {
             }
             TokenKind::Ident if t.text == "panic" && punct_at(tokens, i + 1, b'!') => {
                 out.push(Finding {
+                    related: Vec::new(),
                     line: t.line,
                     col: t.col,
                     message: "panic!() in daemon code kills the scheduler; degrade \
@@ -169,6 +224,7 @@ fn check_panic(tokens: &[Token]) -> Vec<Finding> {
                 };
                 if is_index_base {
                     out.push(Finding {
+                        related: Vec::new(),
                         line: t.line,
                         col: t.col,
                         message: "bare indexing/slicing panics when out of bounds; use \
@@ -194,6 +250,7 @@ fn check_float_ordering(tokens: &[Token]) -> Vec<Finding> {
             && punct_at(tokens, i + 1, b'(')
         {
             out.push(Finding {
+                related: Vec::new(),
                 line: t.line,
                 col: t.col,
                 message: "partial_cmp on search/decision keys mis-orders or panics on \
@@ -212,6 +269,7 @@ fn check_unsafe(tokens: &[Token]) -> Vec<Finding> {
         .iter()
         .filter(|t| t.kind == TokenKind::Ident && t.text == "unsafe")
         .map(|t| Finding {
+            related: Vec::new(),
             line: t.line,
             col: t.col,
             message: "unsafe code needs an explicit justified allow (and prefer \

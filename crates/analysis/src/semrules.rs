@@ -35,6 +35,10 @@ pub struct SemRuleDef {
     pub name: &'static str,
     /// One-line description for `--list-rules` and docs.
     pub summary: &'static str,
+    /// A paragraph for `--explain`: what the rule models and why.
+    pub doc: &'static str,
+    /// A minimal firing example for `--explain`.
+    pub example: &'static str,
     /// Scans one file (with workspace context) for violations.
     pub check: fn(&SemCtx) -> Vec<Finding>,
 }
@@ -45,27 +49,56 @@ pub const SEM_RULES: &[SemRuleDef] = &[
         name: "cast-truncation",
         summary:
             "lossy `as` casts on scheduling quantities; use try_into/From or a justified allow",
+        doc: "An `as` cast that narrows, drops a sign, or floors a float silently corrupts \
+              scheduling quantities (queue depths, weights, timestamps). The rule resolves \
+              binding and alias types through the workspace index and flags only casts it \
+              can prove lossy; unknown source types stay silent. Use `try_into()`, a wider \
+              target, or a justified allow for intentional truncation.",
+        example: "let slots: u16 = total_nodes as u16; // u64 → u16 narrows",
         check: check_cast_truncation,
     },
     SemRuleDef {
         name: "unchecked-time-arith",
         summary: "+/-/* on Time-typed expressions can wrap silently; use checked_*/saturating_*",
+        doc: "Raw `+`/`-`/`*` on simulation-time values wraps on overflow and panics in \
+              debug, corrupting event ordering. The rule tracks Time-typed expressions \
+              through lets, fields, and function returns via the workspace index; \
+              `checked_*`/`saturating_*` calls and const-only arithmetic are exempt.",
+        example: "let deadline = now + job.runtime; // Time + Time, unchecked",
         check: check_time_arith,
     },
     SemRuleDef {
         name: "lock-ordering",
         summary:
             "nested lock acquisitions that invert an order observed elsewhere (deadlock precursor)",
+        doc: "If one function locks A then B and another locks B then A, two threads can \
+              deadlock. The rule collects every nested acquisition order across the whole \
+              workspace and flags pairs observed in both directions, pointing at the later \
+              occurrence. Lock identity is the receiver's field/path key; unresolvable \
+              receivers never match.",
+        example: "fn a(&self) { let j = self.jobs.lock(); let s = self.stats.lock(); }\n\
+                  fn b(&self) { let s = self.stats.lock(); let j = self.jobs.lock(); }",
         check: check_lock_ordering,
     },
     SemRuleDef {
         name: "result-dropped",
         summary: "let _ = / bare-semicolon discards a Result from a workspace function",
+        doc: "Discarding a `Result` from a workspace function with `let _ =` or a bare \
+              semicolon swallows scheduler errors (failed submissions, I/O) that the \
+              caller was supposed to handle. Return types come from the workspace index, \
+              so only calls the analysis can prove Result-returning fire; `?`, `match`, \
+              and any use of the value silence it.",
+        example: "self.submit(job); // submit() -> Result<..>, discarded",
         check: check_result_dropped,
     },
     SemRuleDef {
         name: "pub-dead-item",
         summary: "pub item referenced by no other file in the workspace",
+        doc: "A `pub` item no other workspace file mentions is either dead API surface or \
+              a missing integration — both worth a look in a growing codebase. Mentions \
+              are tracked across all files (tests and reference corpora count as usage); \
+              `main`, trait-impl methods, and private items are exempt.",
+        example: "pub fn unused_helper() {} // nothing else names it",
         check: check_pub_dead,
     },
 ];
@@ -331,6 +364,7 @@ fn check_cast_truncation(ctx: &SemCtx) -> Vec<Finding> {
             let src = ctx.ws.resolve_alias(&src_nominal).to_string();
             if cast_is_lossy(&src, &dst) {
                 out.push(Finding {
+                    related: Vec::new(),
                     line: span.line,
                     col: span.col,
                     message: format!(
@@ -398,6 +432,7 @@ fn check_time_arith(ctx: &SemCtx) -> Vec<Finding> {
                 _ => "checked_mul/saturating_mul",
             };
             out.push(Finding {
+                related: Vec::new(),
                 line: span.line,
                 col: span.col,
                 message: format!(
@@ -427,6 +462,7 @@ fn check_lock_ordering(ctx: &SemCtx) -> Vec<Finding> {
             .find(|o| o.outer == e.inner && o.inner == e.outer);
         if let Some(other) = inverted {
             out.push(Finding {
+                related: Vec::new(),
                 line: e.line,
                 col: e.col,
                 message: format!(
@@ -491,6 +527,7 @@ fn check_result_dropped_block(block: &Block, ctx: &SemCtx, out: &mut Vec<Finding
                 if ctx.ws.result_fns.contains(name) {
                     let span = e.span();
                     out.push(Finding {
+                        related: Vec::new(),
                         line: span.line,
                         col: span.col,
                         message: format!(
@@ -534,6 +571,7 @@ fn check_pub_dead(ctx: &SemCtx) -> Vec<Finding> {
             continue;
         }
         out.push(Finding {
+            related: Vec::new(),
             line: item.line,
             col: item.col,
             message: format!(

@@ -1,0 +1,347 @@
+//! The `shared-field-race` analysis: Eraser-style lockset checking for
+//! fields of types that cross thread boundaries.
+//!
+//! A type is *shared* when `lint.toml` declares it (`shared_types`
+//! under `[rules.shared-field-race]`) or when one of its methods passes
+//! a `self`-capturing closure to a spawn-like call (`spawn_fns`,
+//! default `spawn`/`scope` — covering `std::thread::spawn`,
+//! `thread::scope`, and the workspace's rayon-shim entry points).
+//!
+//! For each shared type, every field must satisfy one of:
+//!
+//! * be a synchronization type itself (`Mutex`, `RwLock`, `Condvar`,
+//!   channel endpoints, `Arc`, ...);
+//! * be an atomic governed by the declared `atomic-ordering` policy
+//!   (named under `relaxed` or `acquire_release` in `lint.toml`);
+//! * be accessed under a **consistent lockset**: the running
+//!   intersection of MUST-held guards across its access sites (in
+//!   deterministic file/line order) must never go from non-empty to
+//!   empty.
+//!
+//! Silence-leaning refinements, preserving the false-negative-only
+//! contract:
+//!
+//! * access sites in `&mut self` methods are skipped (an exclusive
+//!   borrow cannot race);
+//! * fields never mutated anywhere in the type's impls are skipped
+//!   (immutable data cannot race, and a read-only field incidentally
+//!   first read inside a critical section must not set a precedent);
+//! * sites where an unresolvable (`"?"`-keyed) guard is live are
+//!   skipped — it may well be the same lock;
+//! * a lockset that is empty from the first site stays silent: plain
+//!   `&self` reads of unlocked fields are the safe-Rust baseline, and
+//!   the rule polices *lost* discipline, not absent discipline.
+
+use crate::callgraph::{base_type_name, walk_body};
+use crate::cfg::{for_each_fn_cfg, walk_flat, Step};
+use crate::config::LintConfig;
+use crate::flowrules::{guard_analysis, knob, step_expr};
+use crate::parse::{Expr, Item, ItemKind};
+use crate::rules::{Finding, RelatedSite};
+use crate::summaries::Interp;
+use crate::workspace::{ParsedFile, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Built-in spawn-like entry points; override with the rule's
+/// `spawn_fns` key in `lint.toml`.
+const DEFAULT_SPAWN_FNS: &[&str] = &["spawn", "scope"];
+
+/// Field base types that are synchronization primitives (or handles
+/// that are safe to share) and therefore exempt from lockset checking.
+const SYNC_BASES: &[&str] = &[
+    "Arc",
+    "Barrier",
+    "Condvar",
+    "Mutex",
+    "Once",
+    "OnceLock",
+    "PhantomData",
+    "Receiver",
+    "RwLock",
+    "Sender",
+    "SyncSender",
+];
+
+/// Method names that mutate their receiver — evidence that a field is
+/// written somewhere, which is what makes lockset discipline matter.
+const MUTATING_METHODS: &[&str] = &[
+    "append",
+    "borrow_mut",
+    "clear",
+    "extend",
+    "get_mut",
+    "insert",
+    "pop",
+    "pop_front",
+    "push",
+    "push_back",
+    "push_front",
+    "remove",
+    "replace",
+    "set",
+    "take",
+    "truncate",
+];
+
+/// One field access site with the MUST-held lockset observed there.
+struct AccessSite {
+    file: String,
+    line: u32,
+    col: u32,
+    locks: BTreeSet<String>,
+}
+
+/// Runs the workspace-level analysis; returns findings grouped by the
+/// firing site's file.  Called once from [`Interp::build`].
+pub(crate) fn analyze(
+    interp: &Interp,
+    files: &[ParsedFile],
+    _ws: &Workspace,
+    cfg: &LintConfig,
+) -> BTreeMap<String, Vec<Finding>> {
+    let rc = cfg.rule("shared-field-race");
+    let spawn_fns = knob(&rc, "spawn_fns", DEFAULT_SPAWN_FNS);
+    let declared = knob(&rc, "shared_types", &[]);
+    let ao = cfg.rule("atomic-ordering");
+    let relaxed = knob(&ao, "relaxed", &[]);
+    let acqrel = knob(&ao, "acquire_release", &[]);
+
+    // Struct declarations by name; a duplicated name is ambiguous and
+    // drops the type from the analysis (silence over noise).
+    let mut structs: BTreeMap<&str, Vec<(&str, &Item)>> = BTreeMap::new();
+    for pf in files {
+        let mut stack: Vec<&Item> = pf.ast.items.iter().collect();
+        while let Some(item) = stack.pop() {
+            stack.extend(&item.items);
+            if item.kind == ItemKind::Struct {
+                if let Some(name) = &item.name {
+                    structs.entry(name).or_default().push((&pf.rel, item));
+                }
+            }
+        }
+    }
+
+    // Shared types: declared, plus inferred from self-capturing
+    // closures handed to spawn-like calls.
+    let mut shared: BTreeSet<String> = declared.into_iter().collect();
+    for node in &interp.cg.fns {
+        let Some(owner) = &node.owner else { continue };
+        let Some(body) = &node.item.body else {
+            continue;
+        };
+        walk_body(body, false, &mut |e, _| {
+            let (name, args) = match e {
+                Expr::MethodCall { name, args, .. } => (name.as_str(), args),
+                Expr::Call { callee, args, .. } => match callee.as_ref() {
+                    Expr::Path { segs, .. } => match segs.last() {
+                        Some(last) => (last.as_str(), args),
+                        None => return,
+                    },
+                    _ => return,
+                },
+                _ => return,
+            };
+            if !spawn_fns.iter().any(|s| s == name) {
+                return;
+            }
+            for a in args {
+                if let Expr::Closure { body, .. } = a {
+                    if mentions_self(body) {
+                        shared.insert(owner.clone());
+                    }
+                }
+            }
+        });
+    }
+
+    let mut out: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for ty in &shared {
+        let Some(decls) = structs.get(ty.as_str()) else {
+            continue;
+        };
+        let [(decl_file, decl)] = decls.as_slice() else {
+            continue; // duplicated name: ambiguous, skip
+        };
+        let mutated = mutated_fields(interp, ty);
+        for fd in &decl.fields {
+            let base = base_type_name(&fd.ty);
+            if base.starts_with("Atomic") {
+                if !relaxed.iter().any(|r| r == &fd.name) && !acqrel.iter().any(|r| r == &fd.name) {
+                    out.entry((*decl_file).to_string())
+                        .or_default()
+                        .push(Finding {
+                            line: fd.span.line,
+                            col: fd.span.col,
+                            message: format!(
+                                "atomic field `{}` of thread-shared `{ty}` has no declared \
+                                 ordering policy; add it to `relaxed` or `acquire_release` \
+                                 under [rules.atomic-ordering] in lint.toml",
+                                fd.name
+                            ),
+                            related: Vec::new(),
+                        });
+                }
+                continue;
+            }
+            if SYNC_BASES.contains(&base.as_str()) {
+                continue;
+            }
+            if !mutated.contains(&fd.name) {
+                continue;
+            }
+            let sites = access_sites(interp, ty, &fd.name);
+            check_lockset(ty, &fd.name, &sites, &mut out);
+        }
+    }
+    out
+}
+
+/// True when the closure body mentions `self`.
+fn mentions_self(body: &Expr) -> bool {
+    let mut hit = false;
+    crate::callgraph::walk_expr(body, true, &mut |e, _| {
+        if let Expr::Path { segs, .. } = e {
+            hit |= segs.len() == 1 && segs[0] == "self";
+        }
+    });
+    hit
+}
+
+/// Field names of `ty` written anywhere in its methods (assignment
+/// target or receiver of a mutating method), closures included.
+fn mutated_fields(interp: &Interp, ty: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for node in &interp.cg.fns {
+        if node.owner.as_deref() != Some(ty) {
+            continue;
+        }
+        let Some(body) = &node.item.body else {
+            continue;
+        };
+        walk_body(body, false, &mut |e, _| match e {
+            Expr::Binary { op, lhs, .. }
+                if op.ends_with('=') && !matches!(op.as_str(), "==" | "!=" | "<=" | ">=") =>
+            {
+                if let Some(f) = self_field_name(lhs) {
+                    out.insert(f.to_string());
+                }
+            }
+            Expr::MethodCall { recv, name, .. } if MUTATING_METHODS.contains(&name.as_str()) => {
+                if let Some(f) = self_field_name(recv) {
+                    out.insert(f.to_string());
+                }
+            }
+            _ => {}
+        });
+    }
+    out
+}
+
+/// `self.field` (through `&`/`*`/`?`) → the field name.
+fn self_field_name(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Field { base, name, .. } => match base.as_ref() {
+            Expr::Path { segs, .. } if segs.len() == 1 && segs[0] == "self" => Some(name),
+            _ => None,
+        },
+        Expr::Unary { expr, .. } | Expr::Try { expr, .. } => self_field_name(expr),
+        _ => None,
+    }
+}
+
+/// Collects `self.<field>` access sites across every `&self` method of
+/// `ty`, with the MUST-held lockset at each, in deterministic order.
+fn access_sites(interp: &Interp, ty: &str, field: &str) -> Vec<AccessSite> {
+    let mut sites: BTreeMap<(String, u32, u32), Option<BTreeSet<String>>> = BTreeMap::new();
+    for node in &interp.cg.fns {
+        if node.owner.as_deref() != Some(ty) {
+            continue;
+        }
+        // Exclusive borrows cannot race; only shared-borrow methods
+        // contribute sites.
+        let Some(sp) = &node.item.self_param else {
+            continue;
+        };
+        if sp.contains("mut") {
+            continue;
+        }
+        for_each_fn_cfg(node.item, &mut |_, cfg| {
+            let (gsites, p, sol) = guard_analysis(node.file, interp, cfg);
+            for nid in 0..cfg.nodes.len() {
+                sol.for_each_step(cfg, &p, nid, &mut |s: &Step, fact| {
+                    let Some(e) = step_expr(&s.kind) else { return };
+                    let mut locks: Option<BTreeSet<String>> = Some(BTreeSet::new());
+                    for i in fact.iter() {
+                        let key = &gsites[i as usize].key;
+                        if key == "?" {
+                            // An unresolvable guard may be the right
+                            // lock; drop the site rather than guess.
+                            locks = None;
+                            break;
+                        }
+                        if let Some(l) = &mut locks {
+                            l.insert(key.clone());
+                        }
+                    }
+                    walk_flat(e, &mut |x| {
+                        if let Expr::Field { name, span, .. } = x {
+                            if name == field && self_field_name(x).is_some() {
+                                sites
+                                    .entry((node.file.to_string(), span.line, span.col))
+                                    .or_insert_with(|| locks.clone());
+                            }
+                        }
+                    });
+                });
+            }
+        });
+    }
+    sites
+        .into_iter()
+        .filter_map(|((file, line, col), locks)| {
+            locks.map(|locks| AccessSite {
+                file,
+                line,
+                col,
+                locks,
+            })
+        })
+        .collect()
+}
+
+/// The Eraser core: running intersection over the ordered sites; fire
+/// where a previously non-empty intersection becomes empty.
+fn check_lockset(
+    ty: &str,
+    field: &str,
+    sites: &[AccessSite],
+    out: &mut BTreeMap<String, Vec<Finding>>,
+) {
+    let Some(first) = sites.first() else { return };
+    let mut cur = first.locks.clone();
+    for site in &sites[1..] {
+        let next: BTreeSet<String> = cur.intersection(&site.locks).cloned().collect();
+        if !cur.is_empty() && next.is_empty() {
+            let held = cur.iter().cloned().collect::<Vec<_>>().join("`, `");
+            out.entry(site.file.clone()).or_default().push(Finding {
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "field `{field}` of thread-shared `{ty}` is accessed here without \
+                     lock `{held}`, which guarded its earlier accesses (first at \
+                     {}:{}); hold the same lock, or make the field an atomic under \
+                     the declared policy",
+                    first.file, first.line
+                ),
+                related: vec![RelatedSite {
+                    path: first.file.clone(),
+                    line: first.line,
+                    col: first.col,
+                    note: format!("first access, under lock `{held}`"),
+                }],
+            });
+            return; // one finding per field: the first break in discipline
+        }
+        cur = next;
+    }
+}

@@ -72,6 +72,9 @@ pub struct Workspace {
     pub result_fns: BTreeSet<String>,
     /// Struct field name → type, only when unambiguous workspace-wide.
     field_types: BTreeMap<String, Option<String>>,
+    /// Struct name → its field list, only when exactly one struct of
+    /// that name exists workspace-wide (`None` marks a name clash).
+    struct_fields: BTreeMap<String, Option<Vec<crate::parse::FieldDef>>>,
     /// `const`/`static` name → declared type (unambiguous only).
     const_types: BTreeMap<String, Option<String>>,
     /// `pub` items eligible for dead-item analysis.
@@ -154,6 +157,18 @@ impl Workspace {
                 }
             }
             ItemKind::Struct => {
+                if let Some(name) = &item.name {
+                    match self.struct_fields.get(name) {
+                        None => {
+                            self.struct_fields
+                                .insert(name.clone(), Some(item.fields.clone()));
+                        }
+                        Some(Some(prev)) if *prev != item.fields => {
+                            self.struct_fields.insert(name.clone(), None);
+                        }
+                        _ => {}
+                    }
+                }
                 for f in &item.fields {
                     let ty = normalize_ty(&f.ty);
                     match self.field_types.get(&f.name) {
@@ -230,6 +245,24 @@ impl Workspace {
     /// Type of the struct field `name`, when unambiguous.
     pub fn field_type(&self, name: &str) -> Option<&str> {
         self.field_types.get(name)?.as_deref()
+    }
+
+    /// Fields of the struct `name`, when exactly one struct of that
+    /// name exists workspace-wide.
+    pub fn fields_of(&self, name: &str) -> Option<&[crate::parse::FieldDef]> {
+        self.struct_fields.get(name)?.as_deref()
+    }
+
+    /// Type of field `field` on struct `owner`, preferring the owner's
+    /// own declaration and falling back to the global unambiguous field
+    /// index.
+    pub fn field_type_on(&self, owner: &str, field: &str) -> Option<String> {
+        if let Some(fields) = self.fields_of(owner) {
+            if let Some(f) = fields.iter().find(|f| f.name == field) {
+                return Some(normalize_ty(&f.ty));
+            }
+        }
+        self.field_type(field).map(str::to_string)
     }
 
     /// Declared type of the `const`/`static` `name`, when unambiguous.

@@ -286,6 +286,71 @@ fn atomic_ordering_suppressed() {
 }
 
 #[test]
+fn shared_field_race_fires() {
+    // `pending` is read under the `jobs` lock in `audit` and with no
+    // lock in `peek`; the type is thread-shared (self-capturing closure
+    // handed to `thread::spawn`) and mutated (`grow`), so the lockset
+    // intersection emptying at `peek` is a finding.
+    assert_eq!(
+        lint_fixture("shared_field_race_fires.rs"),
+        vec![(23, "shared-field-race".to_string())]
+    );
+}
+
+#[test]
+fn shared_field_race_suppressed() {
+    assert_silent("shared_field_race_suppressed.rs");
+}
+
+#[test]
+fn guard_passed_to_fn_fires() {
+    // The guard for `state` is moved into `flush_under`, whose summary
+    // says it blocks (`out.flush()`); the finding lands on the passing
+    // call, not inside the callee.
+    assert_eq!(
+        lint_fixture("guard_passed_to_fn_fires.rs"),
+        vec![(17, "guard-passed-to-fn".to_string())]
+    );
+}
+
+#[test]
+fn guard_passed_to_fn_suppressed() {
+    assert_silent("guard_passed_to_fn_suppressed.rs");
+}
+
+#[test]
+fn interprocedural_layer_leaves_intraprocedural_verdicts_unchanged() {
+    // Differential check: the summary-aware lifts may only ADD findings
+    // where a resolved callee carries an effect. On the original
+    // intraprocedural flow fixtures the verdicts must stay identical —
+    // same rule, same line, nothing extra, and the suppressed twins
+    // stay silent.
+    let cases: [(&str, u32, &str); 5] = [
+        ("lock_across_blocking_fires.rs", 12, "lock-across-blocking"),
+        ("double_lock_fires.rs", 11, "double-lock"),
+        ("guard_across_loop_fires.rs", 13, "guard-across-loop"),
+        ("tainted_alloc_fires.rs", 6, "tainted-alloc"),
+        ("atomic_ordering_fires.rs", 10, "atomic-ordering"),
+    ];
+    for (name, line, rule) in cases {
+        assert_eq!(
+            lint_fixture(name),
+            vec![(line, rule.to_string())],
+            "{name}: interprocedural layer changed the verdict"
+        );
+    }
+    for name in [
+        "lock_across_blocking_suppressed.rs",
+        "double_lock_suppressed.rs",
+        "guard_across_loop_suppressed.rs",
+        "tainted_alloc_suppressed.rs",
+        "atomic_ordering_suppressed.rs",
+    ] {
+        assert_silent(name);
+    }
+}
+
+#[test]
 fn flow_findings_carry_exact_positions() {
     // The acceptance check for the seeded-bug drill: the firing
     // fixture's diagnostic renders grep-style with the exact line:col
@@ -307,7 +372,7 @@ fn flow_findings_carry_exact_positions() {
 /// above the pin) surfaces them all again.
 #[test]
 fn new_rules_are_baseline_pinnable() {
-    let cases: [(&[&str], &str, u32); 10] = [
+    let cases: [(&[&str], &str, u32); 12] = [
         (&["cast_truncation_fires.rs"], "cast-truncation", 3),
         (&["time_arith_fires.rs"], "unchecked-time-arith", 3),
         (&["lock_ordering_fires.rs"], "lock-ordering", 2),
@@ -326,6 +391,8 @@ fn new_rules_are_baseline_pinnable() {
         (&["guard_across_loop_fires.rs"], "guard-across-loop", 1),
         (&["tainted_alloc_fires.rs"], "tainted-alloc", 1),
         (&["atomic_ordering_fires.rs"], "atomic-ordering", 1),
+        (&["shared_field_race_fires.rs"], "shared-field-race", 1),
+        (&["guard_passed_to_fn_fires.rs"], "guard-passed-to-fn", 1),
     ];
     for (names, rule, count) in cases {
         let files: Vec<SourceFile> = names

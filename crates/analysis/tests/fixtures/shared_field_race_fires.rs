@@ -1,0 +1,28 @@
+//! shared-field-race firing fixture: `pending` is read under the
+//! `jobs` lock in one method and with no lock in another, on a type
+//! whose self-capturing closure crosses a thread boundary.
+use std::sync::Mutex;
+use std::thread;
+
+pub struct Hub {
+    pub jobs: Mutex<u32>,
+    pub pending: u32,
+}
+
+impl Hub {
+    pub fn start(&self) {
+        thread::spawn(|| self.audit());
+    }
+    pub fn audit(&self) {
+        let g = self.jobs.lock();
+        let before = self.pending;
+        drop(g);
+        drop(before);
+    }
+    pub fn peek(&self) -> u32 {
+        self.pending
+    }
+    pub fn grow(&mut self) {
+        self.pending += 1;
+    }
+}

@@ -1,0 +1,28 @@
+//! shared-field-race suppressed fixture: the unlocked read is a
+//! deliberate racy snapshot, with the justification on record.
+use std::sync::Mutex;
+use std::thread;
+
+pub struct Hub {
+    pub jobs: Mutex<u32>,
+    pub pending: u32,
+}
+
+impl Hub {
+    pub fn start(&self) {
+        thread::spawn(|| self.audit());
+    }
+    pub fn audit(&self) {
+        let g = self.jobs.lock();
+        let before = self.pending;
+        drop(g);
+        drop(before);
+    }
+    pub fn peek(&self) -> u32 {
+        // sbs-lint: allow(shared-field-race): stats snapshot; staleness is acceptable here
+        self.pending
+    }
+    pub fn grow(&mut self) {
+        self.pending += 1;
+    }
+}

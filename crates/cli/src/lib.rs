@@ -104,9 +104,12 @@ OPTIONS (lint):
                       verdict in the exit code
   --update-baseline   shrink lint-baseline.toml pins to today's counts
                       (the ratchet never adds or grows a pin)
-  --changed[=BASE]    lint only .rs files that differ from the git base
-                      (default origin/main); untracked files included,
-                      ratchet not applied
+  --changed[=BASE]    lint .rs files that differ from the git base
+                      (default origin/main) plus transitive call-graph
+                      callers/callees of their functions; untracked
+                      files included, ratchet not applied
+  --explain RULE      print a rule's doc, firing example and
+                      suppression syntax, then exit
 
 OPTIONS (bench-perf):
   --quick             smoke mode: drop the 100K budget, 1 timing repeat
@@ -292,12 +295,15 @@ pub struct LintArgs {
     /// Specific files to lint; empty = the whole workspace.
     pub files: Vec<String>,
     /// Lint only files that differ from this git base
-    /// (`--changed[=BASE]`; the bare flag uses `origin/main`).
+    /// (`--changed[=BASE]`; the bare flag uses `origin/main`), expanded
+    /// along the call graph.
     pub changed: Option<String>,
     /// Output layer.
     pub format: LintFormat,
     /// Rewrite `lint-baseline.toml` with today's lower counts.
     pub update_baseline: bool,
+    /// Print one rule's documentation card and exit (`--explain RULE`).
+    pub explain: Option<String>,
 }
 
 /// Output layer of `sbs lint`.
@@ -728,6 +734,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                         };
                     }
                     "--update-baseline" => parsed.update_baseline = true,
+                    "--explain" => {
+                        parsed.explain = Some(
+                            it.next()
+                                .cloned()
+                                .ok_or_else(|| "--explain needs a rule name".to_string())?,
+                        )
+                    }
                     "--changed" => {
                         parsed.changed = Some(sbs_analysis::changed::DEFAULT_BASE.to_string())
                     }
@@ -994,7 +1007,46 @@ fn bench_perf_cmd(args: BenchPerfArgs) -> Result<String, String> {
 /// With `--format json|sarif` the machine-readable document goes to
 /// stdout even when findings fail the run (CI captures the document
 /// and the exit code independently); grep stays the default.
+/// Builds the `--explain` card for one rule from the three registries.
+fn explain_card(name: &str) -> Result<String, String> {
+    let found = sbs_analysis::RULES
+        .iter()
+        .map(|r| (r.name, r.summary, r.doc, r.example))
+        .chain(
+            sbs_analysis::SEM_RULES
+                .iter()
+                .map(|r| (r.name, r.summary, r.doc, r.example)),
+        )
+        .chain(
+            sbs_analysis::FLOW_RULES
+                .iter()
+                .map(|r| (r.name, r.summary, r.doc, r.example)),
+        )
+        .find(|(n, ..)| *n == name);
+    let Some((name, summary, doc, example)) = found else {
+        return Err(format!(
+            "unknown rule {name:?}; `sbs lint --root . --explain` takes one of the names \
+             from sbs-analysis --list-rules"
+        ));
+    };
+    let mut out = format!("{name} — {summary}\n\n{doc}\n\nExample (fires):\n");
+    for line in example.lines() {
+        out.push_str("    ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "\nSuppress one site with a justification:\n    \
+         // sbs-lint: allow({name}): <why this site is safe>\n\
+         Scope or configure it in lint.toml under [rules.{name}].\n"
+    ));
+    Ok(out)
+}
+
 fn lint_cmd(args: LintArgs) -> Result<String, String> {
+    if let Some(name) = &args.explain {
+        return explain_card(name);
+    }
     let root = match &args.root {
         Some(r) => std::path::PathBuf::from(r),
         None => {
@@ -1009,12 +1061,16 @@ fn lint_cmd(args: LintArgs) -> Result<String, String> {
         }
     };
     let diags = if let Some(base) = &args.changed {
-        // Diff-scoped mode: lint only files changed against the base
-        // ref (plus untracked ones).  The ratchet does not apply — a
-        // shrunken file set would read pinned counts as improvements.
+        // Diff-scoped mode: lint files changed against the base ref
+        // (plus untracked ones), expanded to their transitive
+        // call-graph callers/callees — a changed callee's new effects
+        // surface in callers the diff never touched.  The ratchet does
+        // not apply — a shrunken file set would read pinned counts as
+        // improvements.
         let cfg = sbs_analysis::LintConfig::load(&root.join(sbs_analysis::CONFIG_FILE))?;
         let files = sbs_analysis::changed_files(&root, base, &cfg)?;
-        sbs_analysis::lint_files(&root, &files, &cfg)?
+        let expanded = sbs_analysis::expand_changed(&root, &files, &cfg)?;
+        sbs_analysis::lint_files(&root, &expanded, &cfg)?
     } else if args.files.is_empty() {
         // Workspace mode: the committed ratchet applies.
         let raw = sbs_analysis::run_workspace_lint(&root)?;
@@ -1607,6 +1663,46 @@ mod tests {
         }))
         .expect("changed-vs-HEAD must lint clean");
         assert_eq!(out, "lint clean\n");
+    }
+
+    #[test]
+    fn lint_explain_prints_a_card_for_every_rule() {
+        let Command::Lint(a) = parse("lint --explain double-lock").expect("parse") else {
+            panic!("not lint")
+        };
+        assert_eq!(a.explain.as_deref(), Some("double-lock"));
+        assert!(parse("lint --explain").is_err(), "needs a rule name");
+
+        let all: Vec<&str> = sbs_analysis::RULES
+            .iter()
+            .map(|r| r.name)
+            .chain(sbs_analysis::SEM_RULES.iter().map(|r| r.name))
+            .chain(sbs_analysis::FLOW_RULES.iter().map(|r| r.name))
+            .collect();
+        assert_eq!(all.len(), 17, "{all:?}");
+        for name in all {
+            let out = run(Command::Lint(LintArgs {
+                explain: Some(name.to_string()),
+                ..LintArgs::default()
+            }))
+            .unwrap_or_else(|e| panic!("--explain {name}: {e}"));
+            assert!(out.starts_with(&format!("{name} — ")), "{out}");
+            assert!(out.contains("Example (fires):"), "{name}: no example");
+            assert!(
+                out.contains(&format!("// sbs-lint: allow({name}):")),
+                "{name}: no suppression syntax"
+            );
+            assert!(
+                out.contains(&format!("[rules.{name}]")),
+                "{name}: no config pointer"
+            );
+        }
+        let err = run(Command::Lint(LintArgs {
+            explain: Some("no-such-rule".to_string()),
+            ..LintArgs::default()
+        }))
+        .expect_err("unknown rule must fail");
+        assert!(err.contains("unknown rule"), "{err}");
     }
 
     #[test]

@@ -305,10 +305,19 @@ impl Fleet {
         create: bool,
         f: impl FnOnce(&Fleet, &mut Tenant) -> R,
     ) -> Result<R, String> {
-        let Some(mut shard) = self.shard_for(cluster) else {
-            return Err("internal: no shard for cluster".into());
+        // Daemon::new replays any on-disk snapshot, and file I/O under
+        // the shard lock would stall every tenant on the shard — so the
+        // existence check, the (lock-free) construction, and the insert
+        // are three steps, with the insert re-checked under the lock in
+        // case a concurrent submit created the tenant meanwhile.
+        let needs_create = {
+            let Some(shard) = self.shard_for(cluster) else {
+                return Err("internal: no shard for cluster".into());
+            };
+            !shard.tenants.contains_key(cluster)
         };
-        if !shard.tenants.contains_key(cluster) {
+        let mut fresh = None;
+        if needs_create {
             if !create {
                 return Err(format!("unknown cluster {cluster:?}"));
             }
@@ -318,7 +327,15 @@ impl Fleet {
                     self.cfg.max_clusters
                 ));
             }
-            let daemon = Daemon::new(self.tenant_config(cluster))?;
+            fresh = Some(Daemon::new(self.tenant_config(cluster))?);
+        }
+        let Some(mut shard) = self.shard_for(cluster) else {
+            return Err("internal: no shard for cluster".into());
+        };
+        if !shard.tenants.contains_key(cluster) {
+            let Some(daemon) = fresh.take() else {
+                return Err(format!("unknown cluster {cluster:?}"));
+            };
             self.tenant_count.fetch_add(1, Ordering::AcqRel);
             self.total_weight
                 .fetch_add(self.cfg.quota.weight, Ordering::AcqRel);
