@@ -17,7 +17,9 @@
 
 use sbs_core::objective::HierarchicalObjective;
 use sbs_core::{Branching, ObjectiveCost, PolicySpec, ScheduleProblem, SearchAlgo};
-use sbs_dsearch::{dds, lds, SearchConfig, SearchOutcome};
+use sbs_dsearch::{
+    dds, dds_sharded, lds, lds_sharded, portfolio, SearchConfig, SearchOutcome, DEFAULT_MEMBERS,
+};
 use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
 use sbs_sim::avail::AvailabilityProfile;
 use sbs_sim::engine::{simulate, simulate_traced, SimConfig};
@@ -30,8 +32,11 @@ use serde_json::{json, Value};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Schema identifier stamped into every emitted document.
-pub const SCHEMA: &str = "sbs-bench-perf/v1";
+/// Schema identifier stamped into every emitted document.  `v2` adds
+/// the `threads` matrix dimension (deterministic sharded search) and
+/// the portfolio rows; `v1` cell ids carry no `/t{N}` suffix, so
+/// [`check`] treats the two schemas as disjoint.
+pub const SCHEMA: &str = "sbs-bench-perf/v2";
 
 /// The pinned months decision points are captured from: one from each
 /// runtime-limit regime plus the October load peak.
@@ -39,6 +44,11 @@ pub const MONTHS: [Month; 3] = [Month::Jun03, Month::Oct03, Month::Feb04];
 
 /// The pinned per-decision node budgets (the paper's `L` sweep).
 pub const BUDGETS: [u64; 3] = [1_000, 10_000, 100_000];
+
+/// The pinned worker-thread counts.  Every cell runs at each count and
+/// the outcomes must be bit-identical — the timing columns are the only
+/// thing sharding is allowed to change.
+pub const THREADS: [usize; 2] = [1, 4];
 
 /// Workload seed used for every capture (arbitrary but frozen).
 const CAPTURE_SEED: u64 = 42;
@@ -61,6 +71,10 @@ pub struct PerfOpts {
     pub quick: bool,
     /// Timing repeats per cell (the fastest is reported).
     pub repeats: u32,
+    /// Worker-thread counts swept per cell.
+    pub threads: Vec<usize>,
+    /// Also run the portfolio rows (LDS+DDS+beam8+greedy race).
+    pub portfolio: bool,
 }
 
 impl Default for PerfOpts {
@@ -68,16 +82,21 @@ impl Default for PerfOpts {
         PerfOpts {
             quick: false,
             repeats: 3,
+            threads: THREADS.to_vec(),
+            portfolio: true,
         }
     }
 }
 
 impl PerfOpts {
-    /// The smoke configuration used by `--quick` and CI.
+    /// The smoke configuration used by `--quick` and CI: smaller budget
+    /// column, one repeat, same thread sweep, no portfolio rows.
     pub fn quick() -> Self {
         PerfOpts {
             quick: true,
             repeats: 1,
+            threads: THREADS.to_vec(),
+            portfolio: false,
         }
     }
 
@@ -195,12 +214,14 @@ pub fn capture(month: Month) -> DecisionSnapshot {
 pub struct CellResult {
     /// Cell month.
     pub month: Month,
-    /// Search algorithm.
-    pub algo: SearchAlgo,
+    /// Algorithm label (`DDS`, `LDS`, or `PORT` for the portfolio row).
+    pub algo: String,
     /// Branching heuristic.
     pub branching: Branching,
     /// Node budget `L`.
     pub budget: u64,
+    /// Worker-thread count.
+    pub threads: usize,
     /// Deterministic outcome of the search.
     pub outcome: SearchOutcome<u32, ObjectiveCost>,
     /// Fastest elapsed wall time over the repeats, in nanoseconds.
@@ -211,11 +232,12 @@ impl CellResult {
     /// Stable identifier of the cell inside the document.
     pub fn id(&self) -> String {
         format!(
-            "{}/{}/{}/L{}",
+            "{}/{}/{}/L{}/t{}",
             self.month.label(),
-            self.algo.label(),
+            self.algo,
             self.branching.label(),
-            self.budget
+            self.budget,
+            self.threads
         )
     }
 
@@ -240,25 +262,73 @@ impl CellResult {
 
 /// Runs one cell: `repeats` timed searches on a fresh problem each time.
 /// Searches are pure, so the outcome must be identical across repeats —
-/// asserted here as a sanity check on the harness itself.
+/// asserted here as a sanity check on the harness itself.  `threads > 1`
+/// runs the deterministic sharded search; its outcome must still equal
+/// the sequential one bit-for-bit (asserted across cells by
+/// [`run_matrix`]).
 pub fn run_cell(
     snapshot: &DecisionSnapshot,
     algo: SearchAlgo,
     branching: Branching,
     budget: u64,
+    threads: usize,
     repeats: u32,
 ) -> CellResult {
     let cfg = SearchConfig::with_limit(budget);
     let mut best_elapsed: Option<u128> = None;
     let mut outcome = None;
     for _ in 0..repeats.max(1) {
-        let mut problem = snapshot.problem(branching);
-        let t0 = Instant::now();
-        let out = match algo {
-            SearchAlgo::Lds => lds(&mut problem, cfg),
-            SearchAlgo::Dds => dds(&mut problem, cfg),
-            _ => unreachable!("the perf matrix pins LDS and DDS only"),
+        let (out, elapsed) = if threads > 1 {
+            let factory = || snapshot.problem(branching);
+            let t0 = Instant::now();
+            let out = match algo {
+                SearchAlgo::Lds => lds_sharded(factory, cfg, threads).outcome,
+                SearchAlgo::Dds => dds_sharded(factory, cfg, threads).outcome,
+                _ => unreachable!("the perf matrix pins LDS and DDS only"),
+            };
+            (out, t0.elapsed().as_nanos())
+        } else {
+            let mut problem = snapshot.problem(branching);
+            let t0 = Instant::now();
+            let out = match algo {
+                SearchAlgo::Lds => lds(&mut problem, cfg),
+                SearchAlgo::Dds => dds(&mut problem, cfg),
+                _ => unreachable!("the perf matrix pins LDS and DDS only"),
+            };
+            (out, t0.elapsed().as_nanos())
         };
+        best_elapsed = Some(best_elapsed.map_or(elapsed, |b: u128| b.min(elapsed)));
+        if let Some(prev) = &outcome {
+            assert_outcomes_agree(prev, &out);
+        }
+        outcome = Some(out);
+    }
+    CellResult {
+        month: snapshot.month,
+        algo: algo.label(),
+        branching,
+        budget,
+        threads,
+        outcome: outcome.expect("at least one repeat"),
+        elapsed_ns: best_elapsed.expect("at least one repeat"),
+    }
+}
+
+/// Runs one portfolio cell (LDS+DDS+beam8+greedy race, no deadline).
+pub fn run_portfolio_cell(
+    snapshot: &DecisionSnapshot,
+    branching: Branching,
+    budget: u64,
+    threads: usize,
+    repeats: u32,
+) -> CellResult {
+    let cfg = SearchConfig::with_limit(budget);
+    let mut best_elapsed: Option<u128> = None;
+    let mut outcome = None;
+    for _ in 0..repeats.max(1) {
+        let factory = || snapshot.problem(branching);
+        let t0 = Instant::now();
+        let out = portfolio(factory, &DEFAULT_MEMBERS, cfg, threads).outcome;
         let elapsed = t0.elapsed().as_nanos();
         best_elapsed = Some(best_elapsed.map_or(elapsed, |b: u128| b.min(elapsed)));
         if let Some(prev) = &outcome {
@@ -268,9 +338,10 @@ pub fn run_cell(
     }
     CellResult {
         month: snapshot.month,
-        algo,
+        algo: "PORT".to_string(),
         branching,
         budget,
+        threads,
         outcome: outcome.expect("at least one repeat"),
         elapsed_ns: best_elapsed.expect("at least one repeat"),
     }
@@ -280,24 +351,58 @@ fn assert_outcomes_agree(
     a: &SearchOutcome<u32, ObjectiveCost>,
     b: &SearchOutcome<u32, ObjectiveCost>,
 ) {
-    assert_eq!(a.stats.nodes, b.stats.nodes, "repeat changed node count");
-    assert_eq!(a.stats.leaves, b.stats.leaves, "repeat changed leaf count");
+    assert_eq!(a.stats, b.stats, "run changed the search statistics");
     assert_eq!(
         a.best_cost().map(|c| (c.excess, c.bsld_sum.to_bits())),
         b.best_cost().map(|c| (c.excess, c.bsld_sum.to_bits())),
-        "repeat changed the best cost"
+        "run changed the best cost"
+    );
+    assert_eq!(
+        a.best.as_ref().map(|(_, p)| p),
+        b.best.as_ref().map(|(_, p)| p),
+        "run changed the best leaf path"
     );
 }
 
-/// Runs the full pinned matrix and collects the report.
+/// Runs the full pinned matrix and collects the report.  Every
+/// (month, algo, branching, budget) group runs once per thread count,
+/// and all outcomes within a group are asserted bit-identical — the
+/// sharded search may only change the timing columns.
 pub fn run_matrix(opts: &PerfOpts) -> PerfReport {
     let snapshots: Vec<DecisionSnapshot> = MONTHS.iter().map(|&m| capture(m)).collect();
+    let threads = if opts.threads.is_empty() {
+        THREADS.to_vec()
+    } else {
+        opts.threads.clone()
+    };
     let mut cells = Vec::new();
     for snapshot in &snapshots {
         for algo in [SearchAlgo::Dds, SearchAlgo::Lds] {
             for branching in [Branching::Fcfs, Branching::Lxf] {
                 for &budget in opts.budgets() {
-                    cells.push(run_cell(snapshot, algo, branching, budget, opts.repeats));
+                    let group_start = cells.len();
+                    for &t in &threads {
+                        let cell = run_cell(snapshot, algo, branching, budget, t, opts.repeats);
+                        if let Some(first) = cells.get(group_start) {
+                            let first: &CellResult = first;
+                            assert_outcomes_agree(&first.outcome, &cell.outcome);
+                        }
+                        cells.push(cell);
+                    }
+                }
+            }
+        }
+        if opts.portfolio {
+            for &budget in opts.budgets() {
+                let group_start = cells.len();
+                for &t in &threads {
+                    let cell =
+                        run_portfolio_cell(snapshot, Branching::Lxf, budget, t, opts.repeats);
+                    if let Some(first) = cells.get(group_start) {
+                        let first: &CellResult = first;
+                        assert_outcomes_agree(&first.outcome, &cell.outcome);
+                    }
+                    cells.push(cell);
                 }
             }
         }
@@ -457,9 +562,10 @@ impl PerfReport {
                 json!({
                     "id": c.id(),
                     "month": c.month.label(),
-                    "algo": c.algo.label(),
+                    "algo": c.algo,
                     "branching": c.branching.label(),
                     "budget": c.budget,
+                    "threads": c.threads,
                     "nodes": c.outcome.stats.nodes,
                     "leaves": c.outcome.stats.leaves,
                     "iterations": c.outcome.stats.iterations,
@@ -476,13 +582,28 @@ impl PerfReport {
                 })
             })
             .collect();
+        let threads =
+            self.cells
+                .iter()
+                .map(|c| c.threads)
+                .fold(Vec::new(), |mut v: Vec<usize>, t| {
+                    if !v.contains(&t) {
+                        v.push(t);
+                    }
+                    v
+                });
+        let mut algos: Vec<&str> = vec!["DDS", "LDS"];
+        if self.cells.iter().any(|c| c.algo == "PORT") {
+            algos.push("PORT");
+        }
         json!({
             "schema": SCHEMA,
             "matrix": json!({
                 "months": months,
-                "algos": json!(["DDS", "LDS"]),
+                "algos": algos,
                 "branchings": json!(["fcfs", "lxf"]),
                 "budgets": budgets,
+                "threads": threads,
                 "capture_seed": CAPTURE_SEED,
                 "capture_scale": CAPTURE_SCALE,
             }),
@@ -506,13 +627,13 @@ impl PerfReport {
         }
         out.push('\n');
         out.push_str(&format!(
-            "{:<22} {:>9} {:>8} {:>12} {:>9} {:>12} {:>12}\n",
+            "{:<26} {:>9} {:>8} {:>12} {:>9} {:>12} {:>12}\n",
             "cell", "nodes", "leaves", "nodes/sec", "ns/node", "best excess", "best bsld"
         ));
         for c in &self.cells {
             let best = c.outcome.best_cost();
             out.push_str(&format!(
-                "{:<22} {:>9} {:>8} {:>12.0} {:>9.1} {:>12} {:>12.3}\n",
+                "{:<26} {:>9} {:>8} {:>12.0} {:>9.1} {:>12} {:>12.3}\n",
                 c.id(),
                 c.outcome.stats.nodes,
                 c.outcome.stats.leaves,
@@ -598,12 +719,56 @@ mod tests {
     #[test]
     fn cell_outcomes_are_repeatable_and_budget_bounded() {
         let snap = capture(Month::Jun03);
-        let a = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 2);
-        let b = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 1);
+        let a = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 1, 2);
+        let b = run_cell(&snap, SearchAlgo::Dds, Branching::Lxf, 1_000, 1, 1);
         assert!(a.outcome.stats.nodes <= 1_000);
         assert_eq!(a.outcome.stats.nodes, b.outcome.stats.nodes);
         assert_eq!(a.outcome.stats.leaves, b.outcome.stats.leaves);
         assert!(a.nodes_per_sec() > 0.0);
+        assert_eq!(a.id(), "6/03/DDS/lxf/L1000/t1");
+    }
+
+    #[test]
+    fn sharded_cells_match_the_sequential_outcome_bit_for_bit() {
+        let snap = capture(Month::Jun03);
+        for algo in [SearchAlgo::Dds, SearchAlgo::Lds] {
+            let seq = run_cell(&snap, algo, Branching::Lxf, 10_000, 1, 1);
+            for threads in [2usize, 4, 8] {
+                let par = run_cell(&snap, algo, Branching::Lxf, 10_000, threads, 1);
+                assert_eq!(seq.outcome.stats, par.outcome.stats, "threads={threads}");
+                assert_eq!(
+                    seq.outcome
+                        .best_cost()
+                        .map(|c| (c.excess, c.bsld_sum.to_bits())),
+                    par.outcome
+                        .best_cost()
+                        .map(|c| (c.excess, c.bsld_sum.to_bits())),
+                );
+                assert_eq!(
+                    seq.outcome.best.as_ref().map(|(_, p)| p),
+                    par.outcome.best.as_ref().map(|(_, p)| p),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_cells_are_thread_count_invariant() {
+        let snap = capture(Month::Jun03);
+        let seq = run_portfolio_cell(&snap, Branching::Lxf, 2_000, 1, 1);
+        assert_eq!(seq.id(), "6/03/PORT/lxf/L2000/t1");
+        for threads in [2usize, 4] {
+            let par = run_portfolio_cell(&snap, Branching::Lxf, 2_000, threads, 1);
+            assert_eq!(seq.outcome.stats, par.outcome.stats, "threads={threads}");
+            assert_eq!(
+                seq.outcome
+                    .best_cost()
+                    .map(|c| (c.excess, c.bsld_sum.to_bits())),
+                par.outcome
+                    .best_cost()
+                    .map(|c| (c.excess, c.bsld_sum.to_bits())),
+            );
+        }
     }
 
     #[test]

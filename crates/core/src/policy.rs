@@ -9,7 +9,10 @@
 use crate::objective::{HierarchicalObjective, Objective, TargetBound};
 use crate::schedule::ScheduleProblem;
 use sbs_backfill::PriorityOrder;
-use sbs_dsearch::{beam, dds, greedy, hill_climb, lds, random_sampling, SearchConfig};
+use sbs_dsearch::{
+    beam, dds, dds_sharded, greedy, hill_climb, lds, lds_sharded, random_sampling, SearchConfig,
+    ShardSpan,
+};
 use sbs_obs::{PolicyTrace, SearchTrace, SpanStack};
 use sbs_sim::policy::{Policy, SchedContext};
 use sbs_workload::job::JobId;
@@ -119,9 +122,16 @@ pub struct SearchPolicy {
     /// Optional per-decision wall-clock deadline (anytime stop); used by
     /// the online daemon where decisions must land in bounded real time.
     pub deadline: Option<std::time::Duration>,
+    /// Worker threads for the deterministic sharded search (LDS/DDS
+    /// only).  The result is **bit-identical to the sequential search at
+    /// any thread count**; 1 = run sequentially.  Pruning depends on the
+    /// global incumbent, so `prune` + `threads > 1` silently runs
+    /// sequentially.
+    pub threads: usize,
     objective: Arc<dyn Objective>,
     totals: SearchTotals,
     tracing: bool,
+    shard_spans: bool,
     last_trace: Option<PolicyTrace>,
 }
 
@@ -142,9 +152,11 @@ impl SearchPolicy {
             prune: false,
             local_frac: 0.0,
             deadline: None,
+            threads: 1,
             objective: Arc::new(HierarchicalObjective),
             totals: SearchTotals::default(),
             tracing: false,
+            shard_spans: false,
             last_trace: None,
         }
     }
@@ -191,6 +203,25 @@ impl SearchPolicy {
         self
     }
 
+    /// Shards each decision's LDS/DDS iteration across `threads` workers
+    /// ([`sbs_dsearch::parallel`]).  Deterministic: starts, metrics and
+    /// traces are bit-identical to the sequential policy at any thread
+    /// count.  Ignored (sequential) for the incomplete baselines and
+    /// when pruning is on.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Adds one span per executed shard to [`PolicyTrace::spans`]
+    /// (`decide;search;w<wave>s<shard>`).  Off by default so trace logs
+    /// stay byte-identical to the sequential policy's.
+    pub fn with_shard_spans(mut self, on: bool) -> Self {
+        self.shard_spans = on;
+        self
+    }
+
     /// Cumulative search statistics so far.
     pub fn totals(&self) -> SearchTotals {
         self.totals
@@ -219,11 +250,12 @@ impl Policy for SearchPolicy {
         }
         let omega = self.bound.resolve(ctx);
         let order = self.branching.order(ctx);
+        let profile = ctx.profile();
         let mut problem = ScheduleProblem::new(
             ctx.queue,
             ctx.now,
-            ctx.profile(),
-            order,
+            profile.clone(),
+            order.clone(),
             omega,
             Arc::clone(&self.objective),
         );
@@ -235,17 +267,47 @@ impl Policy for SearchPolicy {
             deadline: self.deadline,
             prune: self.prune,
             record_leaves: false,
+            record_improvements: false,
         };
-        let outcome = match self.algo {
-            SearchAlgo::Lds => lds(&mut problem, cfg),
-            SearchAlgo::Dds => dds(&mut problem, cfg),
-            SearchAlgo::Random => {
-                // Deterministic per-decision seed: mix the decision index
-                // so repeated runs of a workload are identical.
-                let seed = 0x5eed ^ (self.totals.decisions.wrapping_mul(0x9e37_79b9));
-                random_sampling(&mut problem, cfg, seed)
+        // Pruning consults the global incumbent mid-iteration, which the
+        // bit-identical shard decomposition cannot reproduce, so `prune`
+        // keeps the search sequential.
+        let use_sharded = self.threads > 1
+            && !self.prune
+            && matches!(self.algo, SearchAlgo::Lds | SearchAlgo::Dds);
+        let mut shard_spans: Vec<ShardSpan> = Vec::new();
+        let outcome = if use_sharded {
+            let queue = ctx.queue;
+            let now = ctx.now;
+            let objective = &self.objective;
+            let factory = || {
+                ScheduleProblem::new(
+                    queue,
+                    now,
+                    profile.clone(),
+                    order.clone(),
+                    omega,
+                    Arc::clone(objective),
+                )
+            };
+            let sharded = match self.algo {
+                SearchAlgo::Lds => lds_sharded(factory, cfg, self.threads),
+                _ => dds_sharded(factory, cfg, self.threads),
+            };
+            shard_spans = sharded.spans;
+            sharded.outcome
+        } else {
+            match self.algo {
+                SearchAlgo::Lds => lds(&mut problem, cfg),
+                SearchAlgo::Dds => dds(&mut problem, cfg),
+                SearchAlgo::Random => {
+                    // Deterministic per-decision seed: mix the decision index
+                    // so repeated runs of a workload are identical.
+                    let seed = 0x5eed ^ (self.totals.decisions.wrapping_mul(0x9e37_79b9));
+                    random_sampling(&mut problem, cfg, seed)
+                }
+                SearchAlgo::Beam(w) => beam(&mut problem, w as usize, cfg),
             }
-            SearchAlgo::Beam(w) => beam(&mut problem, w as usize, cfg),
         };
         let stats = outcome.stats;
         self.totals.decisions += 1;
@@ -299,6 +361,12 @@ impl Policy for SearchPolicy {
             let mut spans = SpanStack::new();
             spans.enter("decide");
             spans.enter("search");
+            if self.shard_spans {
+                for s in &shard_spans {
+                    spans.enter(format!("w{}s{}", s.wave, s.shard));
+                    spans.exit(s.nodes);
+                }
+            }
             if local_nodes > 0 {
                 spans.enter("local");
                 spans.exit(local_nodes);

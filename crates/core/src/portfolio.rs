@@ -1,0 +1,336 @@
+//! Portfolio scheduling policy: race several search strategies per
+//! decision point (an extension; see `sbs-dsearch::portfolio`).
+//!
+//! Each decision races LDS, DDS, a beam and the greedy probe on the same
+//! ordering tree — full node budget each, one shared wall-clock deadline
+//! — and starts the jobs of the best incumbent under first-best-wins.
+//! The race is deterministic: with the deadline disabled the decision
+//! equals the best single member bit-for-bit at any thread count.
+
+use crate::objective::{HierarchicalObjective, Objective, TargetBound};
+use crate::policy::{Branching, SearchTotals};
+use crate::schedule::ScheduleProblem;
+use sbs_dsearch::{greedy, portfolio, PortfolioMember, SearchConfig, DEFAULT_MEMBERS};
+use sbs_obs::{PolicyTrace, SearchTrace, SpanStack};
+use sbs_sim::policy::{Policy, SchedContext};
+use sbs_workload::job::JobId;
+use std::sync::Arc;
+
+/// A scheduling policy that races a portfolio of search algorithms at
+/// every decision point.
+#[derive(Clone)]
+pub struct PortfolioPolicy {
+    /// Branching heuristic shared by every member.
+    pub branching: Branching,
+    /// Target wait bound ω.
+    pub bound: TargetBound,
+    /// Node budget `L` per member per decision point.
+    pub node_limit: u64,
+    /// Worker threads racing the members (1 = run them back to back;
+    /// the result is identical either way).
+    pub threads: usize,
+    /// Optional shared per-decision wall-clock deadline.
+    pub deadline: Option<std::time::Duration>,
+    members: Vec<PortfolioMember>,
+    objective: Arc<dyn Objective>,
+    totals: SearchTotals,
+    tracing: bool,
+    last_trace: Option<PolicyTrace>,
+}
+
+impl PortfolioPolicy {
+    /// Creates the policy with the default member list
+    /// ([`DEFAULT_MEMBERS`]: LDS, DDS, beam-8, greedy).
+    pub fn new(branching: Branching, bound: TargetBound, node_limit: u64, threads: usize) -> Self {
+        assert!(node_limit > 0, "node budget must be positive");
+        assert!(threads >= 1, "thread count must be positive");
+        PortfolioPolicy {
+            branching,
+            bound,
+            node_limit,
+            threads,
+            deadline: None,
+            members: DEFAULT_MEMBERS.to_vec(),
+            objective: Arc::new(HierarchicalObjective),
+            totals: SearchTotals::default(),
+            tracing: false,
+            last_trace: None,
+        }
+    }
+
+    /// Replaces the member list (order matters: ties resolve to the
+    /// earlier member).
+    pub fn with_members(mut self, members: Vec<PortfolioMember>) -> Self {
+        assert!(!members.is_empty(), "portfolio needs at least one member");
+        self.members = members;
+        self
+    }
+
+    /// Sets the shared per-decision wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Swaps in a different leaf objective.
+    pub fn with_objective(mut self, objective: Arc<dyn Objective>) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Cumulative search statistics so far.
+    pub fn totals(&self) -> SearchTotals {
+        self.totals
+    }
+}
+
+impl Policy for PortfolioPolicy {
+    fn name(&self) -> String {
+        format!("PORT/{}/{}", self.branching.label(), self.bound.label())
+    }
+
+    fn decide(&mut self, ctx: &SchedContext<'_>) -> Vec<JobId> {
+        if ctx.queue.is_empty() {
+            return Vec::new();
+        }
+        let omega = self.bound.resolve(ctx);
+        let order = self.branching.order(ctx);
+        let profile = ctx.profile();
+        let cfg = SearchConfig {
+            node_limit: Some(self.node_limit),
+            deadline: self.deadline,
+            ..Default::default()
+        };
+        let queue = ctx.queue;
+        let now = ctx.now;
+        let objective = &self.objective;
+        let factory = || {
+            ScheduleProblem::new(
+                queue,
+                now,
+                profile.clone(),
+                order.clone(),
+                omega,
+                Arc::clone(objective),
+            )
+        };
+        let raced = portfolio(factory, &self.members, cfg, self.threads);
+        let stats = raced.outcome.stats;
+        self.totals.decisions += 1;
+        self.totals.nodes += stats.nodes;
+        self.totals.leaves += stats.leaves;
+        self.totals.exhausted += u64::from(stats.exhausted);
+        if stats.deadline_hit {
+            self.totals.deadline_truncations += u64::from(stats.nodes_left_at_deadline > 0);
+            self.totals.deadline_nodes_left += stats.nodes_left_at_deadline;
+        }
+
+        let mut problem = factory();
+        let mut fallback = false;
+        let path = match raced.outcome.best {
+            Some((_, path)) => path,
+            None => {
+                // Not even greedy completed within budget (L smaller than
+                // the queue): take the unbudgeted heuristic path.
+                fallback = true;
+                self.totals.fallbacks += 1;
+                greedy(&mut problem, SearchConfig::default())
+                    .best
+                    .expect("greedy always reaches a leaf")
+                    .1
+            }
+        };
+
+        if self.tracing {
+            let mut spans = SpanStack::new();
+            spans.enter("decide");
+            spans.enter("search");
+            for (label, member) in &raced.member_stats {
+                spans.enter(label.clone());
+                spans.exit(member.nodes);
+            }
+            spans.exit(stats.nodes);
+            if fallback {
+                spans.enter("fallback");
+                spans.exit(path.len() as u64);
+            }
+            spans.exit(0);
+            let mut leaf_iters = stats.leaf_iters.to_vec();
+            while leaf_iters.last() == Some(&0) {
+                leaf_iters.pop();
+            }
+            let winner_label = &raced.member_stats[raced.winner].0;
+            self.last_trace = Some(PolicyTrace {
+                search: Some(SearchTrace {
+                    algo: format!("PORT[{winner_label}]"),
+                    branching: self.branching.label().to_string(),
+                    omega,
+                    budget: self.node_limit,
+                    nodes: stats.nodes,
+                    leaves: stats.leaves,
+                    iterations: stats.iterations,
+                    improvements: stats.improvements,
+                    nodes_to_best: stats.nodes_to_best,
+                    best_iteration: stats.best_iteration,
+                    best_depth: stats.best_depth,
+                    exhausted: stats.exhausted,
+                    budget_hit: stats.budget_hit,
+                    deadline_hit: stats.deadline_hit,
+                    nodes_left_at_deadline: stats.nodes_left_at_deadline,
+                    pruned: stats.pruned,
+                    fallback,
+                    local_nodes: 0,
+                    leaf_iters,
+                }),
+                backfill: None,
+                spans: spans.finish(),
+            });
+        }
+        problem.starts_now(&path)
+    }
+
+    fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
+        if !on {
+            self.last_trace = None;
+        }
+    }
+
+    fn take_trace(&mut self) -> Option<PolicyTrace> {
+        self.last_trace.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{SearchAlgo, SearchPolicy};
+    use sbs_sim::engine::{check_invariants, simulate, SimConfig};
+    use sbs_workload::generator::{random_workload, RandomWorkloadCfg};
+
+    fn workload() -> sbs_workload::generator::Workload {
+        random_workload(
+            RandomWorkloadCfg {
+                jobs: 120,
+                ..Default::default()
+            },
+            11,
+        )
+    }
+
+    #[test]
+    fn name_encodes_configuration() {
+        let p = PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 1_000, 4);
+        assert_eq!(p.name(), "PORT/lxf/dynB");
+    }
+
+    #[test]
+    fn portfolio_policy_completes_and_is_thread_count_invariant() {
+        let w = workload();
+        let base = simulate(
+            &w,
+            PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 800, 1),
+            SimConfig::default(),
+        );
+        check_invariants(&base);
+        assert_eq!(base.records.len(), w.jobs.len());
+        let starts: Vec<_> = base.records.iter().map(|r| (r.id, r.start)).collect();
+        for threads in [2usize, 4, 8] {
+            let run = simulate(
+                &w,
+                PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 800, threads),
+                SimConfig::default(),
+            );
+            let got: Vec<_> = run.records.iter().map(|r| (r.id, r.start)).collect();
+            assert_eq!(starts, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn single_member_portfolio_matches_the_plain_policy() {
+        let w = workload();
+        let port = simulate(
+            &w,
+            PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 600, 2)
+                .with_members(vec![PortfolioMember::Dds]),
+            SimConfig::default(),
+        );
+        let seq = simulate(
+            &w,
+            SearchPolicy::new(SearchAlgo::Dds, Branching::Lxf, TargetBound::Dynamic, 600),
+            SimConfig::default(),
+        );
+        let a: Vec<_> = port.records.iter().map(|r| (r.id, r.start)).collect();
+        let b: Vec<_> = seq.records.iter().map(|r| (r.id, r.start)).collect();
+        assert_eq!(a, b);
+    }
+
+    fn waiting(
+        id: u32,
+        nodes: u32,
+        r_star: sbs_workload::time::Time,
+    ) -> sbs_sim::policy::WaitingJob {
+        sbs_sim::policy::WaitingJob {
+            job: sbs_workload::job::Job::new(JobId(id), 0, nodes, r_star, r_star),
+            r_star,
+        }
+    }
+
+    #[test]
+    fn tracing_reports_winner_and_member_spans() {
+        use sbs_workload::time::HOUR;
+        let q = [
+            waiting(0, 4, 4 * HOUR),
+            waiting(1, 1, HOUR),
+            waiting(2, 1, HOUR),
+        ];
+        let ctx = SchedContext {
+            now: 0,
+            capacity: 4,
+            free_nodes: 4,
+            queue: &q,
+            running: &[],
+        };
+        let mut p = PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 5_000, 2);
+        assert!(p.take_trace().is_none(), "tracing is off by default");
+        p.set_tracing(true);
+        let _ = p.decide(&ctx);
+        let trace = p.take_trace().expect("trace recorded while tracing");
+        let search = trace.search.expect("portfolio records a search");
+        assert!(search.algo.starts_with("PORT["), "algo = {}", search.algo);
+        assert_eq!(search.branching, "lxf");
+        assert!(search.nodes > 0 && search.leaves > 0);
+        // One child span per member inside decide;search, then the
+        // search span itself carrying the merged node count.
+        let member_spans: Vec<_> = trace
+            .spans
+            .iter()
+            .filter(|(path, _)| path.starts_with("decide;search;"))
+            .collect();
+        assert_eq!(member_spans.len(), DEFAULT_MEMBERS.len());
+        let member_total: u64 = member_spans.iter().map(|(_, w)| w).sum();
+        assert_eq!(member_total, search.nodes);
+        assert!(trace
+            .spans
+            .iter()
+            .any(|(path, w)| path == "decide;search" && *w == search.nodes));
+        assert_eq!(p.totals().decisions, 1);
+    }
+
+    #[test]
+    fn tiny_budget_falls_back_to_greedy() {
+        use sbs_workload::time::HOUR;
+        let q: Vec<_> = (0..6).map(|i| waiting(i, 1, HOUR)).collect();
+        let mut p = PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 2, 2);
+        let ctx = SchedContext {
+            now: 0,
+            capacity: 8,
+            free_nodes: 8,
+            queue: &q,
+            running: &[],
+        };
+        let started = p.decide(&ctx);
+        assert!(!started.is_empty(), "greedy fallback schedules something");
+        assert_eq!(p.totals().fallbacks, 1);
+    }
+}

@@ -269,6 +269,17 @@ impl SearchProblem for ScheduleProblem<'_> {
         let first = self.next[sentinel as usize];
         (first != sentinel).then(|| self.order[first as usize])
     }
+
+    /// The ordering tree is a uniform permutation tree (every node at a
+    /// depth has the same branch count, one fewer per level) — except
+    /// under a root subset, which breaks uniformity at the root, so the
+    /// parallel driver must fall back to its conservative plan there.
+    fn uniform_arity(&self) -> Option<usize> {
+        if self.root_subset.is_some() {
+            return None;
+        }
+        Some(self.order.len() - self.placed.len())
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@
 use crate::objective::TargetBound;
 use crate::parallel::ParallelSearchPolicy;
 use crate::policy::{Branching, SearchAlgo, SearchPolicy};
+use crate::portfolio::PortfolioPolicy;
 use sbs_backfill::{BackfillPolicy, PriorityOrder, SelectiveBackfill};
 use sbs_sim::Policy;
 use sbs_workload::time::Time;
@@ -74,6 +75,34 @@ pub enum PolicySpec {
         /// Worker thread count.
         workers: usize,
     },
+    /// Deterministic sharded search (extension): same decisions as
+    /// [`PolicySpec::Search`] bit-for-bit, the discrepancy tree of each
+    /// iteration sharded across `threads` workers.
+    ShardedSearch {
+        /// LDS or DDS (the sharded decomposition covers the complete
+        /// discrepancy searches).
+        algo: SearchAlgo,
+        /// fcfs or lxf branching.
+        branching: Branching,
+        /// Fixed or dynamic target bound.
+        bound: TargetBound,
+        /// Node budget per decision point.
+        node_limit: u64,
+        /// Worker thread count (1 = sequential).
+        threads: usize,
+    },
+    /// Algorithm portfolio (extension): race LDS, DDS, beam-8 and
+    /// greedy per decision under first-best-wins.
+    Portfolio {
+        /// fcfs or lxf branching.
+        branching: Branching,
+        /// Fixed or dynamic target bound.
+        bound: TargetBound,
+        /// Node budget per member per decision point.
+        node_limit: u64,
+        /// Worker thread count racing the members.
+        threads: usize,
+    },
 }
 
 impl PolicySpec {
@@ -130,6 +159,13 @@ impl PolicySpec {
             } => Some(
                 SearchPolicy::new(algo, branching, bound, node_limit).with_local_search(local_frac),
             ),
+            PolicySpec::ShardedSearch {
+                algo,
+                branching,
+                bound,
+                node_limit,
+                threads,
+            } => Some(SearchPolicy::new(algo, branching, bound, node_limit).with_threads(threads)),
             _ => None,
         }
     }
@@ -163,7 +199,15 @@ impl PolicySpec {
             } => Box::new(ParallelSearchPolicy::new(
                 algo, branching, bound, node_limit, workers,
             )),
-            PolicySpec::Search { .. } | PolicySpec::HybridSearch { .. } => {
+            PolicySpec::Portfolio {
+                branching,
+                bound,
+                node_limit,
+                threads,
+            } => Box::new(PortfolioPolicy::new(branching, bound, node_limit, threads)),
+            PolicySpec::Search { .. }
+            | PolicySpec::HybridSearch { .. }
+            | PolicySpec::ShardedSearch { .. } => {
                 unreachable!("handled by build_search")
             }
         }
@@ -216,6 +260,38 @@ mod tests {
             .map(|s| s.name())
             .collect();
         assert_eq!(names, vec!["FCFS-backfill", "LXF-backfill", "DDS/lxf/dynB"]);
+    }
+
+    #[test]
+    fn sharded_search_builds_the_same_policy_name_as_sequential() {
+        // Sharding is an execution detail, not a different policy: the
+        // name (and, per the determinism suite, every decision) matches
+        // the sequential spec.
+        let sharded = PolicySpec::ShardedSearch {
+            algo: SearchAlgo::Dds,
+            branching: Branching::Lxf,
+            bound: TargetBound::Dynamic,
+            node_limit: 1_000,
+            threads: 4,
+        };
+        assert_eq!(sharded.name(), "DDS/lxf/dynB");
+        let policy = sharded.build_search().expect("sharded is a search spec");
+        assert_eq!(policy.threads, 4);
+    }
+
+    #[test]
+    fn portfolio_spec_builds() {
+        let spec = PolicySpec::Portfolio {
+            branching: Branching::Lxf,
+            bound: TargetBound::Dynamic,
+            node_limit: 1_000,
+            threads: 4,
+        };
+        assert_eq!(spec.name(), "PORT/lxf/dynB");
+        assert!(
+            spec.build_search().is_none(),
+            "portfolio is not a SearchPolicy"
+        );
     }
 
     #[test]

@@ -20,7 +20,22 @@ pub fn dds<P: SearchProblem>(
     problem: &mut P,
     cfg: SearchConfig,
 ) -> SearchOutcome<P::Branch, P::Cost> {
-    let mut driver = Driver::new(problem, cfg);
+    dds_with_timer(
+        problem,
+        cfg,
+        crate::deadline::DeadlineTimer::starting_now(cfg.deadline),
+    )
+}
+
+/// [`dds`] with an externally armed deadline timer (see
+/// [`Driver::with_timer`]); the portfolio driver uses this to share one
+/// expiry instant across members.
+pub(crate) fn dds_with_timer<P: SearchProblem>(
+    problem: &mut P,
+    cfg: SearchConfig,
+    timer: crate::deadline::DeadlineTimer,
+) -> SearchOutcome<P::Branch, P::Cost> {
+    let mut driver = Driver::with_timer(problem, cfg, timer);
     // Deepest decision index observed (anywhere) to offer >= 2 branches;
     // iteration i can only produce leaves if some decision at depth i has
     // a discrepancy to take.  For uniform-arity-per-depth trees (such as
@@ -57,7 +72,10 @@ pub fn dds<P: SearchProblem>(
 
 /// Explores the iteration-`i` paths below the cursor; `decision` is the
 /// 1-based index of the next decision on the current path.
-fn probe<P: SearchProblem>(
+///
+/// `pub(crate)` so the parallel driver can run the same probe at a
+/// shard's prefix node.
+pub(crate) fn probe<P: SearchProblem>(
     driver: &mut Driver<'_, P>,
     decision: usize,
     i: usize,

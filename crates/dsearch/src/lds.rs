@@ -18,7 +18,22 @@ pub fn lds<P: SearchProblem>(
     problem: &mut P,
     cfg: SearchConfig,
 ) -> SearchOutcome<P::Branch, P::Cost> {
-    let mut driver = Driver::new(problem, cfg);
+    lds_with_timer(
+        problem,
+        cfg,
+        crate::deadline::DeadlineTimer::starting_now(cfg.deadline),
+    )
+}
+
+/// [`lds`] with an externally armed deadline timer (see
+/// [`Driver::with_timer`]); the portfolio driver uses this to share one
+/// expiry instant across members.
+pub(crate) fn lds_with_timer<P: SearchProblem>(
+    problem: &mut P,
+    cfg: SearchConfig,
+    timer: crate::deadline::DeadlineTimer,
+) -> SearchOutcome<P::Branch, P::Cost> {
+    let mut driver = Driver::with_timer(problem, cfg, timer);
     let mut k = 0usize;
     loop {
         let leaves_before = driver.outcome.stats.leaves;
@@ -118,7 +133,13 @@ fn probe_at_most<P: SearchProblem>(
 
 /// Explores all paths below the cursor that consume exactly `k` more
 /// discrepancies.
-fn probe<P: SearchProblem>(driver: &mut Driver<'_, P>, k: usize) -> Result<(), BudgetExhausted> {
+///
+/// `pub(crate)` so the parallel driver can run the same probe at a
+/// shard's prefix node.
+pub(crate) fn probe<P: SearchProblem>(
+    driver: &mut Driver<'_, P>,
+    k: usize,
+) -> Result<(), BudgetExhausted> {
     if k == 0 {
         // No discrepancies left: follow the heuristic branch straight to
         // the leaf.  O(1) per node for problems with fast accessors —
@@ -165,7 +186,9 @@ fn probe<P: SearchProblem>(driver: &mut Driver<'_, P>, k: usize) -> Result<(), B
 
 /// Follows the heuristic branch to the leaf below the cursor, visits it,
 /// and unwinds.
-fn heuristic_tail<P: SearchProblem>(driver: &mut Driver<'_, P>) -> Result<(), BudgetExhausted> {
+pub(crate) fn heuristic_tail<P: SearchProblem>(
+    driver: &mut Driver<'_, P>,
+) -> Result<(), BudgetExhausted> {
     let mut depth = 0usize;
     let mut result = Ok(());
     loop {

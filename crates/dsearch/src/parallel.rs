@@ -1,0 +1,1281 @@
+//! Deterministic sharded execution of the LDS/DDS iteration space.
+//!
+//! Both discrepancy searches proceed in *waves* (LDS iteration `k`, DDS
+//! iteration `i`) whose root-branch space decomposes into independent
+//! subtrees.  This module plans each wave as an ordered **item stream**
+//! that mirrors the sequential probe's visit order exactly:
+//!
+//! * a [`Item::PrefixNode`] stands for the single `descend` the
+//!   sequential search performs on the path toward deeper shards — it
+//!   costs one budget node but is never executed (shards replay their
+//!   prefix uncounted);
+//! * a [`Item::Shard`] is a probe rooted at a prefix, executed on a
+//!   worker with its **exact sequential node allowance**.
+//!
+//! For uniform permutation trees ([`SearchProblem::uniform_arity`]) the
+//! size of every shard is known in closed form, so the planner can
+//! refine oversized shards (the budget-cut wave would otherwise run on
+//! one worker) and hand each shard precisely the budget slice the
+//! sequential search would have spent there.  Shards run with the
+//! incumbent disabled and record their improvement chains
+//! ([`SearchConfig::record_improvements`]); the merge then replays the
+//! chains in stream order against a single global incumbent, which
+//! reproduces the sequential `best`/`improvements`/`nodes_to_best`
+//! sequence **bit-identically, regardless of worker count or completion
+//! order**.  Trees without a size oracle fall back to a conservative
+//! root-level plan that re-runs at most one shard on a budget cut —
+//! still deterministic, marginally less parallel.
+//!
+//! Wall-clock deadlines are shared: one [`DeadlineTimer`] is armed at
+//! search start and injected into every shard, each of which keeps the
+//! sequential cadence (a check every
+//! [`DEADLINE_CHECK_INTERVAL`](crate::problem::DEADLINE_CHECK_INTERVAL)
+//! nodes plus the final admitted node).  On expiry the wave is
+//! truncated at the first expired shard in stream order and
+//! [`SearchStats::nodes_left_at_deadline`] reports the budget left
+//! unspent across all shards.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::deadline::DeadlineTimer;
+use crate::problem::{Driver, SearchConfig, SearchOutcome, SearchProblem, LEAF_ITER_BUCKETS};
+
+/// Shards smaller than this are never refined further: below ~1K nodes
+/// the spawn/merge overhead dominates any load-balance win.
+const MIN_SHARD_NODES: u64 = 1024;
+
+/// Refinement aims for this many shards per worker so the shard whose
+/// allowance the budget cuts short still leaves the other workers with
+/// comparable work.
+const SHARDS_PER_WORKER: u64 = 4;
+
+/// Which probe a shard runs at its prefix node.
+#[derive(Debug, Clone, Copy)]
+enum ShardKind {
+    /// LDS probe consuming exactly `rem` more discrepancies.
+    Lds { rem: usize },
+    /// DDS probe at 1-based decision `decision` during iteration `i`.
+    Dds { decision: usize, i: usize },
+}
+
+/// One planned unit of a wave's ordered item stream.
+enum Item<B> {
+    /// One sequential `descend` on the path toward deeper shards.
+    PrefixNode,
+    /// A probe subtree to execute on a worker.
+    Shard(Shard<B>),
+}
+
+struct Shard<B> {
+    /// Branches from the root to the shard's probe node, replayed
+    /// uncounted before the probe runs.
+    prefix: Vec<B>,
+    kind: ShardKind,
+    /// Exact node count of the probe (uniform-arity trees only).
+    est: Option<u64>,
+}
+
+/// Per-shard execution record surfaced for tracing (`--trace-log` with
+/// shard spans enabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpan {
+    /// Wave (LDS `k` / DDS `i`) the shard belonged to.
+    pub wave: u32,
+    /// Shard index within the wave's stream order.
+    pub shard: u32,
+    /// Nodes the shard actually spent.
+    pub nodes: u64,
+}
+
+/// A [`SearchOutcome`] produced by the sharded driver, plus the
+/// per-shard execution spans.
+#[derive(Debug, Clone)]
+pub struct ShardedOutcome<B, C> {
+    /// The merged outcome — bit-identical to the sequential search.
+    pub outcome: SearchOutcome<B, C>,
+    /// One span per executed shard, in (wave, stream) order.
+    pub spans: Vec<ShardSpan>,
+}
+
+/// A candidate incumbent tagged with its deterministic visit key:
+/// `(wave, stream position)` — the discrepancy count and branch-order
+/// tie-break the sequential search applies implicitly by visiting
+/// leaves in exactly that order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyed<C, B> {
+    /// Leaf cost.
+    pub cost: C,
+    /// Deterministic visit key: (wave, node offset in stream order).
+    pub key: (u32, u64),
+    /// Root-to-leaf branch path.
+    pub path: Vec<B>,
+}
+
+/// True when `a` beats `b`: strictly smaller cost, or an equal (or
+/// incomparable) cost with the earlier visit key.  Because keys are
+/// unique this induces a **total order** on candidates, which is what
+/// makes [`merge_candidates`] associative and commutative — shard
+/// results can arrive in any grouping and the winner is the same.
+pub fn better_candidate<C: PartialOrd, B>(a: &Keyed<C, B>, b: &Keyed<C, B>) -> bool {
+    // sbs-lint: allow(float-ordering): Cost is a generic PartialOrd; incomparable pairs fall through to the unique visit key, so the order stays total
+    match a.cost.partial_cmp(&b.cost) {
+        Some(std::cmp::Ordering::Less) => true,
+        Some(std::cmp::Ordering::Greater) => false,
+        _ => a.key < b.key,
+    }
+}
+
+/// Merges two optional incumbents under [`better_candidate`], keeping
+/// the winner.  Associative and commutative (unique keys); folding any
+/// permutation or parenthesization of shard incumbents yields the same
+/// winner the sequential first-better-wins scan produces.
+pub fn merge_candidates<C: PartialOrd, B>(
+    a: Option<Keyed<C, B>>,
+    b: Option<Keyed<C, B>>,
+) -> Option<Keyed<C, B>> {
+    match (a, b) {
+        (None, x) | (x, None) => x,
+        (Some(x), Some(y)) => Some(if better_candidate(&y, &x) { y } else { x }),
+    }
+}
+
+/// Runs LDS sharded across `threads` workers; bit-identical to
+/// [`lds`](crate::lds) on the problem `factory` builds.
+///
+/// `factory` must build *identical* fresh problem instances (one per
+/// worker plus one for planning).  Pruning is unsupported (the prune
+/// decision depends on the global incumbent, which shards do not see);
+/// callers fall back to the sequential search when pruning is on.
+pub fn lds_sharded<P, F>(
+    factory: F,
+    cfg: SearchConfig,
+    threads: usize,
+) -> ShardedOutcome<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    sharded(factory, cfg, threads, Algo::Lds)
+}
+
+/// Runs DDS sharded across `threads` workers; bit-identical to
+/// [`dds`](crate::dds) on the problem `factory` builds.  See
+/// [`lds_sharded`] for the factory and pruning contracts.
+pub fn dds_sharded<P, F>(
+    factory: F,
+    cfg: SearchConfig,
+    threads: usize,
+) -> ShardedOutcome<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    sharded(factory, cfg, threads, Algo::Dds)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Algo {
+    Lds,
+    Dds,
+}
+
+/// Result of executing one shard.
+struct ShardResult<B, C> {
+    outcome: SearchOutcome<B, C>,
+    /// DDS: deepest decision (1-based) observed to offer a choice.
+    deepest_choice: usize,
+}
+
+/// A shard result paired with its wave-local node offset, kept after
+/// the realized-count replay locates the cut.
+type OffsetResult<B, C> = (u64, ShardResult<B, C>);
+
+/// One worker-filled result slot in a wave's stream-ordered table.
+type ShardSlot<B, C> = Mutex<Option<ShardResult<B, C>>>;
+
+/// A shard scheduled for execution with its sequential allowance and
+/// wave-local node offset.
+struct PlannedShard<'a, B> {
+    shard: &'a Shard<B>,
+    node_limit: Option<u64>,
+    /// Wave-local nodes the sequential search spends before this shard.
+    offset: u64,
+}
+
+fn sharded<P, F>(
+    factory: F,
+    cfg: SearchConfig,
+    threads: usize,
+    algo: Algo,
+) -> ShardedOutcome<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    debug_assert!(!cfg.prune, "sharded search does not support pruning");
+    let timer = DeadlineTimer::starting_now(cfg.deadline);
+    let mut planner = factory();
+    let uniform = planner.uniform_arity();
+    let threads = threads.max(1).min(rayon::max_threads());
+
+    let mut merged: SearchOutcome<P::Branch, P::Cost> = SearchOutcome::new();
+    let mut spans: Vec<ShardSpan> = Vec::new();
+    let mut remaining = cfg.node_limit;
+    let mut wave = 0usize;
+    // DDS exhaustion bound; usize::MAX = not yet known.
+    let mut max_choice_depth = usize::MAX;
+
+    loop {
+        if algo == Algo::Dds
+            && wave > 0
+            && max_choice_depth != usize::MAX
+            && wave > max_choice_depth
+        {
+            merged.stats.exhausted = true;
+            break;
+        }
+        let mut planning_deepest = 0usize;
+        let items = plan_wave(
+            &mut planner,
+            algo,
+            wave,
+            uniform,
+            remaining,
+            threads,
+            &mut planning_deepest,
+        );
+
+        let wave_u32 = u32::try_from(wave).unwrap_or(u32::MAX);
+        let wave_exec = execute_wave(
+            &factory,
+            &items,
+            cfg,
+            timer,
+            threads,
+            wave_u32,
+            &mut remaining,
+            uniform.is_some(),
+        );
+
+        // Merge this wave in stream order against the global incumbent.
+        let wave_offset = merged.stats.nodes;
+        merged.stats.nodes += wave_exec.nodes;
+        let mut wave_leaves = 0u64;
+        let mut exec_deepest = 0usize;
+        for (idx, (offset, result)) in wave_exec.results.into_iter().enumerate() {
+            let stats = result.outcome.stats;
+            wave_leaves += stats.leaves;
+            exec_deepest = exec_deepest.max(result.deepest_choice);
+            for b in 0..LEAF_ITER_BUCKETS {
+                merged.stats.leaf_iters[b] += stats.leaf_iters[b];
+            }
+            spans.push(ShardSpan {
+                wave: wave_u32,
+                shard: u32::try_from(idx).unwrap_or(u32::MAX),
+                nodes: stats.nodes,
+            });
+            for imp in result.outcome.improvement_log {
+                let adopts = match &merged.best {
+                    None => true,
+                    Some((best, _)) => imp.cost < *best,
+                };
+                if adopts {
+                    merged.stats.improvements += 1;
+                    merged.stats.nodes_to_best = wave_offset + offset + imp.nodes;
+                    merged.stats.best_iteration = imp.iteration;
+                    merged.stats.best_depth = imp.depth;
+                    merged.best = Some((imp.cost, imp.path));
+                }
+            }
+            if cfg.record_leaves {
+                merged.leaves.extend(result.outcome.leaves);
+            }
+        }
+        merged.stats.leaves += wave_leaves;
+
+        match wave_exec.cut {
+            Some(Cut::Budget) => {
+                merged.stats.budget_hit = true;
+                break;
+            }
+            Some(Cut::Deadline) => {
+                merged.stats.budget_hit = true;
+                merged.stats.deadline_hit = true;
+                merged.stats.nodes_left_at_deadline = cfg
+                    .node_limit
+                    .map_or(0, |limit| limit.saturating_sub(merged.stats.nodes));
+                break;
+            }
+            None => {}
+        }
+        merged.stats.iterations += 1;
+        if algo == Algo::Dds {
+            let wave_deepest = planning_deepest.max(exec_deepest);
+            max_choice_depth = if max_choice_depth == usize::MAX {
+                wave_deepest
+            } else {
+                max_choice_depth.max(wave_deepest)
+            };
+        }
+        let ended = match algo {
+            Algo::Lds => wave_leaves == 0,
+            Algo::Dds => wave > 0 && wave_leaves == 0,
+        };
+        if ended {
+            merged.stats.exhausted = true;
+            break;
+        }
+        wave += 1;
+    }
+
+    ShardedOutcome {
+        outcome: merged,
+        spans,
+    }
+}
+
+/// Plans one wave's ordered item stream.
+fn plan_wave<P: SearchProblem>(
+    planner: &mut P,
+    algo: Algo,
+    wave: usize,
+    uniform: Option<usize>,
+    remaining: Option<u64>,
+    threads: usize,
+    planning_deepest: &mut usize,
+) -> Vec<Item<P::Branch>> {
+    let mut items = Vec::new();
+    let mut prefix = Vec::new();
+    match (algo, uniform) {
+        (Algo::Lds, Some(arity)) => {
+            let table = lds_size_table(arity, wave);
+            let wave_est = table[wave][arity];
+            let threshold = refine_threshold(wave_est, remaining, threads);
+            let mut budget = remaining;
+            plan_lds(
+                planner,
+                &mut prefix,
+                wave,
+                &table,
+                threshold,
+                &mut budget,
+                &mut items,
+            );
+        }
+        (Algo::Dds, Some(arity)) => {
+            let table = dds_size_table(arity, wave);
+            let wave_est = dds_probe_size(&table, arity, 1, wave);
+            let threshold = refine_threshold(wave_est, remaining, threads);
+            let mut budget = remaining;
+            plan_dds(
+                planner,
+                &mut prefix,
+                1,
+                wave,
+                &table,
+                threshold,
+                &mut budget,
+                &mut items,
+                planning_deepest,
+            );
+        }
+        (Algo::Lds, None) => plan_lds_conservative(planner, wave, &mut items),
+        (Algo::Dds, None) => plan_dds_conservative(planner, wave, &mut items, planning_deepest),
+    }
+    items
+}
+
+/// Shard-refinement threshold: a fraction of the effective wave size so
+/// each worker sees several shards, floored so refinement never chases
+/// trivially small subtrees.
+fn refine_threshold(wave_est: u64, remaining: Option<u64>, threads: usize) -> u64 {
+    let effective = remaining.map_or(wave_est, |r| wave_est.min(r));
+    MIN_SHARD_NODES.max(effective / (threads as u64 * SHARDS_PER_WORKER).max(1))
+}
+
+/// Exact LDS probe sizes for uniform trees: `table[r][m]` is the node
+/// count of `probe(rem = r)` at a node with `m` branches.  Recurrence
+/// mirrors the probe loop: the heuristic child is feasible when
+/// `r <= m-2` (the `max_discrepancies_below_child` guard) and costs
+/// `1 + N(m-1, r)`; each of the `m-1` discrepancy children is feasible
+/// when `r-1 <= m-2` and costs `1 + N(m-1, r-1)`.  Saturating: an
+/// overflowed size only makes the planner refine more.
+fn lds_size_table(max_m: usize, max_r: usize) -> Vec<Vec<u64>> {
+    let mut t = vec![vec![0u64; max_m + 1]; max_r + 1];
+    for (m, slot) in t[0].iter_mut().enumerate() {
+        *slot = m as u64; // heuristic tail: one descend per level
+    }
+    for r in 1..=max_r {
+        for m in 1..=max_m {
+            let below = m.saturating_sub(2);
+            let mut total = 0u64;
+            if r <= below {
+                total = total.saturating_add(1u64.saturating_add(t[r][m - 1]));
+            }
+            if r - 1 <= below {
+                let per = 1u64.saturating_add(t[r - 1][m - 1]);
+                total = total.saturating_add((m as u64 - 1).saturating_mul(per));
+            }
+            t[r][m] = total;
+        }
+    }
+    t
+}
+
+/// Exact DDS probe sizes for uniform trees: `table[j][m]` is the node
+/// count of `probe(decision = i - j, i)` at a node with `m` branches
+/// (`j` = levels left above the mandatory-discrepancy depth).  `j = 0`
+/// mandates a discrepancy (`m-1` children, heuristic tail below each);
+/// `j >= 1` takes any branch.  The heuristic tail (`decision > i`) is
+/// handled by [`dds_probe_size`] directly.
+fn dds_size_table(max_m: usize, wave: usize) -> Vec<Vec<u64>> {
+    let max_j = wave.saturating_sub(1);
+    let mut t = vec![vec![0u64; max_m + 1]; max_j + 1];
+    for (m, slot) in t[0].iter_mut().enumerate() {
+        *slot = if m == 0 {
+            0
+        } else {
+            (m as u64 - 1).saturating_mul(m as u64)
+        };
+    }
+    for j in 1..=max_j {
+        for m in 1..=max_m {
+            let per = 1u64.saturating_add(t[j - 1][m - 1]);
+            t[j][m] = (m as u64).saturating_mul(per);
+        }
+    }
+    t
+}
+
+/// DDS probe size at a node with `m` branches, 1-based `decision`,
+/// iteration `i` (see [`dds_size_table`]).
+fn dds_probe_size(table: &[Vec<u64>], m: usize, decision: usize, i: usize) -> u64 {
+    if decision > i {
+        return m as u64; // heuristic tail
+    }
+    table[i - decision][m]
+}
+
+/// Emits the item stream for an LDS probe at the planner's cursor with
+/// `rem` discrepancies to consume, refining while the exact size
+/// exceeds `threshold`.  The emission order *is* the sequential visit
+/// order.
+///
+/// `budget` is the wave's remaining node allowance at plan time.  It is
+/// debited exactly as the allowance walk in `execute_wave_exact` will
+/// spend it (one per prefix node, `est` per shard), and once it reaches
+/// zero every further subtree is emitted as a single coarse shard:
+/// those items sit entirely past the budget cut, so execution either
+/// truncates the boundary shard or never reaches them, and refining
+/// them would only buy planner descents and prefix replays for work
+/// that cannot run.  Without this bound the final wave of a deep tree
+/// (size astronomically larger than the leftover budget) gets refined
+/// wall to wall and planning dwarfs the search itself.
+fn plan_lds<P: SearchProblem>(
+    p: &mut P,
+    prefix: &mut Vec<P::Branch>,
+    rem: usize,
+    table: &[Vec<u64>],
+    threshold: u64,
+    budget: &mut Option<u64>,
+    items: &mut Vec<Item<P::Branch>>,
+) {
+    let m = p.branch_count();
+    let est = table[rem][m];
+    // Tails (rem == 0) are never refined: they are a single root-to-leaf
+    // descent, linear in depth, with no independent subtrees to split.
+    if rem == 0 || est <= threshold || matches!(*budget, Some(0)) {
+        items.push(Item::Shard(Shard {
+            prefix: prefix.clone(),
+            kind: ShardKind::Lds { rem },
+            est: Some(est),
+        }));
+        if let Some(b) = budget {
+            *b = b.saturating_sub(est);
+        }
+        return;
+    }
+    let mut branches = Vec::new();
+    p.branches(&mut branches);
+    let below = p.max_discrepancies_below_child(m);
+    for (i, &branch) in branches.iter().enumerate() {
+        let cost = usize::from(i > 0);
+        if cost > rem {
+            break;
+        }
+        let r2 = rem - cost;
+        if r2 > below {
+            continue;
+        }
+        items.push(Item::PrefixNode);
+        if let Some(b) = budget {
+            *b = b.saturating_sub(1);
+        }
+        p.descend(branch);
+        prefix.push(branch);
+        plan_lds(p, prefix, r2, table, threshold, budget, items);
+        prefix.pop();
+        p.ascend();
+    }
+}
+
+/// Emits the item stream for a DDS probe at the planner's cursor
+/// (1-based `decision`, iteration `i`), refining while the exact size
+/// exceeds `threshold`.  Expanded nodes contribute their choice depth
+/// to `planning_deepest` exactly as the sequential probe would have.
+/// `budget` bounds refinement to the executable span of the wave,
+/// debited in stream order; see [`plan_lds`].
+#[allow(clippy::too_many_arguments)]
+fn plan_dds<P: SearchProblem>(
+    p: &mut P,
+    prefix: &mut Vec<P::Branch>,
+    decision: usize,
+    i: usize,
+    table: &[Vec<u64>],
+    threshold: u64,
+    budget: &mut Option<u64>,
+    items: &mut Vec<Item<P::Branch>>,
+    planning_deepest: &mut usize,
+) {
+    let m = p.branch_count();
+    let est = dds_probe_size(table, m, decision, i);
+    // Tails (decision > i) are never refined; see plan_lds.
+    if decision > i || est <= threshold || matches!(*budget, Some(0)) {
+        items.push(Item::Shard(Shard {
+            prefix: prefix.clone(),
+            kind: ShardKind::Dds { decision, i },
+            est: Some(est),
+        }));
+        if let Some(b) = budget {
+            *b = b.saturating_sub(est);
+        }
+        return;
+    }
+    if m == 0 {
+        return;
+    }
+    if m >= 2 {
+        *planning_deepest = (*planning_deepest).max(decision);
+    }
+    let lo = if decision < i { 0 } else { 1 };
+    let mut branches = Vec::new();
+    p.branches(&mut branches);
+    for &branch in branches.iter().skip(lo) {
+        items.push(Item::PrefixNode);
+        if let Some(b) = budget {
+            *b = b.saturating_sub(1);
+        }
+        p.descend(branch);
+        prefix.push(branch);
+        plan_dds(
+            p,
+            prefix,
+            decision + 1,
+            i,
+            table,
+            threshold,
+            budget,
+            items,
+            planning_deepest,
+        );
+        prefix.pop();
+        p.ascend();
+    }
+}
+
+/// Conservative LDS plan for trees without a size oracle: wave 0 is the
+/// root tail, wave `k >= 1` splits at the root's feasible children
+/// only.
+fn plan_lds_conservative<P: SearchProblem>(
+    p: &mut P,
+    wave: usize,
+    items: &mut Vec<Item<P::Branch>>,
+) {
+    if wave == 0 {
+        items.push(Item::Shard(Shard {
+            prefix: Vec::new(),
+            kind: ShardKind::Lds { rem: 0 },
+            est: None,
+        }));
+        return;
+    }
+    let mut branches = Vec::new();
+    p.branches(&mut branches);
+    let m = branches.len();
+    if m == 0 {
+        return;
+    }
+    let below = p.max_discrepancies_below_child(m);
+    for (i, &branch) in branches.iter().enumerate() {
+        let cost = usize::from(i > 0);
+        if cost > wave {
+            break;
+        }
+        let r2 = wave - cost;
+        if r2 > below {
+            continue;
+        }
+        items.push(Item::PrefixNode);
+        items.push(Item::Shard(Shard {
+            prefix: vec![branch],
+            kind: ShardKind::Lds { rem: r2 },
+            est: None,
+        }));
+    }
+}
+
+/// Conservative DDS plan for trees without a size oracle: wave 0 is the
+/// root tail, wave `i >= 1` splits at the root's admissible children.
+fn plan_dds_conservative<P: SearchProblem>(
+    p: &mut P,
+    wave: usize,
+    items: &mut Vec<Item<P::Branch>>,
+    planning_deepest: &mut usize,
+) {
+    if wave == 0 {
+        items.push(Item::Shard(Shard {
+            prefix: Vec::new(),
+            kind: ShardKind::Dds { decision: 1, i: 0 },
+            est: None,
+        }));
+        return;
+    }
+    let mut branches = Vec::new();
+    p.branches(&mut branches);
+    let m = branches.len();
+    if m == 0 {
+        return;
+    }
+    if m >= 2 {
+        *planning_deepest = (*planning_deepest).max(1);
+    }
+    let lo = if 1 < wave { 0 } else { 1 };
+    for &branch in branches.iter().skip(lo) {
+        items.push(Item::PrefixNode);
+        items.push(Item::Shard(Shard {
+            prefix: vec![branch],
+            kind: ShardKind::Dds {
+                decision: 2,
+                i: wave,
+            },
+            est: None,
+        }));
+    }
+}
+
+/// Why a wave stopped early.
+enum Cut {
+    /// The node budget ran out mid-wave.
+    Budget,
+    /// The wall-clock deadline expired in some shard.
+    Deadline,
+}
+
+/// Results of one wave: realized shard results in stream order (each
+/// with its wave-local node offset), total nodes spent, and the cut if
+/// the wave did not complete.
+struct WaveExec<B, C> {
+    results: Vec<(u64, ShardResult<B, C>)>,
+    nodes: u64,
+    cut: Option<Cut>,
+}
+
+/// Executes one wave's item stream: assigns allowances, fans shards out
+/// across workers, and truncates at the first budget or deadline cut in
+/// stream order.  `remaining` is decremented by the nodes actually
+/// spent (planned spends when the wave completes; unreliable after a
+/// cut, but every cut also ends the whole search).
+#[allow(clippy::too_many_arguments)]
+fn execute_wave<P, F>(
+    factory: &F,
+    items: &[Item<P::Branch>],
+    cfg: SearchConfig,
+    timer: DeadlineTimer,
+    threads: usize,
+    wave: u32,
+    remaining: &mut Option<u64>,
+    exact: bool,
+) -> WaveExec<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    if exact {
+        execute_wave_exact(factory, items, cfg, timer, threads, wave, remaining)
+    } else {
+        execute_wave_conservative(factory, items, cfg, timer, threads, wave, remaining)
+    }
+}
+
+/// Exact mode: shard sizes are known, so every allowance (and the cut
+/// point) is computed before anything runs.
+fn execute_wave_exact<P, F>(
+    factory: &F,
+    items: &[Item<P::Branch>],
+    cfg: SearchConfig,
+    timer: DeadlineTimer,
+    threads: usize,
+    wave: u32,
+    remaining: &mut Option<u64>,
+) -> WaveExec<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    let mut tasks: Vec<PlannedShard<'_, P::Branch>> = Vec::new();
+    let mut offset = 0u64;
+    let mut cut = None;
+    for item in items {
+        match item {
+            Item::PrefixNode => {
+                if *remaining == Some(0) {
+                    // The sequential search fails this descend: budget
+                    // hit without the node being spent.
+                    cut = Some(Cut::Budget);
+                    break;
+                }
+                if let Some(r) = remaining.as_mut() {
+                    *r -= 1;
+                }
+                offset += 1;
+            }
+            Item::Shard(shard) => {
+                let alloc = *remaining;
+                let est = shard.est.expect("exact mode plans carry sizes");
+                let spend = alloc.map_or(est, |a| est.min(a));
+                tasks.push(PlannedShard {
+                    shard,
+                    node_limit: alloc,
+                    offset,
+                });
+                if let Some(r) = remaining.as_mut() {
+                    *r -= spend;
+                }
+                offset += spend;
+                if alloc.is_some_and(|a| est > a) {
+                    cut = Some(Cut::Budget);
+                    break;
+                }
+            }
+        }
+    }
+
+    let results = run_shards(factory, &tasks, cfg, timer, threads, wave);
+    finalize_wave(tasks, results, offset, cut)
+}
+
+/// Conservative mode: no sizes, so every shard runs with the wave's
+/// full remaining budget as an upper bound, the realized node counts
+/// are prefix-summed to find the true cut, and the one shard that
+/// overshot its sequential allowance is re-run with the exact slice.
+fn execute_wave_conservative<P, F>(
+    factory: &F,
+    items: &[Item<P::Branch>],
+    cfg: SearchConfig,
+    timer: DeadlineTimer,
+    threads: usize,
+    wave: u32,
+    remaining: &mut Option<u64>,
+) -> WaveExec<P::Branch, P::Cost>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    // Upper-bound pass: shard s may spend at most the wave's starting
+    // budget minus the prefix nodes that precede it.
+    let mut tasks: Vec<PlannedShard<'_, P::Branch>> = Vec::new();
+    let mut prefix_before = 0u64;
+    for item in items {
+        match item {
+            Item::PrefixNode => prefix_before += 1,
+            Item::Shard(shard) => tasks.push(PlannedShard {
+                shard,
+                node_limit: remaining.map(|r| r.saturating_sub(prefix_before)),
+                offset: 0, // refined below from realized counts
+            }),
+        }
+    }
+    let mut results = run_shards(factory, &tasks, cfg, timer, threads, wave);
+
+    // Replay the stream against realized counts to find the true cut.
+    let mut kept: Vec<OffsetResult<P::Branch, P::Cost>> = Vec::new();
+    let mut offset = 0u64;
+    let mut cut = None;
+    let mut next = results.drain(..);
+    for item in items {
+        match item {
+            Item::PrefixNode => {
+                if *remaining == Some(0) {
+                    cut = Some(Cut::Budget);
+                    break;
+                }
+                if let Some(r) = remaining.as_mut() {
+                    *r -= 1;
+                }
+                offset += 1;
+            }
+            Item::Shard(shard) => {
+                let Some(mut result) = next.next() else { break };
+                let alloc = *remaining;
+                let realized = result.outcome.stats.nodes;
+                let over = alloc.is_some_and(|a| realized > a);
+                if over {
+                    // This shard ran past its sequential allowance —
+                    // re-run it alone with the exact slice.
+                    let rerun = run_shards(
+                        factory,
+                        &[PlannedShard {
+                            shard,
+                            node_limit: alloc,
+                            offset,
+                        }],
+                        cfg,
+                        timer,
+                        1,
+                        wave,
+                    );
+                    result = rerun.into_iter().next().expect("one rerun result");
+                }
+                let spent = result.outcome.stats.nodes;
+                let hit_cap = result.outcome.stats.budget_hit;
+                let deadline = result.outcome.stats.deadline_hit;
+                if let Some(r) = remaining.as_mut() {
+                    *r -= spent.min(*r);
+                }
+                let shard_offset = offset;
+                offset += spent;
+                kept.push((shard_offset, result));
+                if deadline {
+                    cut = Some(Cut::Deadline);
+                    break;
+                }
+                if over || (hit_cap && alloc == Some(spent)) {
+                    cut = Some(Cut::Budget);
+                    break;
+                }
+            }
+        }
+    }
+    WaveExec {
+        results: kept,
+        nodes: offset,
+        cut,
+    }
+}
+
+/// Truncates exact-mode results at the first deadline expiry (stream
+/// order) and totals the wave's realized nodes.
+fn finalize_wave<B, C>(
+    tasks: Vec<PlannedShard<'_, B>>,
+    results: Vec<ShardResult<B, C>>,
+    planned_nodes: u64,
+    planned_cut: Option<Cut>,
+) -> WaveExec<B, C> {
+    let deadline_at = results.iter().position(|r| r.outcome.stats.deadline_hit);
+    match deadline_at {
+        None => WaveExec {
+            results: tasks.iter().map(|t| t.offset).zip(results).collect(),
+            nodes: planned_nodes,
+            cut: planned_cut,
+        },
+        Some(d) => {
+            // Everything after the first expired shard is as if never
+            // run: the sequential search would have stopped there.
+            let nodes = tasks[d].offset + results[d].outcome.stats.nodes;
+            let kept: Vec<(u64, ShardResult<B, C>)> = tasks
+                .iter()
+                .map(|t| t.offset)
+                .zip(results)
+                .take(d + 1)
+                .collect();
+            WaveExec {
+                results: kept,
+                nodes,
+                cut: Some(Cut::Deadline),
+            }
+        }
+    }
+}
+
+/// Fans the planned shards out across `threads` workers.  Each worker
+/// builds one problem instance via `factory` and drains a shared atomic
+/// cursor; results land in per-shard slots, so the outcome is
+/// independent of which worker ran what and in which order.
+fn run_shards<P, F>(
+    factory: &F,
+    tasks: &[PlannedShard<'_, P::Branch>],
+    cfg: SearchConfig,
+    timer: DeadlineTimer,
+    threads: usize,
+    wave: u32,
+) -> Vec<ShardResult<P::Branch, P::Cost>>
+where
+    P: SearchProblem,
+    P::Branch: Send + Sync,
+    P::Cost: Send,
+    F: Fn() -> P + Sync,
+{
+    let threads = threads.min(tasks.len()).max(1);
+    if threads == 1 {
+        let mut p = factory();
+        return tasks
+            .iter()
+            .map(|t| run_one_shard(&mut p, t, cfg, timer, wave))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<ShardSlot<P::Branch, P::Cost>> =
+        (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    rayon::broadcast(threads, |_worker| {
+        let mut p = factory();
+        loop {
+            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+            if idx >= tasks.len() {
+                break;
+            }
+            let result = run_one_shard(&mut p, &tasks[idx], cfg, timer, wave);
+            *slots[idx].lock().expect("poisoned") = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
+}
+
+/// Runs one shard: replays the prefix uncounted, probes with the
+/// shard's allowance and the shared timer, and unwinds.
+fn run_one_shard<P: SearchProblem>(
+    p: &mut P,
+    task: &PlannedShard<'_, P::Branch>,
+    cfg: SearchConfig,
+    timer: DeadlineTimer,
+    wave: u32,
+) -> ShardResult<P::Branch, P::Cost> {
+    let shard_cfg = SearchConfig {
+        node_limit: task.node_limit,
+        deadline: cfg.deadline,
+        record_leaves: cfg.record_leaves,
+        prune: false,
+        record_improvements: true,
+    };
+    let mut driver = Driver::with_timer(p, shard_cfg, timer);
+    // Leaves bucket under the wave's iteration, as in the sequential
+    // search (iterations is bumped only after a wave completes).
+    driver.outcome.stats.iterations = wave;
+    for &b in &task.shard.prefix {
+        // Uncounted: the sequential search paid for these descends when
+        // the stream's PrefixNode items were accounted.
+        driver.problem.descend(b);
+        driver.path.push(b);
+    }
+    let mut deepest = 0usize;
+    let _ = match task.shard.kind {
+        ShardKind::Lds { rem } => crate::lds::probe(&mut driver, rem),
+        ShardKind::Dds { decision, i } => crate::dds::probe(&mut driver, decision, i, &mut deepest),
+    };
+    for _ in &task.shard.prefix {
+        driver.path.pop();
+        driver.problem.ascend();
+    }
+    let mut outcome = driver.finish();
+    // The preset wave index is bookkeeping, not a completed iteration.
+    outcome.stats.iterations = 0;
+    ShardResult {
+        outcome,
+        deepest_choice: deepest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permutation::PermutationProblem;
+    use crate::{dds, lds};
+    use proptest::prelude::*;
+
+    /// A PermutationProblem that hides its uniform arity, forcing the
+    /// conservative plan.
+    struct Opaque(PermutationProblem);
+
+    impl SearchProblem for Opaque {
+        type Branch = usize;
+        type Cost = f64;
+        fn branches(&self, out: &mut Vec<usize>) {
+            self.0.branches(out)
+        }
+        fn descend(&mut self, b: usize) {
+            self.0.descend(b)
+        }
+        fn ascend(&mut self) {
+            self.0.ascend()
+        }
+        fn leaf_cost(&self) -> f64 {
+            self.0.leaf_cost()
+        }
+        fn branch_count(&self) -> usize {
+            self.0.branch_count()
+        }
+        fn heuristic_branch(&self) -> Option<usize> {
+            self.0.heuristic_branch()
+        }
+    }
+
+    fn salted_cost(salt: u64) -> impl Fn(&[usize]) -> f64 + Clone + Send + Sync + 'static {
+        move |perm: &[usize]| {
+            perm.iter()
+                .enumerate()
+                .map(|(i, &x)| (((x as u64 + 2) * (i as u64 + 1) + salt) % 97) as f64)
+                .sum()
+        }
+    }
+
+    fn assert_outcomes_match(
+        seq: &SearchOutcome<usize, f64>,
+        par: &SearchOutcome<usize, f64>,
+        ctx: &str,
+    ) {
+        assert_eq!(seq.stats, par.stats, "{ctx}: stats");
+        match (&seq.best, &par.best) {
+            (None, None) => {}
+            (Some((sc, sp)), Some((pc, pp))) => {
+                assert_eq!(sc.to_bits(), pc.to_bits(), "{ctx}: best cost bits");
+                assert_eq!(sp, pp, "{ctx}: best path");
+            }
+            other => panic!("{ctx}: best presence differs: {other:?}"),
+        }
+        assert_eq!(seq.leaves, par.leaves, "{ctx}: recorded leaves");
+    }
+
+    #[test]
+    fn lds_size_table_matches_known_small_counts() {
+        let t = lds_size_table(4, 4);
+        // Hand-checked values (see the module docs derivation).
+        assert_eq!(t[0][4], 4, "tail of a 4-branch node");
+        assert_eq!(t[1][1], 0);
+        assert_eq!(t[1][2], 2);
+        assert_eq!(t[1][3], 9);
+        // Exactness against the sequential driver: wave node counts of
+        // an n=4 LDS are the per-wave deltas of a counting run.
+        for n in 1..=6usize {
+            let table = lds_size_table(n, n);
+            let total: u64 = table.iter().take(n + 1).map(|row| row[n]).sum();
+            let out = lds(
+                &mut PermutationProblem::constant(n),
+                SearchConfig::default(),
+            );
+            // The final (empty) wave adds no nodes.
+            assert_eq!(total, out.stats.nodes, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dds_size_table_matches_known_small_counts() {
+        // n=4: waves cost 4 (tail), 12, 28, 40 nodes.
+        let arity = 4;
+        let mut total = 0u64;
+        for i in 0..=3usize {
+            let t = dds_size_table(arity, i);
+            total += dds_probe_size(&t, arity, 1, i);
+        }
+        let out = dds(
+            &mut PermutationProblem::constant(4),
+            SearchConfig::default(),
+        );
+        assert_eq!(total, out.stats.nodes);
+    }
+
+    #[test]
+    fn sharded_lds_is_bit_identical_across_worker_counts() {
+        for n in [1usize, 4, 6, 7] {
+            for limit in [None, Some(1u64), Some(10), Some(100), Some(100_000)] {
+                let cfg = SearchConfig {
+                    node_limit: limit,
+                    record_leaves: true,
+                    ..Default::default()
+                };
+                let mk = || PermutationProblem::from_fn(n, salted_cost(n as u64));
+                let seq = lds(&mut mk(), cfg);
+                for threads in [1usize, 2, 4, 8] {
+                    let par = lds_sharded(mk, cfg, threads);
+                    assert_outcomes_match(
+                        &seq,
+                        &par.outcome,
+                        &format!("lds n={n} limit={limit:?} threads={threads}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_dds_is_bit_identical_across_worker_counts() {
+        for n in [1usize, 4, 6, 7] {
+            for limit in [None, Some(1u64), Some(10), Some(100), Some(100_000)] {
+                let cfg = SearchConfig {
+                    node_limit: limit,
+                    record_leaves: true,
+                    ..Default::default()
+                };
+                let mk = || PermutationProblem::from_fn(n, salted_cost(n as u64 + 17));
+                let seq = dds(&mut mk(), cfg);
+                for threads in [1usize, 2, 4, 8] {
+                    let par = dds_sharded(mk, cfg, threads);
+                    assert_outcomes_match(
+                        &seq,
+                        &par.outcome,
+                        &format!("dds n={n} limit={limit:?} threads={threads}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_slices_smaller_than_deadline_interval_stay_exact() {
+        // Regression (shard deadline accounting): allowances far below
+        // DEADLINE_CHECK_INTERVAL (256) must still reproduce the
+        // sequential cut node-for-node — the per-shard final-node check
+        // must not consume or skip budget.
+        for limit in 1..64u64 {
+            let cfg = SearchConfig {
+                node_limit: Some(limit),
+                record_leaves: true,
+                ..Default::default()
+            };
+            let mk = || PermutationProblem::from_fn(6, salted_cost(limit));
+            let seq = lds(&mut mk(), cfg);
+            let par = lds_sharded(mk, cfg, 4);
+            assert_outcomes_match(&seq, &par.outcome, &format!("L={limit}"));
+            let seq_d = dds(&mut mk(), cfg);
+            let par_d = dds_sharded(mk, cfg, 4);
+            assert_outcomes_match(&seq_d, &par_d.outcome, &format!("dds L={limit}"));
+        }
+    }
+
+    #[test]
+    fn conservative_plan_matches_sequential_without_an_oracle() {
+        for limit in [None, Some(7u64), Some(50), Some(10_000)] {
+            let cfg = SearchConfig {
+                node_limit: limit,
+                record_leaves: true,
+                ..Default::default()
+            };
+            let mk = || Opaque(PermutationProblem::from_fn(6, salted_cost(3)));
+            let seq = lds(&mut mk(), cfg);
+            let par = lds_sharded(mk, cfg, 4);
+            assert_outcomes_match(&seq, &par.outcome, &format!("opaque lds limit={limit:?}"));
+            let seq_d = dds(&mut mk(), cfg);
+            let par_d = dds_sharded(mk, cfg, 4);
+            assert_outcomes_match(
+                &seq_d,
+                &par_d.outcome,
+                &format!("opaque dds limit={limit:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn shard_spans_account_for_every_node() {
+        let cfg = SearchConfig {
+            node_limit: Some(5_000),
+            ..Default::default()
+        };
+        let mk = || PermutationProblem::from_fn(7, salted_cost(11));
+        let par = lds_sharded(mk, cfg, 4);
+        let span_nodes: u64 = par.spans.iter().map(|s| s.nodes).sum();
+        // Span nodes exclude the synthetic prefix descends, so they
+        // bound the merged total from below.
+        assert!(span_nodes <= par.outcome.stats.nodes);
+        assert!(!par.spans.is_empty());
+        // Spans arrive in (wave, shard) order.
+        let keys: Vec<(u32, u32)> = par.spans.iter().map(|s| (s.wave, s.shard)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    proptest! {
+        /// Differential: sharded LDS/DDS equal the sequential search on
+        /// random problems, costs and budgets, at several worker counts.
+        #[test]
+        fn sharded_matches_sequential(
+            n in 1usize..7,
+            salt in 0u64..200,
+            limit in (0u64..400).prop_map(|v| if v == 0 { None } else { Some(v) }),
+            threads in 1usize..6,
+        ) {
+            let cfg = SearchConfig {
+                node_limit: limit,
+                record_leaves: true,
+                ..Default::default()
+            };
+            let mk = || PermutationProblem::from_fn(n, salted_cost(salt));
+            let seq = lds(&mut mk(), cfg);
+            let par = lds_sharded(mk, cfg, threads);
+            prop_assert_eq!(&seq.stats, &par.outcome.stats);
+            prop_assert_eq!(&seq.best, &par.outcome.best);
+            prop_assert_eq!(&seq.leaves, &par.outcome.leaves);
+            let seq_d = dds(&mut mk(), cfg);
+            let par_d = dds_sharded(mk, cfg, threads);
+            prop_assert_eq!(&seq_d.stats, &par_d.outcome.stats);
+            prop_assert_eq!(&seq_d.best, &par_d.outcome.best);
+            prop_assert_eq!(&seq_d.leaves, &par_d.outcome.leaves);
+        }
+
+        /// The keyed incumbent merge is associative and commutative:
+        /// any grouping or ordering of shard results yields the same
+        /// winner.
+        #[test]
+        fn incumbent_merge_is_associative_and_commutative(
+            costs in proptest::collection::vec((0u32..8, 0u32..4, 0u64..100), 0..8),
+        ) {
+            let candidates: Vec<Option<Keyed<f64, usize>>> = costs
+                .iter()
+                .map(|&(c, w, p)| Some(Keyed {
+                    cost: c as f64,
+                    key: (w, p),
+                    path: vec![c as usize],
+                }))
+                .collect();
+            let fold_left = candidates
+                .iter()
+                .cloned()
+                .fold(None, merge_candidates);
+            // Right fold (different grouping).
+            let fold_right = candidates
+                .iter()
+                .rev()
+                .cloned()
+                .fold(None, |acc, c| merge_candidates(c, acc));
+            // Reversed order (commutativity).
+            let fold_rev = candidates
+                .iter()
+                .cloned()
+                .rev()
+                .fold(None, merge_candidates);
+            let key_of = |k: &Option<Keyed<f64, usize>>| {
+                k.as_ref().map(|k| (k.cost.to_bits(), k.key))
+            };
+            prop_assert_eq!(key_of(&fold_left), key_of(&fold_right));
+            prop_assert_eq!(key_of(&fold_left), key_of(&fold_rev));
+        }
+    }
+}

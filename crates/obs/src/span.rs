@@ -10,7 +10,7 @@
 /// semicolon-joined path with a self-weight.
 #[derive(Debug, Default, Clone)]
 pub struct SpanStack {
-    stack: Vec<&'static str>,
+    stack: Vec<String>,
     recorded: Vec<(String, u64)>,
 }
 
@@ -20,9 +20,10 @@ impl SpanStack {
         SpanStack::default()
     }
 
-    /// Opens a nested span named `name`.
-    pub fn enter(&mut self, name: &'static str) {
-        self.stack.push(name);
+    /// Opens a nested span named `name`.  Owned names allow dynamic
+    /// labels (e.g. per-shard `w<wave>s<shard>` spans).
+    pub fn enter(&mut self, name: impl Into<String>) {
+        self.stack.push(name.into());
     }
 
     /// Closes the innermost span, attributing `self_weight` units to its

@@ -114,7 +114,24 @@ impl DaemonPolicy {
                 Some(d) => search.with_deadline(d),
                 None => search,
             })),
-            None => DaemonPolicy::Other(spec.build()),
+            // The portfolio race takes the per-decision deadline as its
+            // shared wall-clock budget; other non-search policies
+            // decide instantly and ignore it.
+            None => match (spec, deadline) {
+                (
+                    &PolicySpec::Portfolio {
+                        branching,
+                        bound,
+                        node_limit,
+                        threads,
+                    },
+                    Some(d),
+                ) => DaemonPolicy::Other(Box::new(
+                    sbs_core::PortfolioPolicy::new(branching, bound, node_limit, threads)
+                        .with_deadline(d),
+                )),
+                _ => DaemonPolicy::Other(spec.build()),
+            },
         };
         // The daemon always records telemetry (it feeds /metrics), so
         // policies trace from the first decision on.

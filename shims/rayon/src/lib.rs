@@ -15,13 +15,79 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
 }
 
-/// Worker count: one per logical CPU, at least one.
-fn workers(items: usize) -> usize {
+/// Upper bound on worker threads: `SBS_THREADS` when set to a positive
+/// integer (CI pins worker counts with it), otherwise one per logical
+/// CPU; at least one either way.
+pub fn max_threads() -> usize {
+    if let Ok(v) = std::env::var("SBS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(items)
         .max(1)
+}
+
+/// Worker count for `items` units of work: capped by [`max_threads`],
+/// at least one.
+fn workers(items: usize) -> usize {
+    max_threads().min(items).max(1)
+}
+
+/// Runs both closures, potentially in parallel, and returns both
+/// results in closure order (rayon's `join`).  `b` runs on a scoped
+/// thread while `a` runs inline, so the pair completes in the wall
+/// time of the slower side.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if max_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("join closure panicked");
+        (ra, rb)
+    })
+}
+
+/// Runs `f(0..threads)` across that many scoped threads and returns the
+/// results indexed by worker id (rayon's `broadcast`, with an explicit
+/// thread count).  `threads` is clamped to at least one; with one
+/// thread `f(0)` runs inline.
+pub fn broadcast<R: Send>(threads: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return vec![f(0)];
+    }
+    let slots: Vec<Mutex<Option<R>>> = (0..threads).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for (id, slot) in slots.iter().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                *slot.lock().expect("poisoned") = Some(f(id));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("poisoned")
+                .expect("worker filled slot")
+        })
+        .collect()
 }
 
 /// Applies `f` to every item across scoped threads, preserving order.
@@ -220,6 +286,46 @@ mod tests {
     }
 
     #[test]
+    fn join_returns_results_in_closure_order() {
+        let (a, b) = crate::join(|| 1 + 1, || "right");
+        assert_eq!(a, 2);
+        assert_eq!(b, "right");
+        // Nested joins compose.
+        let ((a, b), (c, d)) = crate::join(
+            || crate::join(|| 1u32, || 2u32),
+            || crate::join(|| 3u32, || 4u32),
+        );
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn join_fans_out_across_threads() {
+        // Both sides record their thread id; on a multi-core machine
+        // (and with no SBS_THREADS=1 pin) they differ, proving the
+        // second closure really ran on another thread.
+        let (ta, tb) = crate::join(
+            || std::thread::current().id(),
+            || {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                std::thread::current().id()
+            },
+        );
+        if crate::max_threads() > 1 {
+            assert_ne!(ta, tb);
+        } else {
+            assert_eq!(ta, tb);
+        }
+    }
+
+    #[test]
+    fn broadcast_preserves_worker_order() {
+        let out = crate::broadcast(4, |id| id * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        let one = crate::broadcast(0, |id| id + 7);
+        assert_eq!(one, vec![7]);
+    }
+
+    #[test]
     fn work_actually_fans_out() {
         use std::collections::HashSet;
         use std::sync::Mutex;
@@ -232,12 +338,9 @@ mod tests {
                 std::thread::sleep(std::time::Duration::from_millis(1));
             })
             .collect();
-        // On a multi-core runner more than one worker participates.
-        if std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            > 1
-        {
+        // On a multi-core runner (without an SBS_THREADS=1 pin) more
+        // than one worker participates.
+        if crate::max_threads() > 1 {
             assert!(seen.lock().unwrap().len() > 1);
         }
     }

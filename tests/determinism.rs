@@ -11,8 +11,10 @@ use sbs_core::prelude::*;
 use sbs_core::FairshareObjective;
 use sbs_metrics::fairness::{per_user, usage_shares};
 use sbs_metrics::table::Table;
-use sbs_sim::JobRecord;
-use std::sync::Arc;
+use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
+use sbs_sim::{simulate_traced, JobRecord, Policy};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
 
 fn workload() -> Workload {
     WorkloadBuilder::month(Month::Jun03)
@@ -113,4 +115,93 @@ fn parallel_search_matches_itself() {
         starts(&b.records),
         "parallel search schedule differs between identical runs"
     );
+}
+
+/// A `Write` handle tests can keep after handing the sink away.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs a policy under a recording virtual-clock tracer; returns the
+/// schedule, the rendered fairness table and the raw JSONL trace log.
+fn traced_artifacts<P: Policy + 'static>(policy: P) -> (Vec<(u32, u64)>, String, String) {
+    let w = workload();
+    let mut recorder = TraceRecorder::new(
+        TimeMode::Virtual,
+        TraceMeta {
+            mode: String::new(),
+            policy: policy.name(),
+            capacity: w.capacity,
+            source: "determinism sweep".into(),
+        },
+    );
+    let buf = SharedBuf::default();
+    recorder
+        .attach_sink(Box::new(buf.clone()))
+        .expect("attach in-memory sink");
+    let result = simulate_traced(&w, policy, SimConfig::default(), &mut recorder);
+    let bytes = buf.0.lock().expect("lock").clone();
+    let log = String::from_utf8(bytes).expect("utf8 trace log");
+    (
+        starts(&result.records),
+        fairness_table(&result.records),
+        log,
+    )
+}
+
+#[test]
+fn sharded_search_sweep_is_byte_identical_to_sequential() {
+    // The tentpole invariant: sharding the discrepancy tree is an
+    // execution detail.  DDS/lxf/dynB at 2/4/8 workers must reproduce
+    // the sequential run byte for byte — start times, rendered metric
+    // tables, and the full decision trace log.
+    let policy = |threads: usize| SearchPolicy::dds_lxf_dynb(500).with_threads(threads);
+    let (starts_seq, table_seq, log_seq) = traced_artifacts(policy(1));
+    assert!(log_seq.lines().count() > 1, "decisions were recorded");
+    for threads in [2usize, 4, 8] {
+        let (s, t, l) = traced_artifacts(policy(threads));
+        assert_eq!(starts_seq, s, "start times differ at threads={threads}");
+        assert_eq!(table_seq, t, "metric tables differ at threads={threads}");
+        assert_eq!(log_seq, l, "trace logs differ at threads={threads}");
+    }
+}
+
+#[test]
+fn portfolio_sweep_is_thread_count_invariant() {
+    // Same sweep over portfolio mode: the fixed default member race
+    // with no shared deadline is deterministic, so every thread count
+    // produces the same schedule, tables and trace log bytes.
+    let policy =
+        |threads: usize| PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 500, threads);
+    let (starts_1, table_1, log_1) = traced_artifacts(policy(1));
+    assert!(log_1.lines().count() > 1, "decisions were recorded");
+    for threads in [2usize, 4, 8] {
+        let (s, t, l) = traced_artifacts(policy(threads));
+        assert_eq!(starts_1, s, "start times differ at threads={threads}");
+        assert_eq!(table_1, t, "metric tables differ at threads={threads}");
+        assert_eq!(log_1, l, "trace logs differ at threads={threads}");
+    }
+}
+
+#[test]
+fn single_member_portfolio_reproduces_the_plain_policy_schedule() {
+    // With the member set pinned to [Dds] and the deadline disabled the
+    // race *is* the plain DDS policy: same schedule and metric tables
+    // (trace logs differ only in the policy/algo labels).
+    let (starts_port, table_port, _) = traced_artifacts(
+        PortfolioPolicy::new(Branching::Lxf, TargetBound::Dynamic, 500, 4)
+            .with_members(vec![sbs_dsearch::PortfolioMember::Dds]),
+    );
+    let (starts_seq, table_seq, _) = traced_artifacts(SearchPolicy::dds_lxf_dynb(500));
+    assert_eq!(starts_port, starts_seq, "schedules differ");
+    assert_eq!(table_port, table_seq, "metric tables differ");
 }
