@@ -35,6 +35,15 @@ use std::time::Instant;
 /// Schema identifier stamped into every emitted document.
 pub const SCHEMA: &str = "sbs-loadgen/v1";
 
+/// Allowed fractional slowdown of the events-enabled drive over the
+/// events-disabled drive before the overhead gate fails the run.
+pub const EVENTS_TOLERANCE: f64 = 0.5;
+
+/// Absolute slack (ns) under which the overhead gate never fires: at
+/// smoke scale a whole drive lasts a few milliseconds, where scheduler
+/// jitter dwarfs any real instrumentation cost.
+const EVENTS_ABS_SLACK_NS: u64 = 10_000_000;
+
 /// How the generated load reaches the fleet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DriveMode {
@@ -223,9 +232,13 @@ fn drive_in_process(opts: &LoadgenOpts, fleet: &Arc<Fleet>) -> WorkerTally {
                         let started = Instant::now();
                         let (v, _) =
                             fleet.handle_routed(Some(&id), Request::SubmitBatch { jobs }, at);
-                        tally
-                            .latencies_ns
-                            .push(started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+                        let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        tally.latencies_ns.push(ns);
+                        // Feed the same observation into the fleet's
+                        // self-scrape histogram so /statusz percentiles
+                        // agree with this report (the TCP path records
+                        // via the server's observe_request_ns hook).
+                        fleet.record_submit_latency(ns);
                         tally_response(&v, &mut tally);
                     }
                 }
@@ -338,6 +351,42 @@ fn drive_tcp(opts: &LoadgenOpts, fleet: Fleet) -> Result<(WorkerTally, Fleet), S
     Ok((total, fleet))
 }
 
+/// Measures the cost of armed event instrumentation: the same
+/// scaled-down stream driven with the journal disabled and enabled,
+/// best of three repeats each.  In-process drives never reach the
+/// fleet's request journal (that sits in the server loop), so this
+/// isolates the per-request correlation and telemetry plumbing.
+fn events_overhead(opts: &LoadgenOpts) -> Result<Value, String> {
+    let probe = LoadgenOpts {
+        clusters: opts.clusters.clamp(1, 64),
+        jobs_per_cluster: opts.jobs_per_cluster.clamp(1, 8),
+        mode: DriveMode::InProcess,
+        min_throughput: 0.0,
+        ..opts.clone()
+    };
+    let mut best = [u64::MAX; 2]; // [disabled, enabled]
+    for (slot, events) in [(0usize, false), (1, true)] {
+        for _ in 0..3 {
+            let fleet = Arc::new(Fleet::new(fleet_config(&probe).with_events(events))?);
+            let started = Instant::now();
+            let _ = drive_in_process(&probe, &fleet);
+            let ns = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            best[slot] = best[slot].min(ns);
+        }
+    }
+    let [disabled, enabled] = best;
+    let ratio = enabled as f64 / disabled.max(1) as f64;
+    let within =
+        enabled <= disabled.saturating_add(EVENTS_ABS_SLACK_NS) || ratio <= 1.0 + EVENTS_TOLERANCE;
+    Ok(json!({
+        "disabled_ns": disabled,
+        "enabled_ns": enabled,
+        "ratio": ratio,
+        "tolerance": EVENTS_TOLERANCE,
+        "within": within,
+    }))
+}
+
 /// Runs the load generator and assembles the report.
 pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
     let started = Instant::now();
@@ -356,6 +405,9 @@ pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
     latencies.sort_unstable();
     let submitted = tally.accepted + tally.rejected;
     let throughput = submitted as f64 / elapsed;
+
+    let scrape = fleet.submit_latency();
+    let events_overhead = events_overhead(opts)?;
 
     let decision = fleet.decision_wall_histogram();
     let decision_p50 = decision
@@ -390,6 +442,7 @@ pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
             "submit_latency_ns": json!({
                 "p50": quantile_ns(&latencies, 0.50),
                 "p99": quantile_ns(&latencies, 0.99),
+                "p999": quantile_ns(&latencies, 0.999),
                 "max": latencies.last().copied().unwrap_or(0),
                 "samples": latencies.len(),
             }),
@@ -398,14 +451,24 @@ pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
                 "p99": decision_p99,
                 "count": decision_count,
             }),
+            // The same submits as seen by the fleet's /statusz
+            // self-scrape histogram (bucketed upper bounds).
+            "statusz_submit_ns": json!({
+                "p50": scrape.quantile(0.50).unwrap_or(0),
+                "p99": scrape.quantile(0.99).unwrap_or(0),
+                "p999": scrape.quantile(0.999).unwrap_or(0),
+                "samples": scrape.count(),
+            }),
+            "events_overhead": events_overhead.clone(),
         }),
     });
 
     let text = format!(
         "loadgen ({}): {} clusters, {} submits in {:.3}s -> {:.0} submits/sec\n\
          accepted {} / rejected {}\n\
-         submit latency  p50 {:>10} ns   p99 {:>10} ns  ({} batched requests)\n\
-         decision latency p50 {:>10} ns   p99 {:>10} ns  ({} decisions)\n",
+         submit latency  p50 {:>10} ns   p99 {:>10} ns   p999 {:>10} ns  ({} batched requests)\n\
+         decision latency p50 {:>10} ns   p99 {:>10} ns  ({} decisions)\n\
+         events overhead  {:.3}x (tolerance {:.0}%, {})\n",
         opts.mode.name(),
         fleet.cluster_count(),
         submitted,
@@ -415,16 +478,31 @@ pub fn run(opts: &LoadgenOpts) -> Result<LoadgenReport, String> {
         tally.rejected,
         quantile_ns(&latencies, 0.50),
         quantile_ns(&latencies, 0.99),
+        quantile_ns(&latencies, 0.999),
         latencies.len(),
         decision_p50,
         decision_p99,
         decision_count,
+        events_overhead["ratio"].as_f64().unwrap_or(0.0),
+        EVENTS_TOLERANCE * 100.0,
+        if events_overhead["within"] == Value::Bool(true) {
+            "ok"
+        } else {
+            "EXCEEDED"
+        },
     );
 
     if opts.min_throughput > 0.0 && throughput < opts.min_throughput {
         return Err(format!(
             "throughput {throughput:.0} submits/sec below the required {:.0}\n{text}",
             opts.min_throughput
+        ));
+    }
+    if events_overhead["within"] != Value::Bool(true) {
+        return Err(format!(
+            "events-enabled drive {:.3}x slower than disabled, beyond the {:.0}% tolerance\n{text}",
+            events_overhead["ratio"].as_f64().unwrap_or(0.0),
+            EVENTS_TOLERANCE * 100.0,
         ));
     }
     Ok(LoadgenReport { doc, text })
@@ -453,6 +531,39 @@ mod tests {
             "{r}"
         );
         assert!(r["decision_latency_ns"]["count"].as_u64().unwrap_or(0) > 0);
+        assert!(
+            r["submit_latency_ns"]["p999"].as_u64() >= r["submit_latency_ns"]["p99"].as_u64(),
+            "{r}"
+        );
+        let overhead = &r["events_overhead"];
+        assert!(overhead["disabled_ns"].as_u64().unwrap_or(0) > 0, "{r}");
+        assert!(overhead["enabled_ns"].as_u64().unwrap_or(0) > 0, "{r}");
+        assert_eq!(overhead["within"], Value::Bool(true), "{r}");
+    }
+
+    #[test]
+    fn statusz_scrape_agrees_with_the_exact_percentiles() {
+        let report = run(&LoadgenOpts::quick()).expect("loadgen run");
+        let r = &report.doc["results"];
+        let exact = &r["submit_latency_ns"];
+        let scrape = &r["statusz_submit_ns"];
+        assert_eq!(
+            scrape["samples"], exact["samples"],
+            "every batched submit reaches the self-scrape histogram: {r}"
+        );
+        // Identical nearest-rank definitions over the same samples:
+        // the scrape percentile is the inclusive upper bound of the
+        // bucket holding the exact value (unless the exact value
+        // saturates past the top bucket).
+        for q in ["p50", "p99", "p999"] {
+            let e = exact[q].as_u64().unwrap_or(0);
+            let s = scrape[q].as_u64().unwrap_or(0);
+            assert!(s >= e.min(1_000_000_000), "{q}: scrape {s} < exact {e}");
+            assert!(
+                s <= e.saturating_mul(10).max(1_000),
+                "{q}: scrape {s} beyond exact {e}'s bucket"
+            );
+        }
     }
 
     #[test]

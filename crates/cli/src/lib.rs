@@ -29,6 +29,8 @@ USAGE:
   sbs loadgen [options]   drive a fleet with synthetic submit streams
   sbs submit [options]    submit a job to a running daemon
   sbs queue [options]     show a running daemon's queue
+  sbs incidents [opts]    list captured slow-decision incidents
+  sbs top [options]       poll /statusz into a terminal dashboard
   sbs trace FILE [opts]   explore an sbs-trace/v1 JSONL decision log
   sbs lint [FILE...]      run the workspace static-analysis pass
   sbs bench-perf          run the search hot-path perf matrix
@@ -71,6 +73,11 @@ OPTIONS (serve):
   --virtual-clock     time advances only with submitted events (testing)
   --trace-log FILE    append an sbs-trace/v1 JSONL decision log
   --compat-metrics    serve the legacy all-gauge /metrics text
+  --event-log FILE    append an sbs-events/v1 JSONL operational journal
+  --slow-ms D         capture decisions at/over D ms wall time as
+                      incidents (also exposed at /statusz?incidents=1)
+  --slow-nodes-left N capture deadline-truncated decisions that left N+
+                      nodes unexplored
 
 OPTIONS (serve-fleet):
   --port P            TCP port (default 7070; 0 picks a free port)
@@ -83,6 +90,9 @@ OPTIONS (serve-fleet):
   --max-queue N       per-tenant queue-depth quota (default: unlimited)
   --fair-slack PCT    per-tenant fairshare slack percent (default: off)
   --virtual-clock     time advances only with submitted events (testing)
+  --event-log FILE    append the fleet's sbs-events/v1 JSONL journal
+  --slow-ms D         capture slow decisions (ms) as incidents
+  --slow-nodes-left N capture deadline-truncated decisions as incidents
 
 OPTIONS (loadgen):
   --clusters N        tenant clusters driven (default 1000)
@@ -102,6 +112,8 @@ OPTIONS (trace):
   --collapsed OUT     also write a collapsed-stack span-weight file
                       (flamegraph.pl / speedscope input)
   --json              print the aggregates as JSON instead of tables
+  --last N            aggregate only the final N decisions
+  --since DECISION    aggregate only decisions with seq >= DECISION
 
 OPTIONS (lint):
   --root DIR          workspace root (default: nearest parent directory
@@ -132,9 +144,13 @@ OPTIONS (bench-perf):
   --tolerance F       allowed fractional slowdown for --check
                       (default 0.5 — generous, CI machines vary)
 
-OPTIONS (submit / queue):
+OPTIONS (submit / queue / incidents / top):
   --host H            daemon host (default 127.0.0.1)
   --port P            daemon port (default 7070)
+  --cluster C         (incidents) restrict to one fleet cluster
+  --interval MS       (top) milliseconds between polls (default 2000)
+  --iterations N      (top) stop after N polls; 1 prints a single
+                      frame to stdout (default 0 = until interrupted)
   --nodes N           (submit) node count
   --runtime S         (submit) runtime in seconds
   --requested S       (submit) requested runtime (default: runtime)
@@ -142,7 +158,8 @@ OPTIONS (submit / queue):
   --at T              (submit) explicit submit time (virtual clock only)
 
 The daemon speaks newline-delimited JSON on its port and answers plain
-HTTP `GET /metrics` probes on the same port.
+HTTP `GET /metrics`, `GET /healthz` and `GET /statusz` probes on the
+same port (`/statusz?incidents=1` inlines the captured incidents).
 ";
 
 /// A parsed command line.
@@ -160,6 +177,10 @@ pub enum Command {
     Submit(SubmitArgs),
     /// Show a running daemon's queue.
     Queue(ConnectArgs),
+    /// List a running daemon's captured slow-decision incidents.
+    Incidents(IncidentsArgs),
+    /// Poll a daemon's `/statusz` into a terminal dashboard.
+    Top(TopArgs),
     /// Explore an `sbs-trace/v1` decision log offline.
     Trace(TraceArgs),
     /// Run the static-analysis pass.
@@ -201,6 +222,12 @@ pub struct ServeArgs {
     pub trace_log: Option<String>,
     /// Serve the legacy all-gauge `/metrics` exposition.
     pub compat_metrics: bool,
+    /// Append an `sbs-events/v1` JSONL operational journal here.
+    pub event_log: Option<String>,
+    /// Capture decisions at or beyond this wall time (ms) as incidents.
+    pub slow_ms: Option<u64>,
+    /// Capture decisions with this many `nodes_left_at_deadline`.
+    pub slow_nodes_left: Option<u64>,
 }
 
 /// Arguments of `sbs serve-fleet`.
@@ -226,6 +253,12 @@ pub struct ServeFleetArgs {
     pub fair_slack: u64,
     /// Drive time from submitted events instead of the wall clock.
     pub virtual_clock: bool,
+    /// Append the fleet's `sbs-events/v1` JSONL journal here.
+    pub event_log: Option<String>,
+    /// Capture decisions at or beyond this wall time (ms) as incidents.
+    pub slow_ms: Option<u64>,
+    /// Capture decisions with this many `nodes_left_at_deadline`.
+    pub slow_nodes_left: Option<u64>,
 }
 
 impl Default for ServeFleetArgs {
@@ -241,6 +274,54 @@ impl Default for ServeFleetArgs {
             max_queue: 0,
             fair_slack: 0,
             virtual_clock: false,
+            event_log: None,
+            slow_ms: None,
+            slow_nodes_left: None,
+        }
+    }
+}
+
+/// Arguments of `sbs incidents`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncidentsArgs {
+    /// Where the daemon (or fleet) runs.
+    pub connect: ConnectArgs,
+    /// Restrict to one fleet cluster (fleets only).
+    pub cluster: Option<String>,
+}
+
+impl Default for IncidentsArgs {
+    fn default() -> Self {
+        IncidentsArgs {
+            connect: ConnectArgs {
+                host: "127.0.0.1".to_string(),
+                port: 7070,
+            },
+            cluster: None,
+        }
+    }
+}
+
+/// Arguments of `sbs top`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopArgs {
+    /// Where the daemon (or fleet) runs.
+    pub connect: ConnectArgs,
+    /// Milliseconds between polls.
+    pub interval_ms: u64,
+    /// Stop after this many polls (0 = run until interrupted).
+    pub iterations: u64,
+}
+
+impl Default for TopArgs {
+    fn default() -> Self {
+        TopArgs {
+            connect: ConnectArgs {
+                host: "127.0.0.1".to_string(),
+                port: 7070,
+            },
+            interval_ms: 2_000,
+            iterations: 0,
         }
     }
 }
@@ -299,6 +380,10 @@ pub struct TraceArgs {
     pub collapsed: Option<String>,
     /// Print the aggregates as JSON instead of tables.
     pub json: bool,
+    /// Keep only the final N decisions.
+    pub last: Option<usize>,
+    /// Keep only decisions with `seq >= since`.
+    pub since: Option<u64>,
 }
 
 /// Arguments of `sbs lint`.
@@ -649,6 +734,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 virtual_clock: false,
                 trace_log: None,
                 compat_metrics: false,
+                event_log: None,
+                slow_ms: None,
+                slow_nodes_left: None,
             };
             while let Some(flag) = it.next() {
                 let mut value = || {
@@ -692,6 +780,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     "--virtual-clock" => parsed.virtual_clock = true,
                     "--trace-log" => parsed.trace_log = Some(value()?),
                     "--compat-metrics" => parsed.compat_metrics = true,
+                    "--event-log" => parsed.event_log = Some(value()?),
+                    "--slow-ms" => {
+                        parsed.slow_ms =
+                            Some(value()?.parse().map_err(|_| "bad --slow-ms".to_string())?)
+                    }
+                    "--slow-nodes-left" => {
+                        parsed.slow_nodes_left = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| "bad --slow-nodes-left".to_string())?,
+                        )
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -707,6 +807,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             let mut file = None;
             let mut collapsed = None;
             let mut json = false;
+            let mut last = None;
+            let mut since = None;
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -716,6 +818,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 match flag.as_str() {
                     "--collapsed" => collapsed = Some(value()?),
                     "--json" => json = true,
+                    "--last" => {
+                        last = Some(value()?.parse().map_err(|_| "bad --last".to_string())?)
+                    }
+                    "--since" => {
+                        since = Some(value()?.parse().map_err(|_| "bad --since".to_string())?)
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown flag {other:?}"))
                     }
@@ -730,6 +838,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 file: file.ok_or("trace needs a FILE argument")?,
                 collapsed,
                 json,
+                last,
+                since,
             }))
         }
         "submit" => {
@@ -800,6 +910,57 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                 }
             }
             Ok(Command::Queue(connect))
+        }
+        "incidents" => {
+            let mut parsed = IncidentsArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--host" => parsed.connect.host = value()?,
+                    "--port" => {
+                        parsed.connect.port =
+                            value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    "--cluster" => parsed.cluster = Some(value()?),
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Incidents(parsed))
+        }
+        "top" => {
+            let mut parsed = TopArgs::default();
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--host" => parsed.connect.host = value()?,
+                    "--port" => {
+                        parsed.connect.port =
+                            value()?.parse().map_err(|_| "bad --port".to_string())?
+                    }
+                    "--interval" => {
+                        parsed.interval_ms =
+                            value()?.parse().map_err(|_| "bad --interval".to_string())?;
+                        if parsed.interval_ms == 0 {
+                            return Err("--interval must be positive".to_string());
+                        }
+                    }
+                    "--iterations" => {
+                        parsed.iterations = value()?
+                            .parse()
+                            .map_err(|_| "bad --iterations".to_string())?
+                    }
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
+            Ok(Command::Top(parsed))
         }
         "lint" => {
             let mut parsed = LintArgs::default();
@@ -894,6 +1055,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                             .map_err(|_| "bad --fair-slack".to_string())?
                     }
                     "--virtual-clock" => parsed.virtual_clock = true,
+                    "--event-log" => parsed.event_log = Some(value()?),
+                    "--slow-ms" => {
+                        parsed.slow_ms =
+                            Some(value()?.parse().map_err(|_| "bad --slow-ms".to_string())?)
+                    }
+                    "--slow-nodes-left" => {
+                        parsed.slow_nodes_left = Some(
+                            value()?
+                                .parse()
+                                .map_err(|_| "bad --slow-nodes-left".to_string())?,
+                        )
+                    }
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -1040,6 +1213,17 @@ pub fn run(cmd: Command) -> Result<String, String> {
             client_round_trip(&args.connect, &req)
         }
         Command::Queue(connect) => client_round_trip(&connect, r#"{"op":"queue"}"#),
+        Command::Incidents(args) => {
+            let req = match &args.cluster {
+                Some(c) => format!(
+                    r#"{{"op":"incidents","cluster":{}}}"#,
+                    serde_json::Value::from(c.as_str())
+                ),
+                None => r#"{"op":"incidents"}"#.to_string(),
+            };
+            client_round_trip(&args.connect, &req)
+        }
+        Command::Top(args) => top_cmd(args),
         Command::Trace(args) => trace_cmd(args),
         Command::Lint(args) => lint_cmd(args),
         Command::BenchPerf(args) => bench_perf_cmd(args),
@@ -1237,12 +1421,153 @@ fn client_round_trip(connect: &ConnectArgs, request: &str) -> Result<String, Str
     ))
 }
 
+/// Issues a raw HTTP/1.0 GET against the daemon port and returns the
+/// response body (the daemon answers one request per connection).
+fn http_get_text(connect: &ConnectArgs, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let addr = format!("{}:{}", connect.host, connect.port);
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot reach daemon at {addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| e.to_string())?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(response);
+    Ok(body)
+}
+
+fn poll_statusz(connect: &ConnectArgs) -> Result<serde_json::Value, String> {
+    let body = http_get_text(connect, "/statusz")?;
+    serde_json::from_str(body.trim()).map_err(|e| format!("malformed /statusz response: {e}"))
+}
+
+/// Nanoseconds as a short human-scaled latency figure.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Renders one `/statusz` document as a dashboard frame. Both the
+/// daemon (`sbs-statusz/v1`) and fleet (`sbs-fleet-statusz/v1`)
+/// schemas render; fleets additionally get the per-cluster table.
+pub fn render_top(doc: &serde_json::Value) -> String {
+    let n = |k: &str| doc[k].as_u64().unwrap_or(0);
+    let f = |k: &str| doc[k].as_f64().unwrap_or(0.0);
+    let fleet = doc["schema"].as_str() == Some("sbs-fleet-statusz/v1");
+    let mut out = String::new();
+    if fleet {
+        out.push_str(&format!(
+            "sbs top — fleet  t={}  clusters={}  shards={}\n",
+            n("now"),
+            n("clusters"),
+            n("shards"),
+        ));
+    } else {
+        out.push_str(&format!(
+            "sbs top — daemon  t={}  policy={}  free {}/{} nodes\n",
+            n("now"),
+            doc["policy"].as_str().unwrap_or("?"),
+            n("free_nodes"),
+            n("capacity"),
+        ));
+    }
+    out.push_str(&format!(
+        "queue {}   running {}   submitted {}   decisions {}\n",
+        n("queue_depth"),
+        n("running"),
+        n("submitted"),
+        n("decisions"),
+    ));
+    out.push_str(&format!(
+        "search {} nodes   {:.0} nodes/sec   deadline-hit {:.1}%\n",
+        n("search_nodes"),
+        f("search_nodes_per_sec"),
+        f("deadline_hit_rate") * 100.0,
+    ));
+    let lat = &doc["submit_latency_ns"];
+    out.push_str(&format!(
+        "submit p50 {}  p99 {}  p999 {}  ({} sampled)\n",
+        fmt_ns(lat["p50"].as_u64().unwrap_or(0)),
+        fmt_ns(lat["p99"].as_u64().unwrap_or(0)),
+        fmt_ns(lat["p999"].as_u64().unwrap_or(0)),
+        lat["count"].as_u64().unwrap_or(0),
+    ));
+    out.push_str(&format!(
+        "events {} emitted / {} filtered   incidents {}\n",
+        doc["events"]["emitted"].as_u64().unwrap_or(0),
+        doc["events"]["filtered"].as_u64().unwrap_or(0),
+        n("incidents_captured"),
+    ));
+    if fleet {
+        if let Some(rows) = doc["per_cluster"].as_array() {
+            let mut t = Table::new([
+                "cluster",
+                "queue",
+                "running",
+                "submitted",
+                "rejected",
+                "decisions",
+                "incidents",
+            ]);
+            for r in rows {
+                let cell = |k: &str| r[k].as_u64().unwrap_or(0).to_string();
+                t.row([
+                    r["cluster"].as_str().unwrap_or("?").to_string(),
+                    cell("queue_depth"),
+                    cell("running"),
+                    cell("submitted"),
+                    cell("rejected"),
+                    cell("decisions"),
+                    cell("incidents"),
+                ]);
+            }
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+    }
+    out
+}
+
+/// Polls `/statusz` into a terminal dashboard. One iteration returns
+/// the frame as the command output (scripting and CI); continuous mode
+/// redraws the terminal in place every interval.
+fn top_cmd(args: TopArgs) -> Result<String, String> {
+    if args.iterations == 1 {
+        return Ok(render_top(&poll_statusz(&args.connect)?));
+    }
+    let mut polled = 0u64;
+    loop {
+        let frame = render_top(&poll_statusz(&args.connect)?);
+        // Home-then-clear so each poll repaints the same screen.
+        print!("\x1b[H\x1b[2J{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        polled += 1;
+        if args.iterations != 0 && polled >= args.iterations {
+            return Ok(String::new());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}
+
 /// Aggregates an `sbs-trace/v1` JSONL decision log into per-decision
 /// tables (or JSON), optionally writing the collapsed-stack span file.
 fn trace_cmd(args: TraceArgs) -> Result<String, String> {
     use sbs_obs::TraceReport;
     let text = std::fs::read_to_string(&args.file).map_err(|e| format!("{}: {e}", args.file))?;
-    let report = TraceReport::from_lines(&text).map_err(|e| format!("{}: {e}", args.file))?;
+    let report = TraceReport::from_lines_filtered(&text, args.since, args.last)
+        .map_err(|e| format!("{}: {e}", args.file))?;
     let mut out = if args.json {
         format!(
             "{}\n",
@@ -1278,6 +1603,20 @@ fn serve_cmd(args: ServeArgs) -> Result<String, String> {
     if args.compat_metrics {
         cfg = cfg.with_compat_metrics(true);
     }
+    if let Some(path) = args.event_log {
+        cfg = cfg.with_event_log(
+            path.into(),
+            sbs_service::daemon::DEFAULT_EVENT_LOG_MAX_BYTES,
+        );
+    }
+    if args.slow_ms.is_some() || args.slow_nodes_left.is_some() {
+        cfg = cfg.with_slow_thresholds(args.slow_ms, args.slow_nodes_left);
+    }
+    if args.virtual_clock {
+        // Virtual runs journal virtual timestamps only, keeping the
+        // event log byte-deterministic across identical runs.
+        cfg = cfg.with_event_mode(sbs_obs::TimeMode::Virtual);
+    }
     let daemon = Daemon::new(cfg)?;
     let origin = daemon.now();
     let listener = std::net::TcpListener::bind(("127.0.0.1", args.port))
@@ -1307,6 +1646,18 @@ fn serve_fleet_cmd(args: ServeFleetArgs) -> Result<String, String> {
         });
     if let Some(dir) = args.snapshot_dir {
         cfg = cfg.with_snapshot_dir(dir.into());
+    }
+    if let Some(path) = args.event_log {
+        cfg = cfg.with_event_log(
+            path.into(),
+            sbs_service::daemon::DEFAULT_EVENT_LOG_MAX_BYTES,
+        );
+    }
+    if args.slow_ms.is_some() || args.slow_nodes_left.is_some() {
+        cfg = cfg.with_slow_thresholds(args.slow_ms, args.slow_nodes_left);
+    }
+    if args.virtual_clock {
+        cfg = cfg.with_event_mode(sbs_obs::TimeMode::Virtual);
     }
     let fleet = Fleet::new(cfg)?;
     let origin = fleet.now();
@@ -1512,6 +1863,7 @@ fn simulate_cmd(args: SimulateArgs) -> Result<String, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use serde_json::json;
 
     fn parse(s: &str) -> Result<Command, String> {
         parse_args(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
@@ -1536,6 +1888,140 @@ mod tests {
         assert_eq!(a.fair_slack, 150);
         assert!(a.virtual_clock);
         assert!(parse("serve-fleet --policy nope").is_err());
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let Command::Serve(s) =
+            parse("serve --port 0 --event-log events.jsonl --slow-ms 250 --slow-nodes-left 100")
+                .expect("parse")
+        else {
+            panic!("not serve")
+        };
+        assert_eq!(s.event_log.as_deref(), Some("events.jsonl"));
+        assert_eq!(s.slow_ms, Some(250));
+        assert_eq!(s.slow_nodes_left, Some(100));
+
+        let Command::ServeFleet(f) =
+            parse("serve-fleet --event-log fleet.jsonl --slow-ms 50").expect("parse")
+        else {
+            panic!("not serve-fleet")
+        };
+        assert_eq!(f.event_log.as_deref(), Some("fleet.jsonl"));
+        assert_eq!(f.slow_ms, Some(50));
+        assert_eq!(f.slow_nodes_left, None);
+
+        assert!(parse("serve --slow-ms many").is_err());
+        assert!(parse("serve-fleet --event-log").is_err(), "needs a value");
+    }
+
+    #[test]
+    fn parses_incidents_and_top() {
+        assert_eq!(
+            parse("incidents").expect("defaults"),
+            Command::Incidents(IncidentsArgs::default())
+        );
+        let Command::Incidents(i) =
+            parse("incidents --host h --port 9000 --cluster alpha").expect("parse")
+        else {
+            panic!("not incidents")
+        };
+        assert_eq!(i.connect.host, "h");
+        assert_eq!(i.connect.port, 9_000);
+        assert_eq!(i.cluster.as_deref(), Some("alpha"));
+
+        assert_eq!(
+            parse("top").expect("defaults"),
+            Command::Top(TopArgs::default())
+        );
+        let Command::Top(t) =
+            parse("top --port 8080 --interval 500 --iterations 3").expect("parse")
+        else {
+            panic!("not top")
+        };
+        assert_eq!(t.connect.port, 8_080);
+        assert_eq!(t.interval_ms, 500);
+        assert_eq!(t.iterations, 3);
+        assert!(parse("top --interval 0").is_err(), "interval is positive");
+        assert!(parse("incidents --bogus").is_err());
+    }
+
+    #[test]
+    fn parses_trace_window_flags() {
+        let Command::Trace(t) = parse("trace run.jsonl --last 5 --since 40").expect("parse") else {
+            panic!("not trace")
+        };
+        assert_eq!(t.last, Some(5));
+        assert_eq!(t.since, Some(40));
+        assert!(parse("trace run.jsonl --last five").is_err());
+    }
+
+    #[test]
+    fn top_renders_daemon_and_fleet_status_documents() {
+        let lat = json!({"p50": 1_500, "p99": 2_000_000, "p999": 3_000_000_000u64, "count": 7});
+        let events = json!({"emitted": 4, "filtered": 9});
+        let mut daemon = json!({
+            "schema": "sbs-statusz/v1",
+            "now": 120,
+            "policy": "DDS/lxf/dynB",
+            "capacity": 128,
+            "free_nodes": 96,
+            "queue_depth": 3,
+            "running": 2,
+            "submitted": 11,
+            "decisions": 6,
+            "search_nodes": 4_200,
+            "deadline_hit_rate": 0.25,
+            "search_nodes_per_sec": 1_000.0,
+            "incidents_captured": 1,
+        });
+        if let serde_json::Value::Object(m) = &mut daemon {
+            m.insert("submit_latency_ns".into(), lat.clone());
+            m.insert("events".into(), events.clone());
+        }
+        let frame = render_top(&daemon);
+        assert!(frame.contains("daemon"), "{frame}");
+        assert!(frame.contains("policy=DDS/lxf/dynB"), "{frame}");
+        assert!(frame.contains("free 96/128 nodes"), "{frame}");
+        assert!(frame.contains("deadline-hit 25.0%"), "{frame}");
+        assert!(frame.contains("p50 1.5us"), "{frame}");
+        assert!(frame.contains("p99 2.0ms"), "{frame}");
+        assert!(frame.contains("p999 3.00s"), "{frame}");
+        assert!(frame.contains("4 emitted / 9 filtered"), "{frame}");
+
+        let row = json!({
+            "cluster": "alpha",
+            "queue_depth": 1,
+            "running": 2,
+            "submitted": 3,
+            "rejected": 0,
+            "decisions": 4,
+            "incidents": 0,
+        });
+        let mut fleet = json!({
+            "schema": "sbs-fleet-statusz/v1",
+            "now": 60,
+            "clusters": 1,
+            "shards": 16,
+            "queue_depth": 1,
+            "running": 2,
+            "submitted": 3,
+            "decisions": 4,
+            "search_nodes": 0,
+            "deadline_hit_rate": 0.0,
+            "search_nodes_per_sec": 0.0,
+            "incidents_captured": 0,
+        });
+        if let serde_json::Value::Object(m) = &mut fleet {
+            m.insert("submit_latency_ns".into(), lat);
+            m.insert("events".into(), events);
+            m.insert("per_cluster".into(), serde_json::Value::Array(vec![row]));
+        }
+        let frame = render_top(&fleet);
+        assert!(frame.contains("fleet"), "{frame}");
+        assert!(frame.contains("clusters=1"), "{frame}");
+        assert!(frame.contains("alpha"), "{frame}");
+        assert!(frame.contains("cluster"), "{frame}");
     }
 
     #[test]
@@ -2008,6 +2494,8 @@ mod tests {
             file: log.display().to_string(),
             collapsed: Some(collapsed.display().to_string()),
             json: false,
+            last: None,
+            since: None,
         }))
         .expect("trace explorer");
         assert!(out.contains("decisions"), "{out}");
@@ -2019,10 +2507,25 @@ mod tests {
             file: log.display().to_string(),
             collapsed: None,
             json: true,
+            last: None,
+            since: None,
         }))
         .expect("trace --json");
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
-        assert!(v["decisions"].as_u64().unwrap_or(0) > 0, "{out}");
+        let total = v["decisions"].as_u64().unwrap_or(0);
+        assert!(total > 0, "{out}");
+
+        // --last restricts the aggregation window.
+        let out = run(Command::Trace(TraceArgs {
+            file: log.display().to_string(),
+            collapsed: None,
+            json: true,
+            last: Some(1),
+            since: None,
+        }))
+        .expect("trace --last");
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert_eq!(v["decisions"].as_u64(), Some(1), "{out}");
 
         // sbs-lint: allow(result-dropped): proven best-effort path — temp-file cleanup
         let _ = std::fs::remove_file(&log);

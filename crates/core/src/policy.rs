@@ -133,6 +133,9 @@ pub struct SearchPolicy {
     tracing: bool,
     shard_spans: bool,
     last_trace: Option<PolicyTrace>,
+    /// Correlation id handed down by the engine before each decision
+    /// (`0` in batch simulation, so offline traces are unchanged).
+    corr: u64,
 }
 
 impl SearchPolicy {
@@ -158,6 +161,7 @@ impl SearchPolicy {
             tracing: false,
             shard_spans: false,
             last_trace: None,
+            corr: 0,
         }
     }
 
@@ -309,7 +313,10 @@ impl Policy for SearchPolicy {
                 SearchAlgo::Beam(w) => beam(&mut problem, w as usize, cfg),
             }
         };
-        let stats = outcome.stats;
+        let mut stats = outcome.stats;
+        // The search itself never sees request ids; the policy stamps
+        // the one it was handed so the trace links back to the request.
+        stats.trace_id = self.corr;
         self.totals.decisions += 1;
         self.totals.nodes += stats.nodes;
         self.totals.leaves += stats.leaves;
@@ -402,6 +409,7 @@ impl Policy for SearchPolicy {
                     fallback,
                     local_nodes,
                     leaf_iters,
+                    trace_id: stats.trace_id,
                 }),
                 backfill: None,
                 spans: spans.finish(),
@@ -419,6 +427,10 @@ impl Policy for SearchPolicy {
 
     fn take_trace(&mut self) -> Option<PolicyTrace> {
         self.last_trace.take()
+    }
+
+    fn set_correlation(&mut self, corr: u64) {
+        self.corr = corr;
     }
 }
 

@@ -36,6 +36,9 @@ pub struct PortfolioPolicy {
     totals: SearchTotals,
     tracing: bool,
     last_trace: Option<PolicyTrace>,
+    /// Correlation id handed down by the engine before each decision
+    /// (`0` in batch simulation).
+    corr: u64,
 }
 
 impl PortfolioPolicy {
@@ -55,6 +58,7 @@ impl PortfolioPolicy {
             totals: SearchTotals::default(),
             tracing: false,
             last_trace: None,
+            corr: 0,
         }
     }
 
@@ -115,7 +119,8 @@ impl Policy for PortfolioPolicy {
             )
         };
         let raced = portfolio(factory, &self.members, cfg, self.threads);
-        let stats = raced.outcome.stats;
+        let mut stats = raced.outcome.stats;
+        stats.trace_id = self.corr;
         self.totals.decisions += 1;
         self.totals.nodes += stats.nodes;
         self.totals.leaves += stats.leaves;
@@ -181,6 +186,7 @@ impl Policy for PortfolioPolicy {
                     fallback,
                     local_nodes: 0,
                     leaf_iters,
+                    trace_id: stats.trace_id,
                 }),
                 backfill: None,
                 spans: spans.finish(),
@@ -198,6 +204,10 @@ impl Policy for PortfolioPolicy {
 
     fn take_trace(&mut self) -> Option<PolicyTrace> {
         self.last_trace.take()
+    }
+
+    fn set_correlation(&mut self, corr: u64) {
+        self.corr = corr;
     }
 }
 

@@ -18,14 +18,31 @@
 //! Snapshots are per-cluster files plus an index manifest
 //! (`sbs-fleet-manifest/v1`); [`Fleet::new`] recovers every tenant
 //! listed in the manifest through the single-daemon snapshot path.
+//!
+//! ## Observability
+//!
+//! The fleet mints one correlation id per routed request
+//! ([`sbs_service::CorrelationSource`]), hands it down to the tenant
+//! daemon so every decision the request triggers carries it, echoes it
+//! back as `"corr"`, and journals the request into a fleet-scoped
+//! `sbs-events/v1` journal.  Tenant daemons keep their own journals
+//! in-memory only — a per-tenant file sink would mean file I/O under
+//! the shard lock.  The journal and the submit-latency histogram live
+//! behind their own mutexes, and those are **only ever taken with no
+//! shard lock held**, preserving the no-lock-order-edge invariant.
+//! `GET /healthz` reports shard availability (poisoned locks) and
+//! `GET /statusz` serves a fleet-wide JSON aggregate, per-cluster rows
+//! under the same cardinality cap as `/metrics`, and (with
+//! `?incidents=1`) every tenant's captured slow decisions.
 
 use crate::quota::{FleetDemand, TenantQuota};
 use sbs_core::PolicySpec;
 use sbs_metrics::fairness::jain_index;
 use sbs_obs::expo::Exposition;
-use sbs_obs::Histogram;
-use sbs_service::protocol::{error_response, parse_routed, Request, SubmitSpec};
-use sbs_service::server::ServerHandler;
+use sbs_obs::{Event, EventJournal, Histogram, RingBuffer, Severity, TimeMode};
+use sbs_service::daemon::{DEFAULT_EVENT_LOG_MAX_BYTES, STATUS_WINDOW_CAPACITY};
+use sbs_service::protocol::{error_response, parse_routed, CorrelationSource, Request, SubmitSpec};
+use sbs_service::server::{HttpReply, ServerHandler};
 use sbs_service::{Daemon, ServiceConfig};
 use sbs_workload::time::Time;
 use serde_json::{json, Value};
@@ -64,6 +81,24 @@ pub struct FleetConfig {
     pub default_cluster: String,
     /// Wait beyond this threshold counts as excessive in the metrics.
     pub excess_threshold: Time,
+    /// Emit operational events (the fleet journal plus the per-tenant
+    /// in-memory rings and slow-decision capture).
+    pub events: bool,
+    /// Rotating sink for the fleet-scoped `sbs-events/v1` journal;
+    /// `None` keeps events in the in-memory ring.
+    pub event_log: Option<PathBuf>,
+    /// Rotation threshold for the event log, in bytes.
+    pub event_log_max_bytes: u64,
+    /// Journal time mode: `Virtual` omits wall durations so two
+    /// identical virtual-clock runs journal byte-identical files.
+    pub event_mode: TimeMode,
+    /// Per-tenant slow-decision wall-time threshold in milliseconds
+    /// (`Some(0)` captures every decision).
+    pub slow_wall_ms: Option<u64>,
+    /// Per-tenant slow-decision `nodes_left_at_deadline` threshold.
+    pub slow_nodes_left: Option<u64>,
+    /// Self-scrape sampling window length in scheduler seconds.
+    pub status_window: Time,
 }
 
 impl FleetConfig {
@@ -79,6 +114,13 @@ impl FleetConfig {
             cluster_label_cap: 32,
             default_cluster: "default".into(),
             excess_threshold: 0,
+            events: true,
+            event_log: None,
+            event_log_max_bytes: DEFAULT_EVENT_LOG_MAX_BYTES,
+            event_mode: TimeMode::Wall,
+            slow_wall_ms: None,
+            slow_nodes_left: None,
+            status_window: 60,
         }
     }
 
@@ -103,6 +145,33 @@ impl FleetConfig {
     /// Caps the number of tenants.
     pub fn with_max_clusters(mut self, max: usize) -> Self {
         self.max_clusters = max.max(1);
+        self
+    }
+
+    /// Turns the event journal (and tenant instrumentation) on or off.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
+        self
+    }
+
+    /// Writes the fleet journal to `path`, rotating at `max_bytes`.
+    pub fn with_event_log(mut self, path: PathBuf, max_bytes: u64) -> Self {
+        self.event_log = Some(path);
+        self.event_log_max_bytes = max_bytes;
+        self
+    }
+
+    /// Sets the journal time mode (virtual-clock fleets pass
+    /// [`TimeMode::Virtual`] to keep journal bytes deterministic).
+    pub fn with_event_mode(mut self, mode: TimeMode) -> Self {
+        self.event_mode = mode;
+        self
+    }
+
+    /// Sets the per-tenant slow-decision capture thresholds.
+    pub fn with_slow_thresholds(mut self, wall_ms: Option<u64>, nodes_left: Option<u64>) -> Self {
+        self.slow_wall_ms = wall_ms;
+        self.slow_nodes_left = nodes_left;
         self
     }
 }
@@ -130,14 +199,45 @@ fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-/// Per-cluster numbers collected for the metrics exposition.
+/// Per-cluster numbers collected for the metrics exposition and the
+/// `/statusz` aggregate.
 struct ClusterStat {
     submitted: u64,
     rejected: u64,
     queue_depth: u64,
     running: u64,
     decisions: u64,
+    search_nodes: u64,
+    deadline_truncations: u64,
+    incidents: u64,
     decision_nanos: Option<Histogram>,
+}
+
+/// Fleet-wide cumulative counters sampled at one status-window
+/// boundary (the `/statusz` self-scrape ring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct FleetSample {
+    at: Time,
+    submitted: u64,
+    rejected: u64,
+    decisions: u64,
+    queue_depth: u64,
+    search_nodes: u64,
+    deadline_truncations: u64,
+}
+
+impl FleetSample {
+    fn to_value(self) -> Value {
+        json!({
+            "at": self.at,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "decisions": self.decisions,
+            "queue_depth": self.queue_depth,
+            "search_nodes": self.search_nodes,
+            "deadline_truncations": self.deadline_truncations,
+        })
+    }
 }
 
 /// The multi-tenant fleet daemon.
@@ -154,6 +254,19 @@ pub struct Fleet {
     tenant_count: AtomicU64,
     /// Fleet-wide quota/fairshare rejections.
     rejected_total: AtomicU64,
+    /// Correlation ids, minted once per routed request.
+    corr: CorrelationSource,
+    /// The fleet-scoped event journal.  Locked only with **no shard
+    /// lock held** (the protocol edge journals after dispatch returns),
+    /// so it adds no lock-order edge.
+    journal: Mutex<EventJournal>,
+    /// Submit-path request latency measured at the protocol edge.
+    /// Same locking rule as the journal.
+    submit_wall: Mutex<Histogram>,
+    /// Periodic fleet-wide self-scrape samples (server thread only).
+    windows: Mutex<RingBuffer<FleetSample>>,
+    /// Next status-window boundary.
+    next_window: AtomicU64,
 }
 
 impl Fleet {
@@ -163,6 +276,8 @@ impl Fleet {
         let shards = (0..cfg.shards.max(1))
             .map(|_| Mutex::new(Shard::default()))
             .collect();
+        let journal = build_journal(&cfg);
+        let first_window = cfg.status_window.max(1);
         let fleet = Fleet {
             cfg,
             shards,
@@ -171,6 +286,11 @@ impl Fleet {
             latest_now: AtomicU64::new(0),
             tenant_count: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
+            corr: CorrelationSource::new(),
+            journal: Mutex::new(journal),
+            submit_wall: Mutex::new(Histogram::exponential(1_000, 10, 7)),
+            windows: Mutex::new(RingBuffer::new(STATUS_WINDOW_CAPACITY)),
+            next_window: AtomicU64::new(first_window),
         };
         let manifest = fleet
             .cfg
@@ -219,6 +339,14 @@ impl Fleet {
         if let Some(dir) = &self.cfg.snapshot_dir {
             c.snapshot_path = Some(dir.join(format!("cluster-{cluster}.json")));
         }
+        // Tenant journals stay in-memory (event_log None): a per-tenant
+        // file sink would mean file I/O under the shard lock.  The
+        // fleet-scoped journal is the only one with a sink.
+        c.events = self.cfg.events;
+        c.event_mode = self.cfg.event_mode;
+        c.slow_wall_ms = self.cfg.slow_wall_ms;
+        c.slow_nodes_left = self.cfg.slow_nodes_left;
+        c.status_window = self.cfg.status_window;
         c
     }
 
@@ -358,9 +486,29 @@ impl Fleet {
         Ok(out)
     }
 
-    /// Dispatches one routed request at scheduler time `at`.  Returns
-    /// the response and whether the fleet should shut down.
+    /// Dispatches one routed request at scheduler time `at`, minting a
+    /// fresh correlation id at the fleet edge; the id is threaded into
+    /// every decision the request triggers inside the tenant daemon and
+    /// echoed back as `"corr"`.  Returns the response and whether the
+    /// fleet should shut down.
     pub fn handle_routed(&self, cluster: Option<&str>, req: Request, at: Time) -> (Value, bool) {
+        let corr = self.corr.mint();
+        let (mut v, stop) = self.dispatch_routed(cluster, req, at, corr);
+        if let Value::Object(map) = &mut v {
+            map.insert("corr".into(), Value::from(corr));
+        }
+        (v, stop)
+    }
+
+    /// The op dispatch proper, running under a caller-minted
+    /// correlation id.
+    fn dispatch_routed(
+        &self,
+        cluster: Option<&str>,
+        req: Request,
+        at: Time,
+        corr: u64,
+    ) -> (Value, bool) {
         let id = cluster.unwrap_or(self.cfg.default_cluster.as_str());
         match req {
             Request::Submit {
@@ -378,7 +526,9 @@ impl Fleet {
                     submit,
                 };
                 let out = self.with_tenant(id, true, |fleet, t| {
+                    t.daemon.set_correlation(corr);
                     let mut v = fleet.submit_one(t, at, &spec);
+                    t.daemon.set_correlation(0);
                     if let Value::Object(map) = &mut v {
                         map.insert("now".into(), Value::from(t.daemon.now()));
                     }
@@ -388,6 +538,7 @@ impl Fleet {
             }
             Request::SubmitBatch { jobs } => {
                 let out = self.with_tenant(id, true, |fleet, t| {
+                    t.daemon.set_correlation(corr);
                     let mut results = Vec::with_capacity(jobs.len());
                     let mut accepted = 0u64;
                     for spec in &jobs {
@@ -397,6 +548,7 @@ impl Fleet {
                         }
                         results.push(v);
                     }
+                    t.daemon.set_correlation(0);
                     json!({
                         "ok": true,
                         "now": t.daemon.now(),
@@ -408,15 +560,19 @@ impl Fleet {
             }
             Request::Cancel { id: job } => {
                 let out = self.with_tenant(id, false, |_, t| {
+                    t.daemon.set_correlation(corr);
                     t.daemon.poll_to(at);
                     let cancelled = t.daemon.cancel(sbs_workload::job::JobId(job));
+                    t.daemon.set_correlation(0);
                     json!({ "ok": true, "cancelled": cancelled })
                 });
                 (out.unwrap_or_else(|e| error_response(&e)), false)
             }
             Request::Queue => {
                 let out = self.with_tenant(id, false, |_, t| {
+                    t.daemon.set_correlation(corr);
                     t.daemon.poll_to(at);
+                    t.daemon.set_correlation(0);
                     t.daemon.queue_view()
                 });
                 (out.unwrap_or_else(|e| error_response(&e)), false)
@@ -425,14 +581,62 @@ impl Fleet {
                 self.poll_all(at);
                 (json!({ "ok": true, "text": self.metrics_text() }), false)
             }
-            Request::Drain => {
-                let (completed, leftover) = if cluster.is_some() {
-                    match self.with_tenant(id, false, |_, t| t.daemon.drain()) {
+            Request::Incidents => {
+                let include_wall = self.cfg.event_mode == TimeMode::Wall;
+                let (items, captured) = if let Some(c) = cluster {
+                    let out = self.with_tenant(c, false, |_, t| {
+                        let items: Vec<Value> = t
+                            .daemon
+                            .incidents()
+                            .iter()
+                            .map(|i| tag_cluster(i.to_value(include_wall), c))
+                            .collect();
+                        (items, t.daemon.incidents_total())
+                    });
+                    match out {
                         Ok(pair) => pair,
                         Err(e) => return (error_response(&e), false),
                     }
                 } else {
-                    self.drain_all()
+                    let mut items = Vec::new();
+                    let mut captured = 0u64;
+                    for shard in &self.shards {
+                        let s = lock_shard(shard);
+                        for (cid, t) in &s.tenants {
+                            captured += t.daemon.incidents_total();
+                            items.extend(
+                                t.daemon
+                                    .incidents()
+                                    .iter()
+                                    .map(|i| tag_cluster(i.to_value(include_wall), cid)),
+                            );
+                        }
+                    }
+                    (items, captured)
+                };
+                (
+                    json!({
+                        "ok": true,
+                        "captured": captured,
+                        "incidents": Value::Array(items),
+                    }),
+                    false,
+                )
+            }
+            Request::Drain => {
+                let (completed, leftover) = if cluster.is_some() {
+                    let out = self.with_tenant(id, false, |_, t| {
+                        t.daemon.set_correlation(corr);
+                        let pair = t.daemon.drain();
+                        t.daemon.set_correlation(0);
+                        pair
+                    });
+                    match out {
+                        Ok(pair) => pair,
+                        Err(e) => return (error_response(&e), false),
+                    }
+                } else {
+                    self.drain_all_with(corr)
                 };
                 (
                     json!({
@@ -477,17 +681,278 @@ impl Fleet {
 
     /// Drains every tenant; returns summed `(completed, leftover)`.
     pub fn drain_all(&self) -> (usize, usize) {
+        self.drain_all_with(0)
+    }
+
+    /// Drain-everything under a request correlation id.
+    fn drain_all_with(&self, corr: u64) -> (usize, usize) {
         let (mut completed, mut leftover) = (0usize, 0usize);
         for shard in &self.shards {
             let mut s = lock_shard(shard);
             for t in s.tenants.values_mut() {
+                t.daemon.set_correlation(corr);
                 let (c, l) = t.daemon.drain();
+                t.daemon.set_correlation(0);
                 completed += c;
                 leftover += l;
                 self.publish_tenant(t);
             }
         }
         (completed, leftover)
+    }
+
+    /// Folds one measured submit-request latency (nanoseconds) into the
+    /// fleet histogram.  The TCP edge calls this for submit-shaped
+    /// lines; the loadgen harness feeds its exact measurements so
+    /// `/statusz` percentiles agree with the bench report.
+    pub fn record_submit_latency(&self, ns: u64) {
+        lock_plain(&self.submit_wall).observe(ns);
+    }
+
+    /// A copy of the fleet submit-latency histogram.
+    pub fn submit_latency(&self) -> Histogram {
+        lock_plain(&self.submit_wall).clone()
+    }
+
+    /// The fleet journal's `(emitted, filtered)` counters.
+    pub fn journal_counts(&self) -> (u64, u64) {
+        let j = lock_plain(&self.journal);
+        (j.emitted(), j.filtered())
+    }
+
+    /// Journals one request outcome into the fleet journal.  Runs at
+    /// the protocol edge with **no shard lock held**.
+    fn journal_request(
+        &self,
+        cluster: Option<&str>,
+        kind: &str,
+        severity: Severity,
+        response: &Value,
+        at: Time,
+    ) {
+        let clusters = self.cluster_count();
+        let mut j = lock_plain(&self.journal);
+        if !j.enabled() {
+            return;
+        }
+        let ok = response.get("ok") != Some(&Value::Bool(false));
+        let corr = response.get("corr").and_then(Value::as_u64).unwrap_or(0);
+        let severity = if ok { severity } else { Severity::Error };
+        let mut event = Event::new(severity, cluster.unwrap_or("fleet"), kind)
+            .at(at)
+            .corr(corr)
+            .detail("clusters", clusters);
+        if let Some(id) = response.get("id").and_then(Value::as_u64) {
+            event = event.detail("id", id);
+        }
+        if let Some(accepted) = response.get("accepted").and_then(Value::as_u64) {
+            event = event.detail("accepted", accepted);
+        }
+        j.emit(event);
+    }
+
+    /// Fleet-wide cumulative counters computed from one shard sweep.
+    fn sample_from(&self, at: Time, stats: &BTreeMap<String, ClusterStat>) -> FleetSample {
+        FleetSample {
+            at,
+            submitted: stats.values().map(|s| s.submitted).sum(),
+            rejected: self.rejected_total.load(Ordering::Relaxed),
+            decisions: stats.values().map(|s| s.decisions).sum(),
+            queue_depth: stats.values().map(|s| s.queue_depth).sum(),
+            search_nodes: stats.values().map(|s| s.search_nodes).sum(),
+            deadline_truncations: stats.values().map(|s| s.deadline_truncations).sum(),
+        }
+    }
+
+    /// Pushes a self-scrape sample when scheduler time has crossed the
+    /// status-window boundary.  Only the server thread advances the
+    /// clock, so the load/store pair on `next_window` does not race.
+    fn maybe_sample(&self, at: Time) {
+        let window = self.cfg.status_window.max(1);
+        if at < self.next_window.load(Ordering::Acquire) {
+            return;
+        }
+        let sample = self.sample_from(at, &self.collect_stats());
+        lock_plain(&self.windows).push(sample);
+        let next = (at / window).saturating_add(1).saturating_mul(window);
+        self.next_window.store(next, Ordering::Release);
+    }
+
+    /// Every tenant's captured incidents (tagged with their cluster id)
+    /// plus the fleet-lifetime capture count.
+    fn all_incidents(&self, include_wall: bool) -> (Vec<Value>, u64) {
+        let mut items = Vec::new();
+        let mut captured = 0u64;
+        for shard in &self.shards {
+            let s = lock_shard(shard);
+            for (cid, t) in &s.tenants {
+                captured += t.daemon.incidents_total();
+                items.extend(
+                    t.daemon
+                        .incidents()
+                        .iter()
+                        .map(|i| tag_cluster(i.to_value(include_wall), cid)),
+                );
+            }
+        }
+        (items, captured)
+    }
+
+    /// Liveness/readiness JSON for `GET /healthz`.  Readiness means
+    /// every shard lock is healthy: [`lock_shard`] recovers from
+    /// poisoning, so a poisoned shard still serves, but it signals a
+    /// panic mid-update and flips readiness (HTTP 503) so an operator
+    /// or balancer can rotate the instance out.
+    pub fn healthz_value(&self) -> Value {
+        let shards = self.shards.len() as u64;
+        let poisoned = self.shards.iter().filter(|s| s.is_poisoned()).count() as u64;
+        let ready = poisoned == 0;
+        json!({
+            "ok": ready,
+            "ready": ready,
+            "shards": shards,
+            "shards_poisoned": poisoned,
+            "clusters": self.cluster_count(),
+            "now": Fleet::now(self),
+            "pending_node_seconds": self.total_pending.load(Ordering::Acquire),
+        })
+    }
+
+    /// Operational JSON for `GET /statusz`: fleet totals, windowed
+    /// rates, per-cluster rows under the metrics cardinality cap, and
+    /// (with `include_incidents`) every tenant's captured incidents.
+    pub fn statusz_value(&self, include_incidents: bool) -> Value {
+        let include_wall = self.cfg.event_mode == TimeMode::Wall;
+        let stats = self.collect_stats();
+        let live = self.sample_from(Fleet::now(self), &stats);
+        let (oldest, windows) = {
+            let w = lock_plain(&self.windows);
+            let oldest = w.iter().next().copied().unwrap_or_default();
+            let windows: Vec<Value> = w.iter().map(|s| s.to_value()).collect();
+            (oldest, windows)
+        };
+        let span = live.at.saturating_sub(oldest.at);
+        let d_decisions = live.decisions.saturating_sub(oldest.decisions);
+        let d_trunc = live
+            .deadline_truncations
+            .saturating_sub(oldest.deadline_truncations);
+        let d_nodes = live.search_nodes.saturating_sub(oldest.search_nodes);
+        let d_submitted = live.submitted.saturating_sub(oldest.submitted);
+        let deadline_hit_rate = if d_decisions > 0 {
+            d_trunc as f64 / d_decisions as f64
+        } else {
+            0.0
+        };
+        let nodes_per_sec = if span > 0 {
+            d_nodes as f64 / span as f64
+        } else {
+            0.0
+        };
+        let submitted_per_sec = if span > 0 {
+            d_submitted as f64 / span as f64
+        } else {
+            0.0
+        };
+        let mut decision_hist: Option<Histogram> = None;
+        for st in stats.values() {
+            if let Some(h) = &st.decision_nanos {
+                match decision_hist.as_mut() {
+                    Some(m) => {
+                        if !m.merge_from(h) {
+                            continue;
+                        }
+                    }
+                    None => decision_hist = Some(h.clone()),
+                }
+            }
+        }
+        let decision_wall = match &decision_hist {
+            Some(h) => json!({
+                "p50": h.quantile(0.50).unwrap_or(0),
+                "p99": h.quantile(0.99).unwrap_or(0),
+                "count": h.count(),
+            }),
+            None => json!({ "p50": 0, "p99": 0, "count": 0 }),
+        };
+        let submit = self.submit_latency();
+        let submit_latency = json!({
+            "p50": submit.quantile(0.50).unwrap_or(0),
+            "p99": submit.quantile(0.99).unwrap_or(0),
+            "p999": submit.quantile(0.999).unwrap_or(0),
+            "count": submit.count(),
+        });
+        let (emitted, filtered) = self.journal_counts();
+        let events = json!({ "emitted": emitted, "filtered": filtered });
+        let running: u64 = stats.values().map(|s| s.running).sum();
+        let incidents_captured: u64 = stats.values().map(|s| s.incidents).sum();
+        // Per-cluster rows under the same lexicographic cardinality cap
+        // as `/metrics`, with the overflow folded into `_other`.
+        let cap = self.cfg.cluster_label_cap.max(1);
+        let mut rows = Vec::new();
+        let (mut o_depth, mut o_running, mut o_submitted) = (0u64, 0u64, 0u64);
+        let (mut o_rejected, mut o_decisions, mut o_incidents) = (0u64, 0u64, 0u64);
+        let mut overflowed = false;
+        for (i, (id, st)) in stats.iter().enumerate() {
+            if i < cap {
+                rows.push(json!({
+                    "cluster": id.as_str(),
+                    "queue_depth": st.queue_depth,
+                    "running": st.running,
+                    "submitted": st.submitted,
+                    "rejected": st.rejected,
+                    "decisions": st.decisions,
+                    "incidents": st.incidents,
+                }));
+            } else {
+                overflowed = true;
+                o_depth += st.queue_depth;
+                o_running += st.running;
+                o_submitted += st.submitted;
+                o_rejected += st.rejected;
+                o_decisions += st.decisions;
+                o_incidents += st.incidents;
+            }
+        }
+        if overflowed {
+            rows.push(json!({
+                "cluster": "_other",
+                "queue_depth": o_depth,
+                "running": o_running,
+                "submitted": o_submitted,
+                "rejected": o_rejected,
+                "decisions": o_decisions,
+                "incidents": o_incidents,
+            }));
+        }
+        let mut v = json!({
+            "schema": "sbs-fleet-statusz/v1",
+            "now": live.at,
+            "shards": self.shards.len() as u64,
+            "clusters": stats.len() as u64,
+            "queue_depth": live.queue_depth,
+            "running": running,
+            "submitted": live.submitted,
+            "rejected": live.rejected,
+            "decisions": live.decisions,
+            "search_nodes": live.search_nodes,
+            "pending_node_seconds": self.total_pending.load(Ordering::Acquire),
+            "deadline_hit_rate": deadline_hit_rate,
+            "search_nodes_per_sec": nodes_per_sec,
+            "submitted_per_sec": submitted_per_sec,
+            "decision_wall_ns": decision_wall,
+            "submit_latency_ns": submit_latency,
+            "events": events,
+            "incidents_captured": incidents_captured,
+            "per_cluster": Value::Array(rows),
+            "windows": Value::Array(windows),
+        });
+        if include_incidents {
+            let (items, _) = self.all_incidents(include_wall);
+            if let Value::Object(m) = &mut v {
+                m.insert("incidents".into(), Value::Array(items));
+            }
+        }
+        v
     }
 
     /// All tenants' `sbs_decision_wall_nanos` histograms merged into
@@ -521,9 +986,9 @@ impl Fleet {
         merged
     }
 
-    /// The fleet `/metrics` exposition: fleet-wide families plus
-    /// per-cluster series under the cardinality cap.
-    pub fn metrics_text(&self) -> String {
+    /// One pass over every shard: per-cluster counters keyed by id
+    /// (shared by `/metrics` and `/statusz`).
+    fn collect_stats(&self) -> BTreeMap<String, ClusterStat> {
         let mut stats: BTreeMap<String, ClusterStat> = BTreeMap::new();
         for shard in &self.shards {
             let s = lock_shard(shard);
@@ -543,11 +1008,21 @@ impl Fleet {
                         queue_depth: m.queue_depth as u64,
                         running: m.running_jobs as u64,
                         decisions: m.decisions,
+                        search_nodes: m.search_nodes,
+                        deadline_truncations: t.daemon.deadline_truncations(),
+                        incidents: t.daemon.incidents_total(),
                         decision_nanos: hist,
                     },
                 );
             }
         }
+        stats
+    }
+
+    /// The fleet `/metrics` exposition: fleet-wide families plus
+    /// per-cluster series under the cardinality cap.
+    pub fn metrics_text(&self) -> String {
+        let stats = self.collect_stats();
         let mut e = Exposition::new();
         e.gauge(
             "sbs_fleet_shards",
@@ -606,6 +1081,9 @@ impl Fleet {
             queue_depth: 0,
             running: 0,
             decisions: 0,
+            search_nodes: 0,
+            deadline_truncations: 0,
+            incidents: 0,
             decision_nanos: None,
         };
         let mut overflowed = false;
@@ -665,6 +1143,58 @@ impl Fleet {
         write_manifest(&manifest, &ids)?;
         Ok(Some(manifest))
     }
+}
+
+/// Builds the fleet-scoped journal from the config (degrades to the
+/// in-memory ring with a note when the sink cannot be opened).
+fn build_journal(cfg: &FleetConfig) -> EventJournal {
+    if !cfg.events {
+        return EventJournal::disabled(cfg.event_mode);
+    }
+    let mut journal = EventJournal::new(cfg.event_mode);
+    if let Some(path) = &cfg.event_log {
+        if let Err(e) = journal.open_rotating(path.clone(), cfg.event_log_max_bytes) {
+            eprintln!("event log {} unavailable: {e}", path.display());
+        }
+    }
+    journal
+}
+
+/// Locks an observability mutex (journal, latency histogram, sample
+/// ring), recovering from poisoning.  These are leaf locks: never taken
+/// with a shard lock held.
+fn lock_plain<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Tags an incident (or any JSON object) with the cluster it came from.
+fn tag_cluster(mut v: Value, cluster: &str) -> Value {
+    if let Value::Object(m) = &mut v {
+        m.insert("cluster".into(), Value::from(cluster));
+    }
+    v
+}
+
+/// Journal event kind and base severity for one request type.
+fn op_event(req: &Request) -> (&'static str, Severity) {
+    match req {
+        Request::Submit { .. } => ("submit", Severity::Debug),
+        Request::SubmitBatch { .. } => ("submit_batch", Severity::Debug),
+        Request::Cancel { .. } => ("cancel", Severity::Debug),
+        Request::Queue => ("queue", Severity::Debug),
+        Request::Metrics => ("metrics", Severity::Debug),
+        Request::Incidents => ("incidents", Severity::Debug),
+        Request::Drain => ("drain", Severity::Info),
+        Request::Snapshot => ("snapshot", Severity::Info),
+        Request::Shutdown => ("shutdown", Severity::Info),
+    }
+}
+
+/// Renders a status document; the fallback cannot fire for the values
+/// built here (no non-finite floats) but keeps the endpoint total.
+fn render_json(v: &Value) -> String {
+    serde_json::to_string(v)
+        .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":{:?}}}", e.to_string()))
 }
 
 /// Appends one cluster's labeled series to the exposition.
@@ -753,11 +1283,19 @@ fn write_manifest(path: &Path, ids: &[String]) -> Result<(), String> {
 impl ServerHandler for Fleet {
     fn poll_to(&mut self, at: Time) {
         Fleet::poll_all(self, at);
+        self.maybe_sample(at);
     }
 
     fn handle_line(&mut self, line: &str, at: Time) -> (Value, bool) {
         match parse_routed(line) {
-            Ok((cluster, req)) => self.handle_routed(cluster.as_deref(), req, at),
+            Ok((cluster, req)) => {
+                let (kind, severity) = op_event(&req);
+                let out = self.handle_routed(cluster.as_deref(), req, at);
+                // Journal after dispatch: every shard lock is released
+                // by now, so the journal stays a leaf lock.
+                self.journal_request(cluster.as_deref(), kind, severity, &out.0, at);
+                out
+            }
             Err(e) => (error_response(&e), false),
         }
     }
@@ -771,9 +1309,35 @@ impl ServerHandler for Fleet {
         Fleet::metrics_text(self)
     }
 
+    fn http_get(&mut self, path: &str, at: Time) -> HttpReply {
+        Fleet::poll_all(self, at);
+        self.maybe_sample(at);
+        let (route, query) = path.split_once('?').unwrap_or((path, ""));
+        match route {
+            "/healthz" => {
+                let v = self.healthz_value();
+                let ok = v.get("ok") == Some(&Value::Bool(true));
+                HttpReply::json(ok, render_json(&v))
+            }
+            "/statusz" => {
+                let with_incidents = query.split('&').any(|kv| kv == "incidents=1");
+                HttpReply::json(true, render_json(&self.statusz_value(with_incidents)))
+            }
+            _ => HttpReply::metrics(Fleet::metrics_text(self)),
+        }
+    }
+
+    fn observe_request_ns(&mut self, line: &str, ns: u64) {
+        // Same submit-shaped pre-parse heuristic as the single daemon.
+        if line.contains("\"submit") {
+            self.record_submit_latency(ns);
+        }
+    }
+
     fn on_shutdown(&mut self) {
         // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
         let _ = self.save_snapshots();
+        lock_plain(&self.journal).flush();
     }
 }
 
@@ -980,6 +1544,193 @@ mod tests {
         assert!(text.contains("sbs_fleet_clusters 4"));
         assert!(text.contains("sbs_fleet_submitted_total 4"));
         assert!(text.contains("sbs_fleet_fairness_jain 1.000000"));
+    }
+
+    #[test]
+    fn routed_responses_carry_dense_correlation_ids() {
+        let f = fleet();
+        let (v, _) = f.handle_routed(Some("alpha"), submit(4, 0), 0);
+        assert_eq!(v["corr"].as_u64(), Some(1));
+        let (v, _) = f.handle_routed(Some("beta"), Request::Queue, 0);
+        assert_eq!(v["corr"].as_u64(), Some(2), "errors are correlated too");
+        assert_eq!(v["ok"], false);
+        let (v, _) = f.handle_routed(None, Request::Metrics, 0);
+        assert_eq!(v["corr"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn incidents_aggregate_across_tenants_with_cluster_tags() {
+        let f = Fleet::new(
+            FleetConfig::new(8, PolicySpec::FcfsBackfill).with_slow_thresholds(Some(0), None),
+        )
+        .expect("fleet");
+        assert_eq!(
+            f.handle_routed(Some("alpha"), submit(4, 0), 0).0["ok"],
+            true
+        );
+        assert_eq!(f.handle_routed(Some("beta"), submit(2, 0), 0).0["ok"], true);
+        // Fleet-wide: both tenants' captures, tagged.
+        let (v, _) = f.handle_routed(None, Request::Incidents, 0);
+        assert_eq!(v["ok"], true);
+        assert!(v["captured"].as_u64().unwrap_or(0) >= 2, "{v}");
+        let items = v["incidents"].as_array().expect("incident array");
+        let mut clusters: Vec<_> = items.iter().filter_map(|i| i["cluster"].as_str()).collect();
+        clusters.sort_unstable();
+        clusters.dedup();
+        assert_eq!(clusters, ["alpha", "beta"], "{v}");
+        // Per-cluster: only that tenant's captures, decisions carry the
+        // request's correlation id.
+        let (v, _) = f.handle_routed(Some("alpha"), Request::Incidents, 0);
+        let items = v["incidents"].as_array().expect("incident array");
+        assert!(!items.is_empty());
+        assert!(items.iter().all(|i| i["cluster"] == "alpha"), "{v}");
+        assert!(
+            items
+                .iter()
+                .all(|i| i["decision"]["corr"].as_u64().is_some_and(|c| c > 0)),
+            "decisions carry the minting request's corr: {v}"
+        );
+        // Unknown clusters stay typed errors.
+        let (v, _) = f.handle_routed(Some("ghost"), Request::Incidents, 0);
+        assert_eq!(v["ok"], false);
+    }
+
+    #[test]
+    fn healthz_reports_shard_availability() {
+        let f = fleet();
+        assert_eq!(
+            f.handle_routed(Some("alpha"), submit(4, 7), 7).0["ok"],
+            true
+        );
+        let v = f.healthz_value();
+        assert_eq!(v["ok"], true);
+        assert_eq!(v["ready"], true);
+        assert_eq!(v["shards"].as_u64(), Some(16));
+        assert_eq!(v["shards_poisoned"].as_u64(), Some(0));
+        assert_eq!(v["clusters"].as_u64(), Some(1));
+        assert_eq!(v["now"].as_u64(), Some(7));
+    }
+
+    #[test]
+    fn statusz_aggregates_rows_rates_and_latency() {
+        let mut f = Fleet::new(
+            FleetConfig::new(8, PolicySpec::FcfsBackfill).with_event_mode(TimeMode::Virtual),
+        )
+        .expect("fleet");
+        for (id, at) in [("alpha", 0), ("beta", 0), ("alpha", 10)] {
+            assert_eq!(f.handle_routed(Some(id), submit(2, at), at).0["ok"], true);
+        }
+        f.record_submit_latency(5_000);
+        f.record_submit_latency(90_000);
+        // Cross a window boundary so a sample lands in the ring.
+        ServerHandler::poll_to(&mut f, 61);
+        let v = f.statusz_value(false);
+        assert_eq!(v["schema"], "sbs-fleet-statusz/v1");
+        assert_eq!(v["clusters"].as_u64(), Some(2));
+        assert_eq!(v["submitted"].as_u64(), Some(3));
+        assert_eq!(v["running"].as_u64(), Some(3));
+        let rows = v["per_cluster"].as_array().expect("per-cluster rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0]["cluster"], "alpha");
+        assert_eq!(rows[0]["submitted"].as_u64(), Some(2));
+        assert_eq!(rows[1]["cluster"], "beta");
+        let lat = &v["submit_latency_ns"];
+        assert_eq!(lat["count"].as_u64(), Some(2));
+        assert!(lat["p99"].as_u64().unwrap_or(0) >= 90_000, "{lat}");
+        assert_eq!(v["windows"].as_array().map(Vec::len), Some(1));
+        assert!(v.get("incidents").is_none(), "incidents only on request");
+        let v = f.statusz_value(true);
+        assert!(v.get("incidents").is_some());
+    }
+
+    #[test]
+    fn http_get_routes_health_status_and_metrics() {
+        let mut f = fleet();
+        assert_eq!(
+            f.handle_routed(Some("alpha"), submit(4, 0), 0).0["ok"],
+            true
+        );
+        let reply = f.http_get("/healthz", 1);
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.content_type, "application/json");
+        assert!(reply.body.contains("\"ready\":true"), "{}", reply.body);
+        let reply = f.http_get("/statusz?incidents=1", 1);
+        assert_eq!(reply.status, 200);
+        assert!(
+            reply.body.contains("\"schema\":\"sbs-fleet-statusz/v1\""),
+            "{}",
+            reply.body
+        );
+        assert!(reply.body.contains("\"incidents\""), "{}", reply.body);
+        let reply = f.http_get("/metrics", 1);
+        assert!(
+            reply.body.contains("sbs_fleet_clusters 1"),
+            "{}",
+            reply.body
+        );
+    }
+
+    #[test]
+    fn fleet_journal_records_requests_by_severity() {
+        let mut f = Fleet::new(
+            FleetConfig::new(8, PolicySpec::FcfsBackfill).with_event_mode(TimeMode::Virtual),
+        )
+        .expect("fleet");
+        let line = r#"{"op":"submit","cluster":"alpha","nodes":2,"runtime":3600,"submit":0}"#;
+        let (v, _) = f.handle_line(line, 0);
+        assert_eq!(v["ok"], true);
+        // Submits journal at Debug, below the default Info floor.
+        let (emitted, filtered) = f.journal_counts();
+        assert_eq!((emitted, filtered), (0, 1));
+        let (v, _) = f.handle_line(r#"{"op":"drain"}"#, 0);
+        assert_eq!(v["ok"], true);
+        let (emitted, _) = f.journal_counts();
+        assert_eq!(emitted, 1, "drain journals at Info");
+        // Failed requests escalate to Error regardless of kind.
+        let (v, _) = f.handle_line(r#"{"op":"queue","cluster":"ghost"}"#, 0);
+        assert_eq!(v["ok"], false);
+        let (emitted, _) = f.journal_counts();
+        assert_eq!(emitted, 2);
+    }
+
+    #[test]
+    fn thousand_tenant_overflow_round_trips_through_the_parser() {
+        let f = Fleet::new(FleetConfig::new(8, PolicySpec::FcfsBackfill)).expect("fleet");
+        let total = 1_100usize;
+        for i in 0..total {
+            let id = format!("tenant-{i:04}");
+            assert_eq!(f.handle_routed(Some(&id), submit(1, 0), 0).0["ok"], true);
+        }
+        let text = f.metrics_text();
+        let families = sbs_obs::expo::validate(&text).expect("1K-tenant exposition validates");
+        let submitted = families
+            .iter()
+            .find(|fam| fam.name == "sbs_cluster_submitted_total")
+            .expect("per-cluster family present");
+        // Exactly the cap's worth of labeled series plus `_other`.
+        assert_eq!(submitted.samples.len(), 32 + 1);
+        let mut labeled = 0u64;
+        let mut other = 0u64;
+        for s in &submitted.samples {
+            let cluster = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "cluster")
+                .map(|(_, v)| v.as_str())
+                .expect("cluster label");
+            if cluster == "_other" {
+                other += s.value as u64;
+            } else {
+                assert!(
+                    cluster.starts_with("tenant-"),
+                    "label round-trips through the parser: {cluster:?}"
+                );
+                labeled += s.value as u64;
+            }
+        }
+        assert_eq!(labeled, 32);
+        assert_eq!(other, (total - 32) as u64);
+        assert!(text.contains(&format!("sbs_fleet_clusters {total}")));
     }
 
     #[test]

@@ -57,6 +57,20 @@ impl TraceReport {
     /// The first line must be an `sbs-trace/v1` meta header; malformed
     /// decision lines are an error (the format is ours end to end).
     pub fn from_lines(text: &str) -> Result<Self, String> {
+        Self::from_lines_filtered(text, None, None)
+    }
+
+    /// Like [`TraceReport::from_lines`], but restricted to a window of
+    /// the log: `since` keeps only decisions with `seq >= since`, and
+    /// `last` keeps only the final `last` of those.  This is how
+    /// `sbs trace --last/--since` keeps a long-running daemon's
+    /// append-mode log explorable — with `--last` alone, the skipped
+    /// prefix is never even parsed.
+    pub fn from_lines_filtered(
+        text: &str,
+        since: Option<u64>,
+        last: Option<usize>,
+    ) -> Result<Self, String> {
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let head = lines.next().ok_or("empty trace log")?;
         let head_value: Value =
@@ -66,10 +80,30 @@ impl TraceReport {
             meta,
             ..Default::default()
         };
-        for (i, line) in lines.enumerate() {
+        let mut body: Vec<(usize, &str)> = lines.enumerate().collect();
+        if let Some(last) = last {
+            // Seq filtering needs each line parsed, so the cheap
+            // count-based slice only applies when `since` is absent.
+            if since.is_none() && body.len() > last {
+                body = body.split_off(body.len() - last);
+            }
+        }
+        let mut kept: Vec<DecisionTrace> = Vec::new();
+        for (i, line) in body {
             let v: Value =
                 serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 2))?;
-            report.fold(&DecisionTrace::from_value(&v));
+            let d = DecisionTrace::from_value(&v);
+            if since.is_none_or(|s| d.seq >= s) {
+                kept.push(d);
+            }
+        }
+        if let Some(last) = last {
+            if kept.len() > last {
+                kept.drain(..kept.len() - last);
+            }
+        }
+        for d in &kept {
+            report.fold(d);
         }
         Ok(report)
     }
@@ -292,6 +326,7 @@ mod tests {
                     spans: vec![("decide;search".into(), 900)],
                 }),
                 wall_ns: 0,
+                corr: 0,
             };
             r.record_decision(&d);
             lines.push(serde_json::to_string(&d.to_value(false)).expect("line"));
@@ -319,6 +354,23 @@ mod tests {
         assert_eq!(report.collapsed(), "decide;search 2700\n");
         let json = report.to_json();
         assert_eq!(json["decisions"].as_u64(), Some(3));
+    }
+
+    #[test]
+    fn last_and_since_restrict_the_window() {
+        let text = log_text();
+        let last = TraceReport::from_lines_filtered(&text, None, Some(2)).expect("last");
+        assert_eq!(last.decisions, 2);
+        assert_eq!(last.nodes, 1800);
+        assert_eq!(last.deadline_hits, 1, "seq 3 is inside the window");
+        let since = TraceReport::from_lines_filtered(&text, Some(3), None).expect("since");
+        assert_eq!(since.decisions, 1);
+        assert_eq!(since.deadline_nodes_left, 100);
+        let both = TraceReport::from_lines_filtered(&text, Some(2), Some(1)).expect("both");
+        assert_eq!(both.decisions, 1);
+        assert_eq!(both.deadline_hits, 1, "last applies after since");
+        let all = TraceReport::from_lines_filtered(&text, None, Some(100)).expect("wide");
+        assert_eq!(all.decisions, 3, "a window wider than the log is a no-op");
     }
 
     #[test]

@@ -329,34 +329,15 @@ fn belongs_to(sample: &str, family: &str) -> bool {
 }
 
 fn parse_sample(line: &str) -> Result<ParsedSample, String> {
-    let (name_part, value_part) = match line.find('{') {
+    let (name, labels, value_part) = match line.find('{') {
         Some(open) => {
-            let close = line[open..]
-                .find('}')
-                .map(|i| open + i)
-                .ok_or("unclosed label set")?;
-            (line[..close + 1].to_string(), line[close + 1..].trim())
+            let (labels, rest) = parse_label_block(&line[open + 1..])?;
+            (line[..open].to_string(), labels, rest.trim())
         }
         None => {
             let (n, v) = line.split_once(' ').ok_or("missing value")?;
-            (n.to_string(), v.trim())
+            (n.to_string(), Vec::new(), v.trim())
         }
-    };
-    let (name, labels) = match name_part.split_once('{') {
-        Some((n, rest)) => {
-            let body = rest.strip_suffix('}').ok_or("unclosed label set")?;
-            let mut labels = Vec::new();
-            for pair in body.split(',').filter(|p| !p.is_empty()) {
-                let (k, v) = pair.split_once('=').ok_or("malformed label")?;
-                let v = v
-                    .strip_prefix('"')
-                    .and_then(|v| v.strip_suffix('"'))
-                    .ok_or("unquoted label value")?;
-                labels.push((k.to_string(), v.to_string()));
-            }
-            (n.to_string(), labels)
-        }
-        None => (name_part, Vec::new()),
     };
     let value: f64 = match value_part {
         "+Inf" => f64::INFINITY,
@@ -367,6 +348,74 @@ fn parse_sample(line: &str) -> Result<ParsedSample, String> {
         labels,
         value,
     })
+}
+
+/// Scans a `k="v",...}` label block (the leading `{` already consumed),
+/// honoring backslash escapes inside quoted values — a `}`, `,`, or
+/// escaped quote *inside* a value must not terminate the block.
+/// Returns the labels with their values unescaped, plus the text after
+/// the closing `}`, so escaped expositions round-trip through the
+/// parser.
+type LabelBlock<'a> = (Vec<(String, String)>, &'a str);
+
+fn parse_label_block(s: &str) -> Result<LabelBlock<'_>, String> {
+    let mut labels = Vec::new();
+    let mut it = s.char_indices().peekable();
+    loop {
+        match it.peek() {
+            Some(&(i, '}')) => return Ok((labels, &s[i + 1..])),
+            None => return Err("unclosed label set".into()),
+            _ => {}
+        }
+        let mut key = String::new();
+        let mut saw_eq = false;
+        while let Some(&(_, c)) = it.peek() {
+            if c == '=' {
+                it.next();
+                saw_eq = true;
+                break;
+            }
+            if c == '}' || c == ',' {
+                break;
+            }
+            key.push(c);
+            it.next();
+        }
+        if !saw_eq {
+            return Err("malformed label".into());
+        }
+        if !matches!(it.next(), Some((_, '"'))) {
+            return Err("unquoted label value".into());
+        }
+        let mut value = String::new();
+        loop {
+            let Some((_, c)) = it.next() else {
+                return Err("unterminated label value".into());
+            };
+            match c {
+                '"' => break,
+                '\\' => match it.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, other)) => {
+                        value.push('\\');
+                        value.push(other);
+                    }
+                    None => return Err("unterminated escape in label value".into()),
+                },
+                other => value.push(other),
+            }
+        }
+        labels.push((key, value));
+        match it.peek() {
+            Some(&(_, ',')) => {
+                it.next();
+            }
+            Some(&(_, '}')) => {}
+            _ => return Err("malformed label".into()),
+        }
+    }
 }
 
 /// Parses and cross-checks exposition text.
@@ -625,5 +674,33 @@ mod tests {
         let mut e = Exposition::new();
         e.gauge_with("g", "x", vec![("cluster".into(), "a\"b\\c".into())], 1);
         assert!(e.render().contains("g{cluster=\"a\\\"b\\\\c\"} 1\n"));
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip_through_the_parser() {
+        // Every character the renderer escapes, plus the structural
+        // characters (`}`, `,`, `=`) that a naive scanner trips over.
+        let hostile = "a\"b\\c\nd}e,f=g";
+        let mut e = Exposition::new();
+        e.gauge_with("g", "x", vec![("cluster".into(), hostile.into())], 1);
+        let mut h = Histogram::new(&[1, 10]);
+        h.observe(5);
+        e.histogram_with("lat", "y", vec![("cluster".into(), hostile.into())], &h);
+        let text = e.render();
+        let families = validate(&text).expect("escaped exposition validates");
+        assert_eq!(families[0].samples[0].labels[0].1, hostile);
+        // The histogram's `le` label survives next to the escaped value.
+        let bucket = &families[1].samples[0];
+        assert_eq!(bucket.labels[0].1, hostile);
+        assert_eq!(bucket.labels[1].0, "le");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_label_blocks() {
+        assert!(parse_sample("g{cluster=\"open 1").is_err());
+        assert!(parse_sample("g{cluster=\"a\\").is_err());
+        assert!(parse_sample("g{cluster=unquoted} 1").is_err());
+        assert!(parse_sample("g{cluster} 1").is_err());
+        assert!(parse_sample("g{cluster=\"a\"b=\"c\"} 1").is_err());
     }
 }

@@ -23,10 +23,13 @@
 //! - [`expo`]: Prometheus text exposition (render, parse, validate).
 //! - [`explore`]: offline aggregation of a JSONL log into tables and a
 //!   collapsed-stack file (`sbs trace`).
+//! - [`EventJournal`]: the severity-leveled `sbs-events/v1` operational
+//!   journal — bounded ring plus rotating JSONL sink.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod events;
 pub mod explore;
 pub mod expo;
 mod hist;
@@ -35,6 +38,7 @@ mod ring;
 mod sink;
 mod span;
 
+pub use events::{Event, EventJournal, Severity, EVENT_SCHEMA};
 pub use explore::TraceReport;
 pub use hist::Histogram;
 pub use record::{BackfillTrace, DecisionTrace, PolicyTrace, SearchTrace, TraceMeta, TRACE_SCHEMA};

@@ -95,6 +95,10 @@ pub struct SearchTrace {
     /// Leaves per iteration bucket (bucket = discrepancy count for LDS,
     /// mandated discrepancy depth for DDS); trailing zeros trimmed.
     pub leaf_iters: Vec<u64>,
+    /// Request correlation id this search ran under (`0` = none, e.g.
+    /// offline simulation).  Serialized only when nonzero so existing
+    /// golden trace bytes never shift.
+    pub trace_id: u64,
 }
 
 impl SearchTrace {
@@ -122,6 +126,9 @@ impl SearchTrace {
         m.insert("fallback".into(), self.fallback.into());
         m.insert("local_nodes".into(), self.local_nodes.into());
         m.insert("leaf_iters".into(), self.leaf_iters.as_slice().into());
+        if self.trace_id != 0 {
+            m.insert("trace_id".into(), self.trace_id.into());
+        }
         Value::Object(m)
     }
 
@@ -149,6 +156,7 @@ impl SearchTrace {
                 .as_array()
                 .map(|a| a.iter().map(|x| x.as_u64().unwrap_or(0)).collect())
                 .unwrap_or_default(),
+            trace_id: v["trace_id"].as_u64().unwrap_or(0),
         }
     }
 }
@@ -220,6 +228,10 @@ pub struct DecisionTrace {
     /// Wall-clock nanoseconds spent in `decide()`.  Serialized only in
     /// wall mode — virtual-mode logs omit it for determinism.
     pub wall_ns: u64,
+    /// Correlation id of the request that triggered this decision (`0`
+    /// = none, e.g. offline simulation).  Serialized only when nonzero
+    /// so existing golden trace bytes never shift.
+    pub corr: u64,
 }
 
 impl DecisionTrace {
@@ -254,6 +266,9 @@ impl DecisionTrace {
         }
         if include_wall {
             m.insert("wall_ns".into(), self.wall_ns.into());
+        }
+        if self.corr != 0 {
+            m.insert("corr".into(), self.corr.into());
         }
         Value::Object(m)
     }
@@ -300,6 +315,7 @@ impl DecisionTrace {
                 .unwrap_or_default(),
             policy,
             wall_ns: v["wall_ns"].as_u64().unwrap_or(0),
+            corr: v["corr"].as_u64().unwrap_or(0),
         }
     }
 }
@@ -346,6 +362,7 @@ mod tests {
                     fallback: false,
                     local_nodes: 12,
                     leaf_iters: vec![1, 8, 22],
+                    trace_id: 41,
                 }),
                 backfill: Some(BackfillTrace {
                     examined: 4,
@@ -356,6 +373,7 @@ mod tests {
                 spans: vec![("decide;search".into(), 940)],
             }),
             wall_ns: 123_456,
+            corr: 41,
         }
     }
 

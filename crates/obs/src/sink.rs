@@ -240,6 +240,7 @@ mod tests {
                 spans: vec![("decide;search".into(), 500)],
             }),
             wall_ns: 999,
+            corr: 0,
         }
     }
 

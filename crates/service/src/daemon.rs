@@ -20,16 +20,28 @@
 //! [`sbs_sim::simulate`] (see the crate's e2e tests).
 
 use crate::metrics::MetricsView;
-use crate::protocol::{error_response, Request};
+use crate::protocol::{error_response, CorrelationSource, Request};
 use crate::snapshot::{CompletedStats, RunningEntry, Snapshot, WaitingEntry};
 use sbs_core::{PolicySpec, SearchPolicy};
-use sbs_obs::{TimeMode, TraceMeta, TraceRecorder};
+use sbs_obs::{
+    DecisionTrace, Event, EventJournal, Histogram, RingBuffer, Severity, TimeMode, TraceMeta,
+    TraceRecorder,
+};
 use sbs_sim::{Policy, SchedulerCore};
 use sbs_workload::job::{Job, JobId, RuntimeKnowledge};
 use sbs_workload::time::Time;
 use serde_json::{json, Value};
 use std::path::PathBuf;
 use std::time::Duration;
+
+/// Captured slow-decision incidents kept in memory (oldest evicted).
+pub const INCIDENT_RING_CAPACITY: usize = 64;
+
+/// Self-scrape status samples kept in memory (oldest evicted).
+pub const STATUS_WINDOW_CAPACITY: usize = 32;
+
+/// Rotation threshold for the event journal when none is configured.
+pub const DEFAULT_EVENT_LOG_MAX_BYTES: u64 = 4 << 20;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -56,6 +68,24 @@ pub struct ServiceConfig {
     /// Serve the pre-typing all-gauge `/metrics` text instead of the
     /// typed counter/histogram exposition.
     pub compat_metrics: bool,
+    /// Emit operational events into the `sbs-events/v1` journal.
+    pub events: bool,
+    /// Rotating journal sink; `None` keeps events in the in-memory ring.
+    pub event_log: Option<PathBuf>,
+    /// Rotation threshold for the event log, in bytes.
+    pub event_log_max_bytes: u64,
+    /// Journal time mode: `Virtual` omits wall durations so two
+    /// identical virtual-clock runs journal byte-identical files.
+    pub event_mode: TimeMode,
+    /// A decision whose wall time reaches this many milliseconds is
+    /// captured as a slow-decision incident (`Some(0)` captures every
+    /// decision — useful in smoke tests).
+    pub slow_wall_ms: Option<u64>,
+    /// A decision whose `nodes_left_at_deadline` reaches this is
+    /// captured as a slow-decision incident.
+    pub slow_nodes_left: Option<u64>,
+    /// Self-scrape sampling window length in scheduler seconds.
+    pub status_window: Time,
 }
 
 impl ServiceConfig {
@@ -71,6 +101,13 @@ impl ServiceConfig {
             snapshot_every: 0,
             trace_log: None,
             compat_metrics: false,
+            events: true,
+            event_log: None,
+            event_log_max_bytes: DEFAULT_EVENT_LOG_MAX_BYTES,
+            event_mode: TimeMode::Wall,
+            slow_wall_ms: None,
+            slow_nodes_left: None,
+            status_window: 60,
         }
     }
 
@@ -97,6 +134,77 @@ impl ServiceConfig {
     pub fn with_compat_metrics(mut self, on: bool) -> Self {
         self.compat_metrics = on;
         self
+    }
+
+    /// Turns the event journal on or off.
+    pub fn with_events(mut self, on: bool) -> Self {
+        self.events = on;
+        self
+    }
+
+    /// Writes `sbs-events/v1` JSONL to `path`, rotating at `max_bytes`.
+    pub fn with_event_log(mut self, path: PathBuf, max_bytes: u64) -> Self {
+        self.event_log = Some(path);
+        self.event_log_max_bytes = max_bytes;
+        self
+    }
+
+    /// Sets the journal time mode (virtual-clock daemons pass
+    /// [`TimeMode::Virtual`] to keep journal bytes deterministic).
+    pub fn with_event_mode(mut self, mode: TimeMode) -> Self {
+        self.event_mode = mode;
+        self
+    }
+
+    /// Sets the slow-decision capture thresholds.
+    pub fn with_slow_thresholds(mut self, wall_ms: Option<u64>, nodes_left: Option<u64>) -> Self {
+        self.slow_wall_ms = wall_ms;
+        self.slow_nodes_left = nodes_left;
+        self
+    }
+}
+
+/// One captured slow decision: what tripped the threshold and the full
+/// decision trace (policy telemetry included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// Human-readable trigger, e.g. `"wall_ns 1200000 >= 1000000"`.
+    pub reason: String,
+    /// The offending decision.
+    pub decision: DecisionTrace,
+}
+
+impl Incident {
+    /// Encodes for `sbs incidents` and `/statusz?incidents=1`.
+    /// `include_wall` must be `false` under a virtual clock so the
+    /// bytes stay run-to-run identical.
+    pub fn to_value(&self, include_wall: bool) -> Value {
+        json!({
+            "reason": self.reason.as_str(),
+            "decision": self.decision.to_value(include_wall),
+        })
+    }
+}
+
+/// Cumulative counters sampled at one status-window boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct StatusSample {
+    at: Time,
+    decisions: u64,
+    search_nodes: u64,
+    completed: u64,
+    deadline_truncations: u64,
+}
+
+impl StatusSample {
+    fn to_value(self) -> Value {
+        json!({
+            "at": self.at,
+            "decisions": self.decisions,
+            "search_nodes": self.search_nodes,
+            "completed": self.completed,
+            "deadline_truncations": self.deadline_truncations,
+        })
     }
 }
 
@@ -153,6 +261,13 @@ impl DaemonPolicy {
         }
     }
 
+    fn deadline_truncations(&self) -> u64 {
+        match self {
+            DaemonPolicy::Search(p) => p.totals().deadline_truncations,
+            DaemonPolicy::Other(_) => 0,
+        }
+    }
+
     fn name(&mut self) -> String {
         self.as_dyn().name()
     }
@@ -173,6 +288,25 @@ pub struct Daemon {
     /// Decisions since the last snapshot write.
     unsnapshotted: u64,
     draining: bool,
+    /// The `sbs-events/v1` operational journal.
+    journal: EventJournal,
+    /// Correlation ids for requests arriving directly at this daemon
+    /// (fleet-routed requests carry the fleet's id instead).
+    corr_source: CorrelationSource,
+    /// Captured slow decisions, oldest evicted.
+    incidents: RingBuffer<Incident>,
+    /// Incidents captured over the daemon's lifetime (ring evictions
+    /// included).
+    incidents_total: u64,
+    /// Highest recorder-ring `seq` already scanned for incidents.
+    incident_checked: u64,
+    /// Wall nanoseconds per submit-shaped request, fed by the server
+    /// loop at the protocol edge.
+    submit_wall: Histogram,
+    /// Self-scrape samples at status-window boundaries.
+    windows: RingBuffer<StatusSample>,
+    /// Next scheduler time at which to take a status sample.
+    next_window: Time,
 }
 
 impl Daemon {
@@ -219,10 +353,28 @@ impl Daemon {
         recorder
     }
 
+    /// Builds the daemon's event journal.  Like the trace sink, a bad
+    /// journal path degrades to the in-memory ring with a notice — it
+    /// never stops the scheduler.
+    fn build_journal(cfg: &ServiceConfig) -> EventJournal {
+        if !cfg.events {
+            return EventJournal::disabled(cfg.event_mode);
+        }
+        let mut journal = EventJournal::new(cfg.event_mode);
+        if let Some(path) = &cfg.event_log {
+            if let Err(e) = journal.open_rotating(path.clone(), cfg.event_log_max_bytes) {
+                eprintln!("event log {} unavailable: {e}", path.display());
+            }
+        }
+        journal
+    }
+
     /// A daemon starting from an empty machine at time 0.
     pub fn fresh(cfg: ServiceConfig) -> Self {
         let mut policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
         let recorder = Self::build_recorder(&cfg, &mut policy, cfg.capacity);
+        let journal = Self::build_journal(&cfg);
+        let next_window = cfg.status_window.max(1);
         Daemon {
             core: SchedulerCore::new(cfg.capacity, cfg.knowledge, (0, Time::MAX)),
             policy,
@@ -234,6 +386,14 @@ impl Daemon {
             base_decisions: 0,
             unsnapshotted: 0,
             draining: false,
+            journal,
+            corr_source: CorrelationSource::new(),
+            incidents: RingBuffer::new(INCIDENT_RING_CAPACITY),
+            incidents_total: 0,
+            incident_checked: 0,
+            submit_wall: Histogram::exponential(1_000, 10, 7),
+            windows: RingBuffer::new(STATUS_WINDOW_CAPACITY),
+            next_window,
         }
     }
 
@@ -258,6 +418,9 @@ impl Daemon {
         core.advance_to(snap.now);
         let mut policy = DaemonPolicy::build(&cfg.spec, cfg.deadline);
         let recorder = Self::build_recorder(&cfg, &mut policy, cfg.capacity);
+        let journal = Self::build_journal(&cfg);
+        let window = cfg.status_window.max(1);
+        let next_window = (snap.now / window).saturating_add(1).saturating_mul(window);
         Ok(Daemon {
             core,
             policy,
@@ -269,6 +432,14 @@ impl Daemon {
             base_decisions: snap.decisions,
             unsnapshotted: 0,
             draining: false,
+            journal,
+            corr_source: CorrelationSource::new(),
+            incidents: RingBuffer::new(INCIDENT_RING_CAPACITY),
+            incidents_total: 0,
+            incident_checked: 0,
+            submit_wall: Histogram::exponential(1_000, 10, 7),
+            windows: RingBuffer::new(STATUS_WINDOW_CAPACITY),
+            next_window,
         })
     }
 
@@ -308,12 +479,114 @@ impl Daemon {
         }
         self.completed_seen = self.core.records().len();
         self.unsnapshotted += 1;
+        self.capture_incidents();
+        self.maybe_sample();
         if self.cfg.snapshot_every > 0 && self.unsnapshotted >= self.cfg.snapshot_every {
             // Best effort: an unwritable snapshot path must not take the
             // scheduler down mid-decision.
             // sbs-lint: allow(result-dropped): proven best-effort path — a failed periodic snapshot must not abort the decision loop; the next interval retries
             let _ = self.save_snapshot();
         }
+    }
+
+    /// Scans fresh recorder-ring entries against the slow-decision
+    /// thresholds and snapshots offenders into the incident ring.
+    fn capture_incidents(&mut self) {
+        let wall_limit = self.cfg.slow_wall_ms.map(|ms| ms.saturating_mul(1_000_000));
+        let nodes_limit = self.cfg.slow_nodes_left;
+        if wall_limit.is_none() && nodes_limit.is_none() {
+            return;
+        }
+        let already = self.incident_checked;
+        let mut checked = already;
+        let mut fresh: Vec<Incident> = Vec::new();
+        for d in self.recorder.ring().iter() {
+            if d.seq <= already {
+                continue;
+            }
+            checked = checked.max(d.seq);
+            let nodes_left = d
+                .policy
+                .as_ref()
+                .and_then(|p| p.search.as_ref())
+                .map(|s| s.nodes_left_at_deadline)
+                .unwrap_or(0);
+            let mut reasons = Vec::new();
+            if let Some(limit) = wall_limit.filter(|&l| d.wall_ns >= l) {
+                reasons.push(format!("wall_ns {} >= {limit}", d.wall_ns));
+            }
+            if let Some(limit) = nodes_limit.filter(|&l| nodes_left >= l) {
+                reasons.push(format!("nodes_left {nodes_left} >= {limit}"));
+            }
+            if !reasons.is_empty() {
+                fresh.push(Incident {
+                    reason: reasons.join("; "),
+                    decision: d.clone(),
+                });
+            }
+        }
+        self.incident_checked = checked;
+        for incident in fresh {
+            if self.journal.enabled() {
+                self.journal.emit(
+                    Event::new(Severity::Warn, "daemon", "slow_decision")
+                        .at(incident.decision.now)
+                        .corr(incident.decision.corr)
+                        .detail("seq", incident.decision.seq),
+                );
+            }
+            self.incidents_total += 1;
+            self.incidents.push(incident);
+        }
+    }
+
+    /// Takes a self-scrape sample once scheduler time crosses a
+    /// status-window boundary.
+    fn maybe_sample(&mut self) {
+        let window = self.cfg.status_window.max(1);
+        let now = self.core.now();
+        if now < self.next_window {
+            return;
+        }
+        let sample = self.live_sample();
+        self.windows.push(sample);
+        self.next_window = (now / window).saturating_add(1).saturating_mul(window);
+    }
+
+    /// The cumulative counters as they stand right now.
+    fn live_sample(&self) -> StatusSample {
+        StatusSample {
+            at: self.core.now(),
+            decisions: self.base_decisions + self.core.decisions(),
+            search_nodes: self.policy.search_nodes(),
+            completed: self.completed.count,
+            deadline_truncations: self.policy.deadline_truncations(),
+        }
+    }
+
+    /// `(deadline_hit_rate, search_nodes_per_sec)` over the sampled
+    /// windows — oldest retained sample to now; lifetime when no window
+    /// has closed yet.
+    fn rates(&self) -> (f64, f64) {
+        let newest = self.live_sample();
+        let oldest = self.windows.iter().next().copied().unwrap_or_default();
+        let decisions = newest.decisions.saturating_sub(oldest.decisions);
+        let truncations = newest
+            .deadline_truncations
+            .saturating_sub(oldest.deadline_truncations);
+        let span = newest.at.saturating_sub(oldest.at);
+        let nodes = newest.search_nodes.saturating_sub(oldest.search_nodes);
+        let hit_rate = if decisions > 0 {
+            truncations as f64 / decisions as f64
+        } else {
+            0.0
+        };
+        let nodes_per_sec = if span > 0 {
+            nodes as f64 / span as f64
+        } else {
+            0.0
+        };
+        (hit_rate, nodes_per_sec)
     }
 
     /// Replays every pending departure strictly before `t`, each as its
@@ -347,6 +620,7 @@ impl Daemon {
                 self.after_decision();
             }
         }
+        self.maybe_sample();
     }
 
     /// Submits a job at time `at` (clamped to be monotone) and runs one
@@ -514,6 +788,119 @@ impl Daemon {
         self.recorder.flush()
     }
 
+    /// The daemon's event journal (read-only).
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
+    /// Flushes the event-journal sink, if one is attached.
+    pub fn flush_events(&mut self) {
+        self.journal.flush();
+    }
+
+    /// Captured slow-decision incidents, oldest first.
+    pub fn incidents(&self) -> &RingBuffer<Incident> {
+        &self.incidents
+    }
+
+    /// Incidents captured over the daemon's lifetime, ring evictions
+    /// included.
+    pub fn incidents_total(&self) -> u64 {
+        self.incidents_total
+    }
+
+    /// Deadline-truncated decisions so far (0 for non-search policies).
+    pub fn deadline_truncations(&self) -> u64 {
+        self.policy.deadline_truncations()
+    }
+
+    /// The submit-latency histogram fed by the protocol edge.
+    pub fn submit_latency(&self) -> &Histogram {
+        &self.submit_wall
+    }
+
+    /// Folds one measured request latency when the line is
+    /// submit-shaped.  The substring check is a deliberate pre-parse
+    /// heuristic — cheap enough for every request, and an operator
+    /// histogram tolerates the rare false positive from a `"submit"`
+    /// payload field.
+    pub fn observe_submit_ns(&mut self, line: &str, ns: u64) {
+        if line.contains("\"submit") {
+            self.submit_wall.observe(ns);
+        }
+    }
+
+    /// Stamps `corr` as the correlation id for the operations that
+    /// follow (the fleet front end mints at its own edge and hands the
+    /// id down through this).
+    pub fn set_correlation(&mut self, corr: u64) {
+        self.core.set_correlation(corr);
+    }
+
+    /// Liveness/readiness JSON for `GET /healthz`.  `ok` (and the HTTP
+    /// status) reports readiness: not draining and not overloaded.
+    pub fn healthz_value(&self) -> Value {
+        let queue_depth = self.core.queue().len() as u64;
+        let overloaded = queue_depth > 8 * u64::from(self.core.capacity());
+        let ready = !self.draining && !overloaded;
+        json!({
+            "ok": ready,
+            "ready": ready,
+            "draining": self.draining,
+            "overloaded": overloaded,
+            "now": self.core.now(),
+            "queue_depth": queue_depth,
+        })
+    }
+
+    /// Operational JSON for `GET /statusz`.
+    pub fn statusz_value(&mut self, include_incidents: bool) -> Value {
+        let (deadline_hit_rate, nodes_per_sec) = self.rates();
+        let windows: Vec<Value> = self.windows.iter().map(|s| s.to_value()).collect();
+        let include_wall = self.cfg.event_mode == TimeMode::Wall;
+        let submit_latency = json!({
+            "p50": self.submit_wall.quantile(0.50).unwrap_or(0),
+            "p99": self.submit_wall.quantile(0.99).unwrap_or(0),
+            "p999": self.submit_wall.quantile(0.999).unwrap_or(0),
+            "count": self.submit_wall.count(),
+        });
+        let events = json!({
+            "emitted": self.journal.emitted(),
+            "filtered": self.journal.filtered(),
+        });
+        let mut v = json!({
+            "schema": "sbs-statusz/v1",
+            "now": self.core.now(),
+            "policy": self.policy.name(),
+            "capacity": self.core.capacity(),
+            "free_nodes": self.core.free_nodes(),
+            "queue_depth": self.core.queue().len() as u64,
+            "running": self.core.running().len() as u64,
+            "draining": self.draining,
+            "submitted": u64::from(self.next_id),
+            "decisions": self.base_decisions + self.core.decisions(),
+            "completed": self.completed.count,
+            "search_nodes": self.policy.search_nodes(),
+            "deadline_hit_rate": deadline_hit_rate,
+            "search_nodes_per_sec": nodes_per_sec,
+            "submit_latency_ns": submit_latency,
+            "events": events,
+            "incidents_captured": self.incidents_total,
+            "windows": Value::Array(windows),
+        });
+        if include_incidents {
+            let items: Vec<Value> = self
+                .incidents
+                .iter()
+                .map(|i| i.to_value(include_wall))
+                .collect();
+            if let Value::Object(m) = &mut v {
+                m.insert("incidents".into(), Value::Array(items));
+            }
+        }
+        v
+    }
+
     /// The daemon's complete state as a snapshot.
     pub fn snapshot(&mut self) -> Snapshot {
         Snapshot {
@@ -570,9 +957,57 @@ impl Daemon {
         Ok(Some(path))
     }
 
-    /// Dispatches one protocol request at scheduler time `at`.  Returns
-    /// the response and whether the daemon should shut down.
+    /// Dispatches one protocol request at scheduler time `at`, minting
+    /// a fresh correlation id at this daemon's edge.  Returns the
+    /// response and whether the daemon should shut down.
     pub fn handle(&mut self, req: Request, at: Time) -> (Value, bool) {
+        let corr = self.corr_source.mint();
+        self.handle_correlated(req, at, corr)
+    }
+
+    /// Like [`Daemon::handle`] but runs under a caller-minted
+    /// correlation id (the fleet front end mints once per routed
+    /// request).  The id is threaded into every decision the request
+    /// triggers, journaled, and echoed back as `"corr"`.
+    pub fn handle_correlated(&mut self, req: Request, at: Time, corr: u64) -> (Value, bool) {
+        let (kind, severity) = match &req {
+            Request::Submit { .. } => ("submit", Severity::Debug),
+            Request::SubmitBatch { .. } => ("submit_batch", Severity::Debug),
+            Request::Cancel { .. } => ("cancel", Severity::Debug),
+            Request::Queue => ("queue", Severity::Debug),
+            Request::Metrics => ("metrics", Severity::Debug),
+            Request::Incidents => ("incidents", Severity::Debug),
+            Request::Drain => ("drain", Severity::Info),
+            Request::Snapshot => ("snapshot", Severity::Info),
+            Request::Shutdown => ("shutdown", Severity::Info),
+        };
+        self.core.set_correlation(corr);
+        let (mut v, stop) = self.dispatch(req, at);
+        self.core.set_correlation(0);
+        let ok = v.get("ok").and_then(Value::as_bool).unwrap_or(false);
+        if let Value::Object(m) = &mut v {
+            m.insert("corr".into(), corr.into());
+        }
+        if self.journal.enabled() {
+            let severity = if ok { severity } else { Severity::Error };
+            let mut event = Event::new(severity, "daemon", kind)
+                .at(self.core.now())
+                .corr(corr)
+                .detail("queue_depth", self.core.queue().len() as u64);
+            if let Some(id) = v.get("id").and_then(Value::as_u64) {
+                event = event.detail("id", id);
+            }
+            if let Some(accepted) = v.get("accepted").and_then(Value::as_u64) {
+                event = event.detail("accepted", accepted);
+            }
+            self.journal.emit(event);
+        }
+        (v, stop)
+    }
+
+    /// The op dispatch proper, running under whatever correlation id is
+    /// already stamped on the core.
+    fn dispatch(&mut self, req: Request, at: Time) -> (Value, bool) {
         match req {
             Request::Submit {
                 nodes,
@@ -658,6 +1093,23 @@ impl Daemon {
                     Ok(None) => (error_response("no snapshot path configured"), false),
                     Err(e) => (error_response(&e), false),
                 }
+            }
+            Request::Incidents => {
+                self.poll_to(at);
+                let include_wall = self.cfg.event_mode == TimeMode::Wall;
+                let items: Vec<Value> = self
+                    .incidents
+                    .iter()
+                    .map(|i| i.to_value(include_wall))
+                    .collect();
+                (
+                    json!({
+                        "ok": true,
+                        "captured": self.incidents_total,
+                        "incidents": Value::Array(items),
+                    }),
+                    false,
+                )
             }
             Request::Shutdown => {
                 self.poll_to(at);
@@ -876,6 +1328,144 @@ mod tests {
         assert_eq!(text.matches("# TYPE").count(), 13);
         assert_eq!(text.matches(" gauge\n").count(), 13);
         assert!(!text.contains("_bucket"));
+    }
+
+    #[test]
+    fn handle_mints_dense_correlation_ids_and_stamps_decisions() {
+        let mut d = Daemon::fresh(ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(500)));
+        let submit = |t: u64| Request::Submit {
+            nodes: 2,
+            runtime: HOUR,
+            requested: None,
+            user: 0,
+            submit: Some(t),
+        };
+        let (v, _) = d.handle(submit(0), 0);
+        assert_eq!(v["corr"].as_u64(), Some(1));
+        let (v, _) = d.handle(submit(1), 1);
+        assert_eq!(v["corr"].as_u64(), Some(2));
+        // The second submit's decision carries its request id end to end.
+        let last = d.recorder().ring().iter().last().expect("decision traced");
+        assert_eq!(last.corr, 2);
+        let search = last
+            .policy
+            .as_ref()
+            .and_then(|p| p.search.as_ref())
+            .expect("search trace");
+        assert_eq!(search.trace_id, 2, "policy stamped the request id");
+        // Decisions not triggered by a request stay unscoped.
+        d.poll_to(2 * HOUR);
+        let last = d
+            .recorder()
+            .ring()
+            .iter()
+            .last()
+            .expect("departure decision");
+        assert_eq!(last.corr, 0);
+    }
+
+    #[test]
+    fn slow_decision_thresholds_fill_the_incident_ring() {
+        let cfg = ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(500))
+            .with_slow_thresholds(None, Some(0));
+        let mut d = Daemon::fresh(cfg);
+        d.submit_at(0, 4, HOUR, None, 0).expect("submit");
+        d.submit_at(1, 8, HOUR, None, 1).expect("submit");
+        assert!(
+            d.incidents().iter().count() >= 2,
+            "every decision trips Some(0)"
+        );
+        let (v, _) = d.handle(Request::Incidents, 1);
+        assert_eq!(v["ok"], true);
+        assert!(v["captured"].as_u64().unwrap_or(0) >= 2);
+        let items = v["incidents"].as_array().expect("incident array");
+        assert_eq!(items.len(), v["captured"].as_u64().unwrap() as usize);
+        assert!(items[0]["reason"].as_str().unwrap().contains("nodes_left"));
+        assert!(items[0]["decision"]["seq"].as_u64().is_some());
+        // A journal Warn event was emitted per incident.
+        assert!(d
+            .journal()
+            .ring()
+            .any(|e| e.kind == "slow_decision" && e.severity == sbs_obs::Severity::Warn));
+    }
+
+    #[test]
+    fn healthz_reports_draining_and_statusz_carries_the_status_fields() {
+        let mut d = Daemon::fresh(ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(500)));
+        d.submit_at(0, 4, HOUR, None, 0).expect("submit");
+        let h = d.healthz_value();
+        assert_eq!(h["ok"], true);
+        assert_eq!(h["draining"], false);
+        d.observe_submit_ns(r#"{"op":"submit","nodes":1,"runtime":60}"#, 5_000);
+        d.observe_submit_ns(r#"{"op":"queue"}"#, 5_000);
+        let s = d.statusz_value(false);
+        assert_eq!(s["schema"].as_str(), Some("sbs-statusz/v1"));
+        assert_eq!(s["submit_latency_ns"]["count"].as_u64(), Some(1));
+        assert!(s["submit_latency_ns"]["p99"].as_u64().unwrap() >= 5_000);
+        assert!(s["decisions"].as_u64().unwrap() >= 1);
+        assert!(s.get("incidents").is_none(), "incidents are opt-in");
+        assert!(d.statusz_value(true).get("incidents").is_some());
+        d.drain();
+        // Hour-long jobs crossed many 60s window boundaries.
+        let s = d.statusz_value(false);
+        assert!(!s["windows"].as_array().unwrap().is_empty());
+        let h = d.healthz_value();
+        assert_eq!(h["ok"], false, "draining daemons are not ready");
+        assert_eq!(h["draining"], true);
+    }
+
+    #[test]
+    fn virtual_mode_event_journals_are_byte_identical_across_runs() {
+        let dir = std::env::temp_dir().join(format!("sbs-daemon-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let run = |name: &str| -> String {
+            let path = dir.join(name);
+            // sbs-lint: allow(result-dropped): best-effort cleanup of a prior run's fixture
+            let _ = std::fs::remove_file(&path);
+            let cfg = ServiceConfig::new(8, PolicySpec::dds_lxf_dynb(500))
+                .with_event_mode(TimeMode::Virtual)
+                .with_event_log(path.clone(), 1 << 20);
+            let mut d = Daemon::fresh(cfg);
+            // Debug-level submits are below the default Info floor; raise
+            // verbosity so the journal carries per-request events too.
+            d.journal.set_min_severity(Severity::Debug);
+            for t in 0..4u64 {
+                let (v, _) = d.handle(
+                    Request::Submit {
+                        nodes: 4,
+                        runtime: HOUR,
+                        requested: None,
+                        user: 0,
+                        submit: Some(t),
+                    },
+                    t,
+                );
+                assert_eq!(v["ok"], true);
+            }
+            let (v, _) = d.handle(Request::Drain, 4);
+            assert_eq!(v["ok"], true);
+            d.flush_events();
+            let text = std::fs::read_to_string(&path).expect("journal file");
+            // sbs-lint: allow(result-dropped): best-effort cleanup
+            let _ = std::fs::remove_file(&path);
+            text
+        };
+        let a = run("a.jsonl");
+        let b = run("b.jsonl");
+        assert_eq!(a, b, "virtual-mode journals must be byte-identical");
+        assert!(
+            a.lines().count() >= 6,
+            "meta line plus one event per request"
+        );
+        let meta: serde_json::Value = serde_json::from_str(a.lines().next().unwrap()).unwrap();
+        assert_eq!(meta["schema"].as_str(), Some(sbs_obs::EVENT_SCHEMA));
+        assert_eq!(meta["mode"].as_str(), Some("virtual"));
+        assert!(
+            !a.contains("wall_ns"),
+            "virtual journals omit wall durations"
+        );
+        assert!(a.contains("\"kind\":\"submit\""));
+        assert!(a.contains("\"kind\":\"drain\""));
     }
 
     #[test]

@@ -39,8 +39,8 @@ pub mod server;
 pub mod snapshot;
 
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use daemon::{Daemon, ServiceConfig};
+pub use daemon::{Daemon, Incident, ServiceConfig};
 pub use metrics::MetricsView;
-pub use protocol::{parse_request, parse_routed, Request, SubmitSpec};
-pub use server::{Server, ServerHandler};
+pub use protocol::{parse_request, parse_routed, CorrelationSource, Request, SubmitSpec};
+pub use server::{HttpReply, Server, ServerHandler};
 pub use snapshot::{CompletedStats, Snapshot};

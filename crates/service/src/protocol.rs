@@ -31,9 +31,37 @@
 
 use sbs_workload::time::Time;
 use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Largest number of jobs one `submit_batch` request may carry.
 pub const MAX_BATCH: usize = 1024;
+
+/// Mints correlation ids at the protocol edge.
+///
+/// Every request that reaches a daemon gets the next id from the owning
+/// front end's source; the id is threaded through the scheduler core and
+/// search policies, stamped into decision traces and journal events, and
+/// echoed back to the client as `"corr"` so one request can be followed
+/// fleet → shard → daemon → search.  Ids start at 1: `0` everywhere
+/// means "not request-scoped" (batch simulation), which keeps virtual
+/// trace bytes identical to pre-correlation runs.
+///
+/// The counter is a plain sequence, not a synchronization point — no
+/// other memory is published under it — so `Relaxed` suffices.
+#[derive(Debug, Default)]
+pub struct CorrelationSource(AtomicU64);
+
+impl CorrelationSource {
+    /// A fresh source; the first minted id is 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the next nonzero correlation id.
+    pub fn mint(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
 
 /// One job inside a `submit_batch` request (same fields as `submit`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +112,8 @@ pub enum Request {
     Drain,
     /// Force a state snapshot to disk.
     Snapshot,
+    /// Captured slow-decision incidents (bounded, newest last).
+    Incidents,
     /// Snapshot (if configured) and stop the daemon.
     Shutdown,
 }
@@ -168,6 +198,7 @@ fn parse_value(v: &Value) -> Result<Request, String> {
         "metrics" => Ok(Request::Metrics),
         "drain" => Ok(Request::Drain),
         "snapshot" => Ok(Request::Snapshot),
+        "incidents" => Ok(Request::Incidents),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!("unknown op {other:?}")),
     }
@@ -274,9 +305,21 @@ mod tests {
         assert_eq!(parse_request(r#"{"op":"queue"}"#).unwrap(), Request::Queue);
         assert_eq!(parse_request(r#"{"op":"drain"}"#).unwrap(), Request::Drain);
         assert_eq!(
+            parse_request(r#"{"op":"incidents"}"#).unwrap(),
+            Request::Incidents
+        );
+        assert_eq!(
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn correlation_ids_are_dense_and_nonzero() {
+        let src = CorrelationSource::new();
+        assert_eq!(src.mint(), 1);
+        assert_eq!(src.mint(), 2);
+        assert_eq!(src.mint(), 3);
     }
 
     #[test]

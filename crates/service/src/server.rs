@@ -1,9 +1,12 @@
-//! The TCP front end: newline-delimited JSON plus a `/metrics` probe.
+//! The TCP front end: newline-delimited JSON plus HTTP probes.
 //!
 //! One listener serves both protocols on the same port.  A connection
-//! whose first line starts with `GET ` is treated as an HTTP probe and
-//! answered with the Prometheus exposition text; anything else is the
-//! JSON protocol, one request and one response per line.
+//! whose first line starts with `GET ` is treated as an HTTP probe —
+//! routed by path to `/metrics` (Prometheus exposition), `/healthz`
+//! (liveness/readiness) or `/statusz` (operational JSON); unknown paths
+//! fall back to the metrics text for compatibility with path-blind
+//! scrapers.  Anything else is the JSON protocol, one request and one
+//! response per line.
 //!
 //! The loop is **event-driven on std only**: a nonblocking listener and
 //! nonblocking connections are swept in one readiness loop — accept
@@ -83,6 +86,38 @@ fn install_sigterm() {
 #[cfg(not(unix))]
 fn install_sigterm() {}
 
+/// One HTTP probe answer: status line, content type and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// HTTP status code (`200` or `503`).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// A `200 OK` Prometheus exposition reply.
+    pub fn metrics(body: String) -> Self {
+        HttpReply {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// A JSON reply; `ok = false` answers `503 Service Unavailable`
+    /// so load balancers treat the endpoint as not ready.
+    pub fn json(ok: bool, body: String) -> Self {
+        HttpReply {
+            status: if ok { 200 } else { 503 },
+            content_type: "application/json",
+            body,
+        }
+    }
+}
+
 /// What the readiness loop needs from the thing it serves.
 ///
 /// [`Daemon`] implements this for the single-tenant protocol; the fleet
@@ -102,6 +137,19 @@ pub trait ServerHandler: Send {
 
     /// The `/metrics` text for HTTP probes, current as of `at`.
     fn metrics_text_at(&mut self, at: Time) -> String;
+
+    /// Answers one HTTP probe for `path` (including any query string),
+    /// current as of `at`.  The default routes every path to the
+    /// metrics text, preserving the historical path-blind behavior;
+    /// handlers override to add `/healthz` and `/statusz`.
+    fn http_get(&mut self, _path: &str, at: Time) -> HttpReply {
+        HttpReply::metrics(self.metrics_text_at(at))
+    }
+
+    /// Reports the measured wall time of one `handle_line` call, along
+    /// with the raw request line that produced it.  Handlers that track
+    /// submit latency filter and record; the default discards.
+    fn observe_request_ns(&mut self, _line: &str, _ns: u64) {}
 
     /// Best-effort persistence (snapshot, trace flush) at shutdown.
     fn on_shutdown(&mut self);
@@ -128,12 +176,41 @@ impl ServerHandler for Daemon {
         self.metrics_text()
     }
 
+    fn http_get(&mut self, path: &str, at: Time) -> HttpReply {
+        Daemon::poll_to(self, at);
+        let (route, query) = path.split_once('?').unwrap_or((path, ""));
+        match route {
+            "/healthz" => {
+                let v = self.healthz_value();
+                let ok = v.get("ok") == Some(&Value::Bool(true));
+                HttpReply::json(ok, render_json(&v))
+            }
+            "/statusz" => {
+                let with_incidents = query.split('&').any(|kv| kv == "incidents=1");
+                HttpReply::json(true, render_json(&self.statusz_value(with_incidents)))
+            }
+            _ => HttpReply::metrics(self.metrics_text()),
+        }
+    }
+
+    fn observe_request_ns(&mut self, line: &str, ns: u64) {
+        self.observe_submit_ns(line, ns);
+    }
+
     fn on_shutdown(&mut self) {
         // sbs-lint: allow(result-dropped): proven best-effort path — shutdown must complete even when the final snapshot write fails
         let _ = self.save_snapshot();
         // sbs-lint: allow(result-dropped): proven best-effort path — a trace-sink flush failure must not block shutdown
         let _ = self.flush_traces();
+        self.flush_events();
     }
+}
+
+/// Renders a probe body, degrading to an error object rather than
+/// panicking inside the serve loop.
+fn render_json(v: &Value) -> String {
+    serde_json::to_string(v)
+        .unwrap_or_else(|_| r#"{"ok":false,"error":"internal: render failed"}"#.to_string())
 }
 
 /// One client connection's readiness-loop state.
@@ -316,19 +393,24 @@ impl<H: ServerHandler> Server<H> {
             }
             active = true;
             if text.starts_with("GET ") {
-                let body = {
+                let path = text.split_whitespace().nth(1).unwrap_or("/metrics");
+                let reply = {
                     let mut h = lock_handler(&self.handler);
-                    h.metrics_text_at(self.clock.now())
+                    h.http_get(path, self.clock.now())
                 };
                 conn.outbuf
-                    .extend_from_slice(http_response(&body).as_bytes());
+                    .extend_from_slice(http_response(&reply).as_bytes());
                 conn.inbuf.clear();
                 conn.closing = true;
                 break;
             }
             let (response, stop) = {
                 let mut h = lock_handler(&self.handler);
+                // sbs-lint: allow(wall-clock): request latency measurement at the protocol edge; the duration feeds an operator histogram, never scheduler state
+                let began = std::time::Instant::now();
                 let out = h.handle_line(text, self.clock.now());
+                let spent = began.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                h.observe_request_ns(text, spent);
                 // Keep a steered (virtual) clock in step with the
                 // scheduler so later requests see consistent time.
                 self.clock.advance_to(h.now());
@@ -392,11 +474,16 @@ fn reject_overloaded(mut stream: TcpStream) {
     let _ = stream.write_all(b"{\"ok\":false,\"error\":\"server at connection capacity\"}\n");
 }
 
-/// A plain HTTP response carrying the metrics text.
-fn http_response(body: &str) -> String {
+/// Renders one [`HttpReply`] as a plain HTTP/1.0 response.
+fn http_response(reply: &HttpReply) -> String {
+    let status = match reply.status {
+        200 => "200 OK",
+        _ => "503 Service Unavailable",
+    };
     format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
+        "HTTP/1.0 {status}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        reply.content_type,
+        reply.body.len(),
+        reply.body
     )
 }

@@ -41,6 +41,9 @@ pub struct SchedulerCore {
     now: Time,
     knowledge: RuntimeKnowledge,
     predictor: Option<Box<dyn RuntimePredictor>>,
+    /// Correlation id of the request driving the next decision (`0` =
+    /// not request-scoped; batch simulation never sets it).
+    corr: u64,
 }
 
 impl SchedulerCore {
@@ -60,7 +63,16 @@ impl SchedulerCore {
             now: 0,
             knowledge,
             predictor: None,
+            corr: 0,
         }
+    }
+
+    /// Sets the correlation id stamped onto subsequent decision traces
+    /// and handed to the policy before each `decide` call.  The daemon
+    /// calls this once per protocol request; batch simulation leaves it
+    /// 0, which keeps virtual-mode trace bytes unchanged.
+    pub fn set_correlation(&mut self, corr: u64) {
+        self.corr = corr;
     }
 
     /// Installs an online runtime predictor; it then *overrides*
@@ -207,6 +219,7 @@ impl SchedulerCore {
         recorder: &mut dyn sbs_obs::Recorder,
     ) -> Vec<JobId> {
         self.decisions += 1;
+        policy.set_correlation(self.corr);
         let ctx = SchedContext {
             now: self.now,
             capacity: self.cluster.capacity(),
@@ -242,6 +255,7 @@ impl SchedulerCore {
                 // The recorder drops this in virtual mode; see
                 // `sbs_obs::TimeMode`.
                 wall_ns: elapsed_ns,
+                corr: self.corr,
             });
         }
         for &id in &starts {
